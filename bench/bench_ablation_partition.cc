@@ -1,0 +1,84 @@
+// Ablation for §3.3 (reported in §5: "the greedy approach is up to two
+// orders of magnitude faster than the dynamic programming based approach
+// while they achieve similar performance in terms of I/O costs reduced"):
+// on the heavy edges of a dataset, compare Algorithm 4's exact DP against
+// the greedy heuristic in partition quality (ξ cost) and build time.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "index/partition.h"
+#include "index/query_log.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Ablation: DP (Algorithm 4) vs greedy edge partitioning",
+              "the §5 remark on SIF-P construction");
+  Database db(Scaled(ScalePreset(PresetSYN(), 0.5)));
+  const auto& objects = db.objects();
+  const auto& net = db.network();
+
+  auto provider = MakeQueryLogProvider(QueryLogMode::kFrequency, {}, 3, 8,
+                                       /*seed=*/777);
+
+  // Heavy edges, capped so the cubic DP stays tractable.
+  struct EdgeCase {
+    EdgeId edge;
+    std::vector<std::vector<TermId>> term_sets;
+    std::vector<LogQuery> log;
+  };
+  std::vector<EdgeCase> cases;
+  for (EdgeId e = 0; e < net.num_edges() && cases.size() < 200; ++e) {
+    const auto on_edge = objects.ObjectsOnEdge(e);
+    if (on_edge.size() < 8 || on_edge.size() > 28) {
+      continue;
+    }
+    EdgeCase c;
+    c.edge = e;
+    for (ObjectId id : on_edge) {
+      c.term_sets.push_back(objects.object(id).terms);
+    }
+    c.log = provider(e, c.term_sets);
+    if (!c.log.empty()) {
+      cases.push_back(std::move(c));
+    }
+  }
+  std::printf("%zu heavy edges (8-28 objects each)\n\n", cases.size());
+
+  TablePrinter table({"cuts", "DP cost", "greedy cost", "no-cut cost",
+                      "DP ms", "greedy ms", "speedup"});
+  for (size_t cuts : {1, 2, 3, 5}) {
+    double dp_cost = 0.0;
+    double greedy_cost = 0.0;
+    double nocut_cost = 0.0;
+    Timer dp_timer;
+    for (const EdgeCase& c : cases) {
+      dp_cost += PartitionCost(c.term_sets,
+                               DpPartition(c.term_sets, c.log, cuts), c.log);
+    }
+    const double dp_ms = dp_timer.ElapsedMillis();
+    Timer greedy_timer;
+    for (const EdgeCase& c : cases) {
+      greedy_cost += PartitionCost(
+          c.term_sets, GreedyPartition(c.term_sets, c.log, cuts), c.log);
+    }
+    const double greedy_ms = greedy_timer.ElapsedMillis();
+    for (const EdgeCase& c : cases) {
+      nocut_cost += PartitionCost(c.term_sets, EdgePartition{}, c.log);
+    }
+    table.AddRow({std::to_string(cuts), TablePrinter::Fmt(dp_cost, 1),
+                  TablePrinter::Fmt(greedy_cost, 1),
+                  TablePrinter::Fmt(nocut_cost, 1),
+                  TablePrinter::Fmt(dp_ms, 1),
+                  TablePrinter::Fmt(greedy_ms, 1),
+                  TablePrinter::Fmt(dp_ms / std::max(0.001, greedy_ms), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: greedy cost within a few %% of the DP optimum at a\n"
+      "fraction of the time, widening with the cut budget.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef DSKS_BENCH_BENCH_COMMON_H_
+#define DSKS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "harness/database.h"
+#include "harness/experiment.h"
+
+namespace dsks::bench {
+
+/// Every bench binary honours two environment knobs so that the same code
+/// can run as a quick smoke test or as a fuller experiment:
+///   DSKS_BENCH_SCALE   — multiplies dataset sizes (default 1.0)
+///   DSKS_BENCH_QUERIES — queries per workload (default per-bench)
+inline double ScaleFromEnv() {
+  const char* s = std::getenv("DSKS_BENCH_SCALE");
+  return s == nullptr ? 1.0 : std::atof(s);
+}
+
+inline size_t QueriesFromEnv(size_t fallback) {
+  const char* s = std::getenv("DSKS_BENCH_QUERIES");
+  return s == nullptr ? fallback : static_cast<size_t>(std::atoll(s));
+}
+
+inline DatasetConfig Scaled(const DatasetConfig& preset) {
+  const double scale = ScaleFromEnv();
+  return scale == 1.0 ? preset : ScalePreset(preset, scale);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s; datasets are the scaled presets of DESIGN.md)\n",
+              paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dsks::bench
+
+#endif  // DSKS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+// Reproduces Fig. 10: sensitivity of SIF-P to the query log used for
+// partition training, on NA and TW. Expected ordering (§5.1):
+// SIF-P-Real <= SIF-P-Freq < SIF-P-Rand < SIF.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "index/query_log.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Fig. 10: effect of the partition-training query log",
+              "Fig. 10, datasets NA and TW");
+  const size_t num_queries = QueriesFromEnv(60);
+
+  TablePrinter time_table(
+      {"dataset", "SIF", "SIF-P-Real", "SIF-P-Freq", "SIF-P-Rand"});
+  TablePrinter fh_table(
+      {"dataset", "SIF", "SIF-P-Real", "SIF-P-Freq", "SIF-P-Rand"});
+
+  for (const DatasetConfig& preset : {PresetNA(), PresetTW()}) {
+    Database db(Scaled(preset));
+    WorkloadConfig wc;
+    wc.num_queries = num_queries;
+    wc.seed = 1010;
+    const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+    // The "Real" log is the workload itself (§5.1: "the query load is used
+    // as query log in SIF-P-Real").
+    std::vector<std::vector<TermId>> real_terms;
+    for (const auto& wq : wl.queries) {
+      real_terms.push_back(wq.sk.terms);
+    }
+
+    std::vector<std::string> time_row = {preset.name};
+    std::vector<std::string> fh_row = {preset.name};
+
+    // Plain SIF.
+    {
+      IndexOptions opts;
+      opts.kind = IndexKind::kSIF;
+      db.BuildIndex(opts);
+      db.PrepareForQueries();
+      const SkWorkloadMetrics m = RunSkWorkload(&db, wl);
+      time_row.push_back(TablePrinter::Fmt(m.avg_millis, 2));
+      fh_row.push_back(TablePrinter::Fmt(m.avg_false_hit_objects, 1));
+    }
+
+    struct Variant {
+      QueryLogMode mode;
+      std::vector<std::vector<TermId>> workload_terms;
+    };
+    const std::vector<Variant> variants = {
+        {QueryLogMode::kReal, real_terms},
+        {QueryLogMode::kFrequency, {}},
+        {QueryLogMode::kRandom, {}},
+    };
+    for (const Variant& v : variants) {
+      IndexOptions opts;
+      opts.kind = IndexKind::kSIFP;
+      opts.sifp.log_provider = MakeQueryLogProvider(
+          v.mode, v.workload_terms, /*terms_per_query=*/3,
+          /*queries_per_edge=*/8, /*seed=*/1234);
+      db.BuildIndex(opts);
+      db.PrepareForQueries();
+      const SkWorkloadMetrics m = RunSkWorkload(&db, wl);
+      time_row.push_back(TablePrinter::Fmt(m.avg_millis, 2));
+      fh_row.push_back(TablePrinter::Fmt(m.avg_false_hit_objects, 1));
+    }
+    time_table.AddRow(time_row);
+    fh_table.AddRow(fh_row);
+  }
+
+  std::printf("\navg query response time (ms)\n");
+  time_table.Print();
+  std::printf("\navg # false-hit objects per query\n");
+  fh_table.Print();
+  return 0;
+}

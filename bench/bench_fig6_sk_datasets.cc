@@ -1,0 +1,65 @@
+// Reproduces Fig. 6: SK search across the four datasets with the four
+// object indexes — (a) query response time, (b) index construction time,
+// (c) index size. The expected shape (§5.1): IR is several times slower
+// than the rest; IF < IR; SIF and SIF-P fastest; SIF-P costs the most
+// construction time; SIF/SIF-P sizes only slightly above IF.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Fig. 6: SK search on different datasets", "Fig. 6(a)-(c)");
+  const size_t num_queries = QueriesFromEnv(60);
+
+  const std::vector<IndexKind> kinds = {IndexKind::kIR, IndexKind::kIF,
+                                        IndexKind::kSIF, IndexKind::kSIFP};
+
+  TablePrinter time_table({"dataset", "IR", "IF", "SIF", "SIF-P"});
+  TablePrinter io_table({"dataset", "IR", "IF", "SIF", "SIF-P"});
+  TablePrinter build_table({"dataset", "IR", "IF", "SIF", "SIF-P"});
+  TablePrinter size_table({"dataset", "IR", "IF", "SIF", "SIF-P"});
+
+  for (const DatasetConfig& preset : AllPresets()) {
+    Database db(Scaled(preset));
+    WorkloadConfig wc;
+    wc.num_queries = num_queries;
+    wc.seed = 4242;
+    const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+    std::vector<std::string> time_row = {preset.name};
+    std::vector<std::string> io_row = {preset.name};
+    std::vector<std::string> build_row = {preset.name};
+    std::vector<std::string> size_row = {preset.name};
+    for (IndexKind kind : kinds) {
+      IndexOptions opts;
+      opts.kind = kind;
+      const auto info = db.BuildIndex(opts);
+      db.PrepareForQueries();
+      const SkWorkloadMetrics m = RunSkWorkload(&db, wl);
+      time_row.push_back(TablePrinter::Fmt(m.avg_millis, 2));
+      io_row.push_back(TablePrinter::Fmt(m.avg_io, 0));
+      build_row.push_back(TablePrinter::Fmt(info.build_millis, 0));
+      size_row.push_back(
+          TablePrinter::Fmt(static_cast<double>(info.size_bytes) / 1048576.0,
+                            1));
+    }
+    time_table.AddRow(time_row);
+    io_table.AddRow(io_row);
+    build_table.AddRow(build_row);
+    size_table.AddRow(size_row);
+  }
+
+  std::printf("\n(a) avg query response time (ms)\n");
+  time_table.Print();
+  std::printf("\n(a') avg # I/O accesses per query\n");
+  io_table.Print();
+  std::printf("\n(b) index construction time (ms)\n");
+  build_table.Print();
+  std::printf("\n(c) index size (MB)\n");
+  size_table.Print();
+  return 0;
+}

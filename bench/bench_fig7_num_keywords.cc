@@ -1,0 +1,70 @@
+// Reproduces Fig. 7: SK search on NA as the number of query keywords l
+// grows from 1 to 4 — (a) response time, (b) # I/O. Expected shape: all
+// methods degrade with l (δmax grows as 500·l); SIF beats IF by avoiding
+// false-hit I/O and SIF-P beats SIF.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Fig. 7: effect of the number of query keywords (l)",
+              "Fig. 7(a)-(b), dataset NA");
+  const size_t num_queries = QueriesFromEnv(60);
+
+  Database db(Scaled(PresetNA()));
+  const std::vector<IndexKind> kinds = {IndexKind::kIF, IndexKind::kSIF,
+                                        IndexKind::kSIFP};
+  const std::vector<size_t> ls = {1, 2, 3, 4};
+
+  // One workload per l (δmax = 500·l, §5), shared by the three indexes.
+  std::vector<Workload> workloads;
+  for (size_t l : ls) {
+    WorkloadConfig wc;
+    wc.num_queries = num_queries;
+    wc.num_keywords = l;
+    wc.seed = 7000 + l;
+    workloads.push_back(GenerateWorkload(db.objects(), db.term_stats(), wc));
+  }
+
+  // metrics[kind][l]
+  std::vector<std::vector<SkWorkloadMetrics>> metrics(kinds.size());
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    IndexOptions opts;
+    opts.kind = kinds[k];
+    db.BuildIndex(opts);
+    db.PrepareForQueries();
+    for (const Workload& wl : workloads) {
+      metrics[k].push_back(RunSkWorkload(&db, wl));
+    }
+  }
+
+  TablePrinter time_table({"l", "IF", "SIF", "SIF-P"});
+  TablePrinter io_table({"l", "IF", "SIF", "SIF-P"});
+  TablePrinter fh_table({"l", "IF", "SIF", "SIF-P"});
+  for (size_t i = 0; i < ls.size(); ++i) {
+    std::vector<std::string> time_row = {std::to_string(ls[i])};
+    std::vector<std::string> io_row = {std::to_string(ls[i])};
+    std::vector<std::string> fh_row = {std::to_string(ls[i])};
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      time_row.push_back(TablePrinter::Fmt(metrics[k][i].avg_millis, 2));
+      io_row.push_back(TablePrinter::Fmt(metrics[k][i].avg_io, 0));
+      fh_row.push_back(
+          TablePrinter::Fmt(metrics[k][i].avg_false_hit_objects, 1));
+    }
+    time_table.AddRow(time_row);
+    io_table.AddRow(io_row);
+    fh_table.AddRow(fh_row);
+  }
+
+  std::printf("\n(a) avg query response time (ms)\n");
+  time_table.Print();
+  std::printf("\n(b) avg # I/O accesses per query\n");
+  io_table.Print();
+  std::printf("\n(b') avg # objects loaded by false hits per query\n");
+  fh_table.Print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 8: effect of the search range δmax — (a) response time
+// of IF/SIF/SIF-P on NA as δmax grows 250..1500, (b) # candidate objects
+// on all four datasets. Expected shape: IF degrades much faster than
+// SIF/SIF-P because false-hit I/O grows with the number of visited edges;
+// candidates grow superlinearly with δmax everywhere.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Fig. 8: effect of the search range (delta_max)",
+              "Fig. 8(a)-(b)");
+  const size_t num_queries = QueriesFromEnv(60);
+  const std::vector<double> ranges = {250, 500, 750, 1000, 1250, 1500};
+
+  // (a) response time on NA.
+  {
+    Database db(Scaled(PresetNA()));
+    std::vector<Workload> workloads;
+    for (double r : ranges) {
+      WorkloadConfig wc;
+      wc.num_queries = num_queries;
+      wc.delta_max_override = r;
+      wc.seed = 8800;  // same queries, different range
+      workloads.push_back(
+          GenerateWorkload(db.objects(), db.term_stats(), wc));
+    }
+    const std::vector<IndexKind> kinds = {IndexKind::kIF, IndexKind::kSIF,
+                                          IndexKind::kSIFP};
+    std::vector<std::vector<SkWorkloadMetrics>> metrics(kinds.size());
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      IndexOptions opts;
+      opts.kind = kinds[k];
+      db.BuildIndex(opts);
+      db.PrepareForQueries();
+      for (const Workload& wl : workloads) {
+        metrics[k].push_back(RunSkWorkload(&db, wl));
+      }
+    }
+    TablePrinter table({"delta_max", "IF", "SIF", "SIF-P"});
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      table.AddRow({TablePrinter::Fmt(ranges[i], 0),
+                    TablePrinter::Fmt(metrics[0][i].avg_millis, 2),
+                    TablePrinter::Fmt(metrics[1][i].avg_millis, 2),
+                    TablePrinter::Fmt(metrics[2][i].avg_millis, 2)});
+    }
+    std::printf("\n(a) avg query response time (ms), dataset NA\n");
+    table.Print();
+  }
+
+  // (b) # candidates on the four datasets (SIF index).
+  {
+    TablePrinter table({"delta_max", "NA", "SF", "SYN", "TW"});
+    std::vector<std::vector<std::string>> rows(ranges.size());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      rows[i].push_back(TablePrinter::Fmt(ranges[i], 0));
+    }
+    for (const DatasetConfig& preset : AllPresets()) {
+      Database db(Scaled(preset));
+      IndexOptions opts;
+      opts.kind = IndexKind::kSIF;
+      db.BuildIndex(opts);
+      db.PrepareForQueries();
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        WorkloadConfig wc;
+        wc.num_queries = num_queries;
+        wc.delta_max_override = ranges[i];
+        wc.seed = 8801;
+        const Workload wl =
+            GenerateWorkload(db.objects(), db.term_stats(), wc);
+        rows[i].push_back(
+            TablePrinter::Fmt(RunSkWorkload(&db, wl).avg_candidates, 1));
+      }
+    }
+    for (auto& row : rows) {
+      table.AddRow(row);
+    }
+    std::printf("\n(b) avg # candidate objects per query\n");
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Fig. 9: space cost-effectiveness of SIF-P vs SIF-G on SF.
+// For each max-cut budget, SIF-P is built and its false hits measured;
+// SIF-G is evaluated twice — granted the *same* in-memory space as SIF-P's
+// summaries, and granted ~10x that space (the paper's setup) — by picking
+// the number x of frequent terms whose pairwise edge lists fit the budget.
+// Expected shape: SIF-P's false hits drop steeply with the cut budget and
+// dominate SIF-G at equal space; SIF-G needs an order of magnitude more
+// space to compete.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "index/sif_group.h"
+#include "index/sif_partitioned.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+namespace {
+
+struct SizePoint {
+  size_t x;
+  uint64_t bytes;
+};
+
+/// Largest tabulated x whose pair lists stay within `budget`.
+size_t PickFrequentTerms(const std::vector<SizePoint>& table,
+                         uint64_t budget) {
+  size_t best = 2;
+  for (const SizePoint& p : table) {
+    if (p.bytes <= budget) {
+      best = p.x;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 9: space cost-effectiveness (SIF-P vs SIF-G)",
+              "Fig. 9, dataset SF");
+  const size_t num_queries = QueriesFromEnv(30);
+
+  Database db(Scaled(PresetSF()));
+  const size_t vocab = db.config().objects.vocab_size;
+  WorkloadConfig wc;
+  wc.num_queries = num_queries;
+  wc.seed = 9900;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  // Pre-tabulate SIF-G pair-list sizes for candidate x values.
+  std::vector<SizePoint> size_table;
+  for (size_t x = 4; x <= std::min<size_t>(1024, vocab / 2); x *= 2) {
+    size_table.push_back(
+        {x, SifGroupIndex::EstimatePairListBytes(db.objects(), vocab, x)});
+  }
+
+  TablePrinter table({"max cuts", "SIF-P summary KB", "SIF-P false hits",
+                      "SIF-G@1x KB", "SIF-G@1x false hits", "SIF-G@10x KB",
+                      "SIF-G@10x false hits"});
+
+  for (size_t cuts : {2, 4, 8, 16, 32}) {
+    IndexOptions opts;
+    opts.kind = IndexKind::kSIFP;
+    opts.sifp.max_cuts = cuts;
+    // A bigger cut budget also lets more edges be partitioned — the
+    // paper's x-axis is "available index space".
+    opts.sifp.heavy_edge_fraction = std::min(1.0, 0.05 * cuts);
+    db.BuildIndex(opts);
+    db.PrepareForQueries();
+    const auto* sifp = static_cast<const SifIndex*>(db.index());
+    const uint64_t summary = sifp->InMemorySummaryBytes();
+    const SkWorkloadMetrics mp = RunSkWorkload(&db, wl);
+
+    double g_fh[2];
+    uint64_t g_kb[2];
+    const uint64_t budgets[2] = {summary, 10 * summary};
+    for (int b = 0; b < 2; ++b) {
+      IndexOptions gopts;
+      gopts.kind = IndexKind::kSIFG;
+      gopts.sifg_frequent_terms = PickFrequentTerms(size_table, budgets[b]);
+      db.BuildIndex(gopts);
+      db.PrepareForQueries();
+      const auto* sifg = static_cast<const SifGroupIndex*>(db.index());
+      g_kb[b] = sifg->pair_list_bytes() / 1024;
+      g_fh[b] = RunSkWorkload(&db, wl).avg_false_hit_objects;
+    }
+
+    table.AddRow({std::to_string(cuts),
+                  TablePrinter::Fmt(static_cast<double>(summary) / 1024.0, 0),
+                  TablePrinter::Fmt(mp.avg_false_hit_objects, 1),
+                  std::to_string(g_kb[0]), TablePrinter::Fmt(g_fh[0], 1),
+                  std::to_string(g_kb[1]), TablePrinter::Fmt(g_fh[1], 1)});
+  }
+  std::printf("\navg # false-hit objects per query vs space budget\n");
+  table.Print();
+  return 0;
+}

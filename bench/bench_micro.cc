@@ -1,0 +1,228 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: Z-order
+// encoding, Dijkstra, CCAM adjacency loads, B+tree lookups, signature
+// tests, LoadObjects, core-pair maintenance and the full SK search.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "core/core_pairs.h"
+#include "core/sk_search.h"
+#include "datagen/network_generator.h"
+#include "datagen/object_generator.h"
+#include "datagen/workload.h"
+#include "graph/ccam.h"
+#include "graph/dijkstra.h"
+#include "index/sif.h"
+#include "spatial/zorder.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "text/term_stats.h"
+
+namespace dsks {
+namespace {
+
+/// Shared medium-size fixture, built once.
+struct World {
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objects;
+  DiskManager disk;
+  std::unique_ptr<BufferPool> pool;
+  CcamFile ccam;
+  std::unique_ptr<CcamGraph> graph;
+  std::unique_ptr<SifIndex> index;
+
+  World() {
+    NetworkGenConfig nc;
+    nc.num_nodes = 4000;
+    nc.seed = 1;
+    net = GenerateRoadNetwork(nc);
+    ObjectGenConfig oc;
+    oc.num_objects = 40000;
+    oc.vocab_size = 2000;
+    oc.keywords_per_object = 8;
+    oc.seed = 2;
+    objects = GenerateObjects(*net, oc);
+    pool = std::make_unique<BufferPool>(&disk, 1u << 16);
+    ccam = CcamFileBuilder::Build(*net, &disk);
+    graph = std::make_unique<CcamGraph>(&ccam, pool.get());
+    index = std::make_unique<SifIndex>(pool.get(), *objects, 2000, 1);
+  }
+};
+
+World& TheWorld() {
+  static World* world = new World();
+  return *world;
+}
+
+void BM_ZOrderEncode(benchmark::State& state) {
+  Random rng(3);
+  std::vector<Point> points(1024);
+  for (auto& p : points) {
+    p = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZOrder::Encode(points[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ZOrderEncode);
+
+void BM_DijkstraFullNetwork(benchmark::State& state) {
+  World& w = TheWorld();
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DijkstraFromNode(*w.net, src));
+    src = (src + 97) % w.net->num_nodes();
+  }
+}
+BENCHMARK(BM_DijkstraFullNetwork);
+
+void BM_BoundedDijkstra(benchmark::State& state) {
+  World& w = TheWorld();
+  const double radius = static_cast<double>(state.range(0));
+  EdgeId e = 0;
+  for (auto _ : state) {
+    NetworkLocation loc{e, w.net->edge(e).length / 2.0};
+    benchmark::DoNotOptimize(BoundedDijkstraFromLocation(*w.net, loc, radius));
+    e = (e + 131) % w.net->num_edges();
+  }
+}
+BENCHMARK(BM_BoundedDijkstra)->Arg(500)->Arg(1500)->Arg(3000);
+
+void BM_CcamAdjacency(benchmark::State& state) {
+  World& w = TheWorld();
+  std::vector<AdjacentEdge> adj;
+  NodeId v = 0;
+  for (auto _ : state) {
+    w.graph->GetAdjacency(v, &adj);
+    benchmark::DoNotOptimize(adj.size());
+    v = (v + 61) % w.net->num_nodes();
+  }
+}
+BENCHMARK(BM_CcamAdjacency);
+
+void BM_BPlusTreeGet(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 1u << 14);
+  BPlusTree tree = BPlusTree::Create(&pool);
+  const uint64_t n = 100000;
+  for (uint64_t k = 0; k < n; ++k) {
+    tree.Insert(k * 7, k);
+  }
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(rng.Uniform(n) * 7));
+  }
+}
+BENCHMARK(BM_BPlusTreeGet);
+
+void BM_SignatureTest(benchmark::State& state) {
+  World& w = TheWorld();
+  const SignatureFile& sig = w.index->signature();
+  Random rng(5);
+  for (auto _ : state) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(w.net->num_edges()));
+    const TermId t = static_cast<TermId>(rng.Uniform(2000));
+    benchmark::DoNotOptimize(sig.Test(e, t));
+  }
+}
+BENCHMARK(BM_SignatureTest);
+
+void BM_LoadObjects(benchmark::State& state) {
+  World& w = TheWorld();
+  Random rng(6);
+  std::vector<LoadedObject> out;
+  const std::vector<TermId> terms = {0, 1, 5};
+  for (auto _ : state) {
+    const EdgeId e = static_cast<EdgeId>(rng.Uniform(w.net->num_edges()));
+    w.index->LoadObjects(e, terms, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LoadObjects);
+
+void BM_SkSearchQuery(benchmark::State& state) {
+  World& w = TheWorld();
+  TermStats stats(*w.objects, 2000);
+  WorkloadConfig wc;
+  wc.num_queries = 64;
+  wc.num_keywords = 3;
+  wc.seed = 7;
+  const Workload wl = GenerateWorkload(*w.objects, stats, wc);
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkloadQuery& wq = wl.queries[i++ % wl.queries.size()];
+    IncrementalSkSearch search(w.graph.get(), w.index.get(), wq.sk, wq.edge);
+    SkResult r;
+    size_t count = 0;
+    while (search.Next(&r)) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SkSearchQuery);
+
+void BM_CorePairUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(8);
+  std::vector<std::vector<double>> theta(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      theta[i][j] = theta[j][i] = rng.NextDouble();
+    }
+  }
+  const CorePairSet::ThetaById fn = [&theta](ObjectId a, ObjectId b) {
+    return theta[a][b];
+  };
+  // Greedy pairs over the first ten objects (Algorithm 1 reference).
+  auto greedy_init = [&theta]() {
+    std::vector<ScoredPair> pairs;
+    std::vector<ObjectId> remaining;
+    for (ObjectId id = 0; id < 10; ++id) remaining.push_back(id);
+    while (pairs.size() < 5) {
+      ScoredPair best;
+      bool found = false;
+      ObjectId bi = 0;
+      ObjectId bj = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        for (size_t j = i + 1; j < remaining.size(); ++j) {
+          const ScoredPair sp = ScoredPair::Make(
+              theta[remaining[i]][remaining[j]], remaining[i], remaining[j]);
+          if (!found || sp.Better(best)) {
+            found = true;
+            best = sp;
+            bi = remaining[i];
+            bj = remaining[j];
+          }
+        }
+      }
+      pairs.push_back(best);
+      std::erase(remaining, bi);
+      std::erase(remaining, bj);
+    }
+    return pairs;
+  };
+  for (auto _ : state) {
+    CorePairSet cp(5);
+    std::vector<ObjectId> seen;
+    for (ObjectId id = 0; id < 10; ++id) {
+      seen.push_back(id);
+    }
+    cp.Init(greedy_init());
+    for (ObjectId id = 10; id < n; ++id) {
+      seen.push_back(id);
+      cp.OnArrival(id, seen, fn);
+    }
+    benchmark::DoNotOptimize(cp.threshold().theta);
+  }
+}
+BENCHMARK(BM_CorePairUpdate)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace dsks
+
+BENCHMARK_MAIN();

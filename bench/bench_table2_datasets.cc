@@ -1,0 +1,42 @@
+// Reproduces Table 2: dataset statistics for the four (scaled) datasets.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+using namespace dsks;        // NOLINT
+using namespace dsks::bench; // NOLINT
+
+int main() {
+  PrintHeader("Table 2: Dataset Statistics", "Table 2 of the paper");
+  TablePrinter table({"property", "NA", "SF", "SYN", "TW"});
+
+  std::vector<std::string> objects_row = {"# objects"};
+  std::vector<std::string> vocab_row = {"vocabulary size"};
+  std::vector<std::string> kw_row = {"avg. # keywords"};
+  std::vector<std::string> nodes_row = {"# nodes"};
+  std::vector<std::string> edges_row = {"# edges"};
+  std::vector<std::string> build_row = {"build time (ms)"};
+
+  for (const DatasetConfig& preset : AllPresets()) {
+    Timer timer;
+    Database db(Scaled(preset));
+    const double avg_kw =
+        static_cast<double>(db.objects().TotalTermOccurrences()) /
+        static_cast<double>(db.objects().size());
+    objects_row.push_back(std::to_string(db.objects().size()));
+    vocab_row.push_back(std::to_string(db.config().objects.vocab_size));
+    kw_row.push_back(TablePrinter::Fmt(avg_kw, 1));
+    nodes_row.push_back(std::to_string(db.network().num_nodes()));
+    edges_row.push_back(std::to_string(db.network().num_edges()));
+    build_row.push_back(TablePrinter::Fmt(timer.ElapsedMillis(), 0));
+  }
+  table.AddRow(objects_row);
+  table.AddRow(vocab_row);
+  table.AddRow(kw_row);
+  table.AddRow(nodes_row);
+  table.AddRow(edges_row);
+  table.AddRow(build_row);
+  table.Print();
+  return 0;
+}

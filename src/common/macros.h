@@ -1,0 +1,30 @@
+#ifndef DSKS_COMMON_MACROS_H_
+#define DSKS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal-on-violation invariant checks. These guard programming errors
+/// (broken invariants, out-of-contract calls); recoverable conditions use
+/// dsks::Status instead. Enabled in all build types so that benchmarks run
+/// against the same checked code that tests exercise; the checks are cheap
+/// (a branch) relative to the I/O-bound workloads in this library.
+#define DSKS_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DSKS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define DSKS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DSKS_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // DSKS_COMMON_MACROS_H_

@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace dsks {
+
+std::string Status::ToString() const {
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NOT_FOUND";
+      break;
+    case Code::kInvalidArgument:
+      name = "INVALID_ARGUMENT";
+      break;
+    case Code::kCorruption:
+      name = "CORRUPTION";
+      break;
+    case Code::kResourceExhausted:
+      name = "RESOURCE_EXHAUSTED";
+      break;
+    case Code::kOutOfRange:
+      name = "OUT_OF_RANGE";
+      break;
+  }
+  std::string result(name);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace dsks

@@ -1,0 +1,34 @@
+#ifndef DSKS_COMMON_TIMER_H_
+#define DSKS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsks {
+
+/// Wall-clock stopwatch used by the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_COMMON_TIMER_H_

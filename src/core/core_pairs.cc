@@ -1,0 +1,101 @@
+#include "core/core_pairs.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+void CorePairSet::Init(std::vector<ScoredPair> pairs) {
+  DSKS_CHECK_MSG(pairs.size() <= num_pairs_, "too many initial pairs");
+  pairs_ = std::move(pairs);
+  for (size_t i = 1; i < pairs_.size(); ++i) {
+    DSKS_CHECK_MSG(pairs_[i - 1].Better(pairs_[i]),
+                   "initial pairs must be in selection order");
+  }
+}
+
+size_t CorePairSet::PairIndexOf(ObjectId id) const {
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i].a == id || pairs_[i].b == id) {
+      return i;
+    }
+  }
+  return pairs_.size();
+}
+
+bool CorePairSet::IsCore(ObjectId id) const {
+  return PairIndexOf(id) < pairs_.size();
+}
+
+std::vector<ObjectId> CorePairSet::CoreObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(pairs_.size() * 2);
+  for (const ScoredPair& p : pairs_) {
+    out.push_back(p.a);
+    out.push_back(p.b);
+  }
+  return out;
+}
+
+void CorePairSet::InsertSorted(const ScoredPair& sp) {
+  auto it = std::lower_bound(
+      pairs_.begin(), pairs_.end(), sp,
+      [](const ScoredPair& x, const ScoredPair& y) { return x.Better(y); });
+  pairs_.insert(it, sp);
+}
+
+void CorePairSet::OnArrival(ObjectId o, const std::vector<ObjectId>& actives,
+                            const ThetaById& theta) {
+  DSKS_CHECK_MSG(full(), "OnArrival before the first k objects initialized CP");
+  ObjectId cur = o;
+  // The while loop repeats at most k/2 times (§4.2 correctness argument);
+  // the +2 slack keeps the guard from ever firing on valid executions.
+  size_t guard = num_pairs_ + 2;
+  while (guard-- > 0) {
+    const ScoredPair theta_t = pairs_.back();
+    // φ(cur): actives with θ(cur, x) > θ_T that do not dominate cur; keep
+    // the best candidate pair under the total order.
+    bool found = false;
+    ScoredPair best;
+    ObjectId best_partner = kInvalidObjectId;
+    for (ObjectId x : actives) {
+      if (x == cur) {
+        continue;
+      }
+      const ScoredPair sp = ScoredPair::Make(theta(cur, x), cur, x);
+      if (!sp.Better(theta_t)) {
+        continue;
+      }
+      const size_t px = PairIndexOf(x);
+      if (px < pairs_.size() && pairs_[px].Better(sp)) {
+        continue;  // x dominates cur (Lemma 1): (cur, x) can never be core
+      }
+      if (!found || sp.Better(best)) {
+        found = true;
+        best = sp;
+        best_partner = x;
+      }
+    }
+    if (!found) {
+      return;  // case i: cur contributes nothing
+    }
+    const size_t partner_pair = PairIndexOf(best_partner);
+    if (partner_pair == pairs_.size()) {
+      // Case ii: partner is not a core object. The new pair displaces the
+      // current ⌊k/2⌋-th pair.
+      pairs_.pop_back();
+      InsertSorted(best);
+      return;
+    }
+    // Case iii: partner is core; (cur, partner) replaces its pair and the
+    // displaced member re-enters as the arriving object.
+    const ScoredPair old = pairs_[partner_pair];
+    pairs_.erase(pairs_.begin() + static_cast<ptrdiff_t>(partner_pair));
+    InsertSorted(best);
+    cur = old.a == best_partner ? old.b : old.a;
+  }
+  DSKS_CHECK_MSG(false, "Algorithm 5 failed to converge");
+}
+
+}  // namespace dsks

@@ -1,0 +1,63 @@
+#ifndef DSKS_CORE_CORE_PAIRS_H_
+#define DSKS_CORE_CORE_PAIRS_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/diversify.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+/// Incrementally maintained core pairs CP and diversification-distance
+/// threshold θ_T (§4.2, Algorithm 5).
+///
+/// After initialization with the greedy pairs of the first k objects, each
+/// OnArrival call updates CP in O(n · k) so that it always equals the set
+/// of pairs Algorithm 1 would select from scratch over all objects seen so
+/// far — the invariant the property tests check. θ_T (the distance of the
+/// ⌊k/2⌋-th pair) grows monotonically (Theorem 1), which is what makes the
+/// diversity pruning of Algorithm 6 safe.
+class CorePairSet {
+ public:
+  using ThetaById = std::function<double(ObjectId, ObjectId)>;
+
+  explicit CorePairSet(size_t num_pairs) : num_pairs_(num_pairs) {}
+
+  /// Installs the greedy pairs computed on the first k objects. `pairs`
+  /// must be in selection (Better-first) order.
+  void Init(std::vector<ScoredPair> pairs);
+
+  /// Algorithm 5. `o` is the arriving object; `actives` are the ids of all
+  /// non-pruned objects seen so far (excluding `o` is not required — it is
+  /// skipped); `theta` evaluates diversification distances.
+  void OnArrival(ObjectId o, const std::vector<ObjectId>& actives,
+                 const ThetaById& theta);
+
+  /// Current core pairs, Better-first; θ_T is pairs().back().
+  const std::vector<ScoredPair>& pairs() const { return pairs_; }
+
+  /// θ_T as a ScoredPair (for total-order comparisons) — requires full().
+  const ScoredPair& threshold() const { return pairs_.back(); }
+
+  bool full() const { return pairs_.size() == num_pairs_; }
+  size_t num_pairs() const { return num_pairs_; }
+
+  bool IsCore(ObjectId id) const;
+
+  /// The 2·⌊k/2⌋ core objects, in pair order.
+  std::vector<ObjectId> CoreObjects() const;
+
+ private:
+  /// Index of the pair containing `id`, or pairs_.size().
+  size_t PairIndexOf(ObjectId id) const;
+
+  void InsertSorted(const ScoredPair& sp);
+
+  size_t num_pairs_;
+  std::vector<ScoredPair> pairs_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_CORE_CORE_PAIRS_H_

@@ -1,0 +1,84 @@
+#include "core/distance_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+const PairwiseDistanceOracle::Field& PairwiseDistanceOracle::FieldOf(
+    const SkResult& a) {
+  auto it = fields_.find(a.id);
+  if (it != fields_.end()) {
+    return it->second;
+  }
+  ++fields_computed_;
+  Field field;
+
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  std::unordered_map<NodeId, double> tentative;
+  auto relax = [&](NodeId v, double d) {
+    if (d > radius_) {
+      return;
+    }
+    auto t = tentative.find(v);
+    if (t == tentative.end() || d < t->second) {
+      tentative[v] = d;
+      heap.emplace(d, v);
+    }
+  };
+  relax(a.n1, a.w1);
+  relax(a.n2, a.edge_weight - a.w1);
+
+  std::vector<AdjacentEdge> adjacency;
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (field.dist.count(v) != 0) {
+      continue;
+    }
+    field.dist.emplace(v, d);
+    graph_->GetAdjacency(v, &adjacency);
+    for (const AdjacentEdge& adj : adjacency) {
+      if (field.dist.count(adj.neighbor) == 0) {
+        relax(adj.neighbor, d + adj.weight);
+      }
+    }
+  }
+  return fields_.emplace(a.id, std::move(field)).first->second;
+}
+
+void PairwiseDistanceOracle::EnsureField(const SkResult& a) { FieldOf(a); }
+
+double PairwiseDistanceOracle::Distance(const SkResult& a_in,
+                                        const SkResult& b_in) {
+  if (a_in.id == b_in.id) {
+    return 0.0;
+  }
+  // Evaluate from the smaller-id object's field so that δ(a,b) is
+  // bit-identical to δ(b,a): the two directions sum the same edge weights
+  // in different orders and can disagree in the last ulp, which would let
+  // near-tied greedy choices diverge between SEQ and COM.
+  const bool swap = a_in.id > b_in.id;
+  const SkResult& a = swap ? b_in : a_in;
+  const SkResult& b = swap ? a_in : b_in;
+  const Field& field = FieldOf(a);
+  double best = radius_;
+  if (auto it = field.dist.find(b.n1); it != field.dist.end()) {
+    best = std::min(best, it->second + b.w1);
+  }
+  if (auto it = field.dist.find(b.n2); it != field.dist.end()) {
+    best = std::min(best, it->second + (b.edge_weight - b.w1));
+  }
+  if (a.edge == b.edge) {
+    best = std::min(best, std::abs(a.w1 - b.w1));
+  }
+  return best;
+}
+
+}  // namespace dsks

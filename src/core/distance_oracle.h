@@ -1,0 +1,61 @@
+#ifndef DSKS_CORE_DISTANCE_ORACLE_H_
+#define DSKS_CORE_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/query.h"
+#include "graph/ccam.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+/// Computes pairwise network distances between SK results, the expensive
+/// ingredient of the diversification objective ("the pairwise network
+/// distance computation on road networks is cost expensive", §1).
+///
+/// For each object the oracle runs one bounded Dijkstra over the CCAM file
+/// (radius = 2·δmax, which is an upper bound on the distance between any
+/// two objects in the query range) and caches the resulting distance
+/// field; a pairwise distance is then two hash lookups plus Equation 1.
+/// The traversal I/O is charged to the buffer pool like any other access.
+class PairwiseDistanceOracle {
+ public:
+  /// `radius` bounds each per-object expansion; pass 2·δmax.
+  PairwiseDistanceOracle(const CcamGraph* graph, double radius)
+      : graph_(graph), radius_(radius) {}
+
+  PairwiseDistanceOracle(const PairwiseDistanceOracle&) = delete;
+  PairwiseDistanceOracle& operator=(const PairwiseDistanceOracle&) = delete;
+
+  /// δ(a, b), exact whenever it does not exceed the radius; otherwise the
+  /// radius itself is returned (the largest value the objective can see).
+  double Distance(const SkResult& a, const SkResult& b);
+
+  /// Computes (or re-uses) the distance field of `a`. Distance() calls it
+  /// implicitly; COM calls it on arrival so the cost lands on the arriving
+  /// object.
+  void EnsureField(const SkResult& a);
+
+  /// Frees the field of a pruned object.
+  void DropField(ObjectId id) { fields_.erase(id); }
+
+  uint64_t fields_computed() const { return fields_computed_; }
+  size_t cached_fields() const { return fields_.size(); }
+
+ private:
+  struct Field {
+    std::unordered_map<NodeId, double> dist;
+  };
+
+  const Field& FieldOf(const SkResult& a);
+
+  const CcamGraph* graph_;
+  double radius_;
+  std::unordered_map<ObjectId, Field> fields_;
+  uint64_t fields_computed_ = 0;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_CORE_DISTANCE_ORACLE_H_

@@ -1,0 +1,219 @@
+#include "core/div_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "core/core_pairs.h"
+#include "core/diversify.h"
+
+namespace dsks {
+
+namespace {
+
+ThetaFn MakeThetaFn(const Objective* objective,
+                    PairwiseDistanceOracle* oracle) {
+  return [objective, oracle](const SkResult& a, const SkResult& b) {
+    return objective->Theta(a.dist, b.dist, oracle->Distance(a, b));
+  };
+}
+
+/// Deterministic stand-in for Algorithm 1's "arbitrary" odd-k filler: the
+/// closest unselected candidate.
+void AddOddExtra(const std::vector<SkResult>& pool,
+                 std::vector<SkResult>* selected) {
+  const SkResult* best = nullptr;
+  for (const SkResult& r : pool) {
+    const bool taken =
+        std::any_of(selected->begin(), selected->end(),
+                    [&r](const SkResult& s) { return s.id == r.id; });
+    if (taken) {
+      continue;
+    }
+    if (best == nullptr || r.dist < best->dist ||
+        (r.dist == best->dist && r.id < best->id)) {
+      best = &r;
+    }
+  }
+  if (best != nullptr) {
+    selected->push_back(*best);
+  }
+}
+
+}  // namespace
+
+double EvaluateObjective(const Objective& objective,
+                         PairwiseDistanceOracle* oracle,
+                         const std::vector<SkResult>& selected) {
+  const size_t k = selected.size();
+  if (k < 2) {
+    return 0.0;
+  }
+  std::vector<double> dq;
+  dq.reserve(k);
+  std::vector<double> pw(k * k, 0.0);
+  for (size_t u = 0; u < k; ++u) {
+    dq.push_back(selected[u].dist);
+    for (size_t v = 0; v < k; ++v) {
+      if (u != v) {
+        pw[u * k + v] = oracle->Distance(selected[u], selected[v]);
+      }
+    }
+  }
+  return objective.ObjectiveValue(dq, pw);
+}
+
+DivSearchOutput DiversifiedSearchSEQ(IncrementalSkSearch* search,
+                                     const DivQuery& query,
+                                     PairwiseDistanceOracle* oracle) {
+  const Objective objective(query.lambda, query.sk.delta_max);
+  const ThetaFn theta = MakeThetaFn(&objective, oracle);
+
+  DivSearchOutput out;
+  std::vector<SkResult> candidates;
+  SkResult res;
+  while (search->Next(&res)) {
+    candidates.push_back(res);
+  }
+  out.stats.candidates = candidates.size();
+
+  GreedyDivResult greedy = GreedyDiversify(candidates, query.k, theta);
+  out.selected = std::move(greedy.selected);
+  out.objective = EvaluateObjective(objective, oracle, out.selected);
+  out.stats.distance_fields = oracle->fields_computed();
+  return out;
+}
+
+DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
+                                     const DivQuery& query,
+                                     PairwiseDistanceOracle* oracle) {
+  const Objective objective(query.lambda, query.sk.delta_max);
+  const ThetaFn theta = MakeThetaFn(&objective, oracle);
+  DivSearchOutput out;
+
+  // Phase 1: the first k arrivals initialize CP and θ_T with the plain
+  // greedy (Algorithm 6 line 1).
+  std::vector<SkResult> first;
+  SkResult res;
+  while (first.size() < query.k && search->Next(&res)) {
+    oracle->EnsureField(res);
+    first.push_back(res);
+  }
+  out.stats.candidates = first.size();
+  if (query.k < 2 && !first.empty()) {
+    // k = 1 has no pairs to maintain; the closest object is the answer.
+    search->Terminate();
+    out.selected = {first[0]};
+    out.stats.early_terminated = true;
+    out.stats.distance_fields = oracle->fields_computed();
+    return out;
+  }
+  if (first.size() < query.k) {
+    // Fewer candidates than requested: everything is the answer.
+    out.selected = first;
+    out.objective = EvaluateObjective(objective, oracle, out.selected);
+    out.stats.distance_fields = oracle->fields_computed();
+    return out;
+  }
+
+  std::unordered_map<ObjectId, SkResult> actives;
+  std::vector<ObjectId> active_ids;
+  std::unordered_map<ObjectId, double> max_pair_theta;
+  for (const SkResult& r : first) {
+    actives.emplace(r.id, r);
+    active_ids.push_back(r.id);
+    max_pair_theta.emplace(r.id, 0.0);
+  }
+  for (size_t i = 0; i < first.size(); ++i) {
+    for (size_t j = i + 1; j < first.size(); ++j) {
+      const double th = theta(first[i], first[j]);
+      max_pair_theta[first[i].id] = std::max(max_pair_theta[first[i].id], th);
+      max_pair_theta[first[j].id] = std::max(max_pair_theta[first[j].id], th);
+    }
+  }
+
+  CorePairSet cp(query.k / 2);
+  {
+    GreedyDivResult greedy = GreedyDiversify(first, query.k, theta);
+    cp.Init(std::move(greedy.pairs));
+  }
+
+  const CorePairSet::ThetaById theta_by_id = [&](ObjectId x, ObjectId y) {
+    auto ix = actives.find(x);
+    auto iy = actives.find(y);
+    DSKS_CHECK(ix != actives.end() && iy != actives.end());
+    return theta(ix->second, iy->second);
+  };
+
+  // Phase 2: incremental consumption with diversity pruning.
+  while (cp.full() && search->Next(&res)) {
+    ++out.stats.candidates;
+    oracle->EnsureField(res);
+    for (ObjectId id : active_ids) {
+      const double th = theta(res, actives.at(id));
+      auto& mx = max_pair_theta[id];
+      mx = std::max(mx, th);
+      auto& mo = max_pair_theta[res.id];
+      mo = std::max(mo, th);
+    }
+    actives.emplace(res.id, res);
+    active_ids.push_back(res.id);
+
+    cp.OnArrival(res.id, active_ids, theta_by_id);
+
+    const double gamma = res.dist;
+    const double theta_t = cp.threshold().theta;
+    if (objective.ThetaUpperBoundUnseenPair(gamma) >= theta_t) {
+      continue;  // unseen pairs can still beat θ_T
+    }
+    bool can_terminate = true;
+    std::vector<ObjectId> removals;
+    for (ObjectId id : active_ids) {
+      const SkResult& oi = actives.at(id);
+      const double ub = objective.ThetaUpperBoundSeenUnseen(oi.dist, gamma);
+      if (ub >= theta_t) {
+        can_terminate = false;  // oi may pair with an unseen object
+        break;
+      }
+      if (!cp.IsCore(id) && max_pair_theta.at(id) < theta_t) {
+        removals.push_back(id);  // oi can never become core again
+      }
+    }
+    if (can_terminate) {
+      search->Terminate();
+      out.stats.early_terminated = true;
+      break;
+    }
+    for (ObjectId id : removals) {
+      actives.erase(id);
+      max_pair_theta.erase(id);
+      oracle->DropField(id);
+      active_ids.erase(
+          std::find(active_ids.begin(), active_ids.end(), id));
+      ++out.stats.pruned_objects;
+    }
+  }
+
+  // Assemble the answer: the core objects, plus the closest non-core
+  // active when k is odd.
+  for (ObjectId id : cp.CoreObjects()) {
+    out.selected.push_back(actives.at(id));
+  }
+  if (query.k % 2 == 1) {
+    std::vector<SkResult> pool;
+    pool.reserve(actives.size());
+    for (const auto& [id, r] : actives) {
+      pool.push_back(r);
+    }
+    std::sort(pool.begin(), pool.end(), [](const SkResult& a,
+                                           const SkResult& b) {
+      return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+    });
+    AddOddExtra(pool, &out.selected);
+  }
+  out.objective = EvaluateObjective(objective, oracle, out.selected);
+  out.stats.distance_fields = oracle->fields_computed();
+  return out;
+}
+
+}  // namespace dsks

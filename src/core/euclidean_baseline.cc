@@ -1,0 +1,103 @@
+#include "core/euclidean_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
+                                            const RoadNetwork& net,
+                                            InvertedRTreeIndex* index,
+                                            const SkQuery& query,
+                                            const QueryEdgeInfo& query_edge,
+                                            EuclideanBaselineStats* stats) {
+  EuclideanBaselineStats local;
+
+  // Filter: Euclidean circle around the query point.
+  const Point q_point = net.PointOnEdge(
+      query.loc.edge,
+      query.loc.offset);
+  std::vector<ObjectId> candidates;
+  index->EuclideanCandidates(q_point, query.delta_max, query.terms,
+                             &candidates);
+  local.euclidean_candidates = candidates.size();
+
+  std::vector<SkResult> results;
+  if (!candidates.empty()) {
+    // Refine: one bounded Dijkstra from the query over the CCAM file.
+    std::unordered_map<NodeId, double> dist;
+    std::unordered_map<NodeId, double> tentative;
+    using HeapEntry = std::pair<double, NodeId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+        heap;
+    auto relax = [&](NodeId v, double d) {
+      if (d > query.delta_max) {
+        return;
+      }
+      auto it = tentative.find(v);
+      if (it == tentative.end() || d < it->second) {
+        tentative[v] = d;
+        heap.emplace(d, v);
+      }
+    };
+    relax(query_edge.n1, query_edge.w1);
+    relax(query_edge.n2, query_edge.weight - query_edge.w1);
+    std::vector<AdjacentEdge> adjacency;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (dist.count(v) != 0) {
+        continue;
+      }
+      dist.emplace(v, d);
+      ++local.nodes_settled;
+      graph->GetAdjacency(v, &adjacency);
+      for (const AdjacentEdge& adj : adjacency) {
+        if (dist.count(adj.neighbor) == 0) {
+          relax(adj.neighbor, d + adj.weight);
+        }
+      }
+    }
+
+    for (ObjectId id : candidates) {
+      const ObjectFile::Record rec = index->GetRecord(id);  // I/O
+      const Edge& e = net.edge(rec.edge);
+      double best = kInfDistance;
+      if (auto it = dist.find(e.n1); it != dist.end()) {
+        best = std::min(best, it->second + rec.w1);
+      }
+      if (auto it = dist.find(e.n2); it != dist.end()) {
+        best = std::min(best, it->second + (e.weight - rec.w1));
+      }
+      if (rec.edge == query.loc.edge) {
+        best = std::min(best, std::abs(rec.w1 - query_edge.w1));
+      }
+      if (best <= query.delta_max) {
+        SkResult r;
+        r.id = id;
+        r.edge = rec.edge;
+        r.n1 = e.n1;
+        r.n2 = e.n2;
+        r.w1 = rec.w1;
+        r.edge_weight = e.weight;
+        r.dist = best;
+        results.push_back(r);
+        ++local.verified;
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SkResult& a, const SkResult& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+            });
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return results;
+}
+
+}  // namespace dsks

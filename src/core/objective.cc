@@ -1,0 +1,20 @@
+#include "core/objective.h"
+
+namespace dsks {
+
+double Objective::ObjectiveValue(std::span<const double> dist_q,
+                                 std::span<const double> pairwise) const {
+  const size_t k = dist_q.size();
+  DSKS_CHECK_MSG(k >= 2, "objective needs at least two objects");
+  DSKS_CHECK(pairwise.size() == k * k);
+  double total = 0.0;
+  for (size_t u = 0; u < k; ++u) {
+    for (size_t v = 0; v < k; ++v) {
+      if (u == v) continue;
+      total += Theta(dist_q[u], dist_q[v], pairwise[u * k + v]);
+    }
+  }
+  return total / (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+}  // namespace dsks

@@ -1,0 +1,77 @@
+#ifndef DSKS_CORE_OBJECTIVE_H_
+#define DSKS_CORE_OBJECTIVE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+/// The bi-criteria max-sum diversification objective of §2.1/§2.3.
+///
+/// With rel(u) = 1 - δ(q,u)/δmax and div(u,v) = δ(u,v)/(2·δmax), the
+/// pairwise diversification distance is
+///     θ(u,v) = λ·(rel(u) + rel(v))/2 + (1-λ)·div(u,v)
+/// and the objective is the average pairwise θ over the result set,
+///     f(S) = (1/(k(k-1))) Σ_{u≠v} θ(u,v)
+///          = (λ/k) Σ_u rel(u) + ((1-λ)/(k(k-1))) Σ_{u≠v} div(u,v),
+/// i.e. average relevance traded against average pairwise diversity with
+/// weight λ (larger λ favors closeness, §5.2).
+class Objective {
+ public:
+  Objective(double lambda, double delta_max)
+      : lambda_(lambda), delta_max_(delta_max) {
+    DSKS_CHECK_MSG(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0,1]");
+    DSKS_CHECK_MSG(delta_max > 0.0, "delta_max must be positive");
+  }
+
+  double lambda() const { return lambda_; }
+  double delta_max() const { return delta_max_; }
+
+  /// Relevance of an object at network distance `dist_q` from the query.
+  double Relevance(double dist_q) const { return 1.0 - dist_q / delta_max_; }
+
+  /// Diversity contribution of a pair at network distance `dist_uv`.
+  double Diversity(double dist_uv) const {
+    return dist_uv / (2.0 * delta_max_);
+  }
+
+  /// θ(u, v) from the two query distances and the pairwise distance.
+  double Theta(double dist_qu, double dist_qv, double dist_uv) const {
+    return lambda_ * (Relevance(dist_qu) + Relevance(dist_qv)) / 2.0 +
+           (1.0 - lambda_) * Diversity(dist_uv);
+  }
+
+  /// Upper bound on θ between two *unseen* objects when every unseen
+  /// object is at distance >= gamma from the query (Fig. 5): both
+  /// relevances are at most 1 - γ/δmax and their pairwise distance is at
+  /// most 2·δmax.
+  double ThetaUpperBoundUnseenPair(double gamma) const {
+    return lambda_ * Relevance(gamma) + (1.0 - lambda_);
+  }
+
+  /// Upper bound on θ between a *seen* object at distance `dist_qo` and
+  /// any unseen object (distance >= gamma): the unseen side's relevance is
+  /// at most 1 - γ/δmax and δ(o, unseen) <= min(δ(q,o) + δmax, 2·δmax).
+  double ThetaUpperBoundSeenUnseen(double dist_qo, double gamma) const {
+    const double max_pair_dist =
+        std::min(dist_qo + delta_max_, 2.0 * delta_max_);
+    return lambda_ * (Relevance(dist_qo) + Relevance(gamma)) / 2.0 +
+           (1.0 - lambda_) * Diversity(max_pair_dist);
+  }
+
+  /// f(S) from the per-object query distances and the pairwise distance
+  /// matrix (row-major k*k, only u != v entries read). k >= 2.
+  double ObjectiveValue(std::span<const double> dist_q,
+                        std::span<const double> pairwise) const;
+
+ private:
+  double lambda_;
+  double delta_max_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_CORE_OBJECTIVE_H_

@@ -1,0 +1,195 @@
+#include "core/ranked_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+std::vector<SkResult> BooleanKnnSearch(const CcamGraph* graph,
+                                       ObjectIndex* index,
+                                       const SkQuery& query,
+                                       const QueryEdgeInfo& query_edge,
+                                       size_t k) {
+  IncrementalSkSearch search(graph, index, query, query_edge);
+  std::vector<SkResult> out;
+  SkResult r;
+  while (out.size() < k && search.Next(&r)) {
+    out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+
+using HeapEntry = std::pair<double, uint32_t>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+struct PendingObject {
+  double best = kInfDistance;
+  uint32_t matched = 0;
+  bool scored = false;
+};
+
+}  // namespace
+
+std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
+                                         ObjectIndex* index,
+                                         const RankedQuery& query,
+                                         const QueryEdgeInfo& query_edge,
+                                         RankedSearchStats* stats) {
+  const double delta_max = query.sk.delta_max;
+  const double alpha = query.alpha;
+  const auto num_terms = static_cast<double>(query.sk.terms.size());
+  DSKS_CHECK_MSG(!query.sk.terms.empty(), "ranked query needs keywords");
+  DSKS_CHECK_MSG(query.k > 0, "ranked query needs k > 0");
+
+  RankedSearchStats local_stats;
+  std::unordered_map<NodeId, double> tentative;
+  std::unordered_map<NodeId, double> settled;
+  std::unordered_map<EdgeId, std::vector<ObjectIndex::LoadedObjectUnion>>
+      loaded;
+  std::unordered_map<ObjectId, PendingObject> pending;
+  MinHeap node_heap;
+  MinHeap object_heap;  // keyed by best-known network distance
+
+  // Top-k kept as a max-heap over scores (worst on top).
+  auto better = [](const RankedResult& a, const RankedResult& b) {
+    return a.score != b.score ? a.score < b.score : a.id < b.id;
+  };
+  std::vector<RankedResult> topk;  // heap via std::push_heap with `better`
+
+  auto relax = [&](NodeId v, double d) {
+    if (d > delta_max || settled.count(v) != 0) {
+      return;
+    }
+    auto it = tentative.find(v);
+    if (it == tentative.end() || d < it->second) {
+      tentative[v] = d;
+      node_heap.emplace(d, v);
+    }
+  };
+  auto update_object = [&](const ObjectIndex::LoadedObjectUnion& o,
+                           double dist) {
+    PendingObject& po = pending[o.id];
+    po.matched = o.matched;
+    if (dist < po.best) {
+      DSKS_CHECK(!po.scored);
+      po.best = dist;
+      object_heap.emplace(dist, o.id);
+    }
+  };
+  auto score_object = [&](ObjectId id, const PendingObject& po) {
+    if (po.best > delta_max) {
+      return;
+    }
+    ++local_stats.objects_scored;
+    RankedResult r;
+    r.id = id;
+    r.dist = po.best;
+    r.matched = po.matched;
+    r.score = alpha * (po.best / delta_max) +
+              (1.0 - alpha) *
+                  (1.0 - static_cast<double>(po.matched) / num_terms);
+    if (topk.size() < query.k) {
+      topk.push_back(r);
+      std::push_heap(topk.begin(), topk.end(), better);
+    } else if (better(r, topk.front())) {
+      std::pop_heap(topk.begin(), topk.end(), better);
+      topk.back() = r;
+      std::push_heap(topk.begin(), topk.end(), better);
+    }
+  };
+  auto process_edge = [&](EdgeId e, double w, NodeId v, NodeId nb, double d) {
+    auto it = loaded.find(e);
+    if (it == loaded.end()) {
+      it = loaded.emplace(e, std::vector<ObjectIndex::LoadedObjectUnion>())
+               .first;
+      index->LoadObjectsUnion(e, query.sk.terms, &it->second);
+    }
+    const bool v_is_n1 = v < nb;
+    for (const auto& o : it->second) {
+      update_object(o, d + (v_is_n1 ? o.w1 : w - o.w1));
+    }
+  };
+
+  // Seed from the query edge.
+  relax(query_edge.n1, query_edge.w1);
+  relax(query_edge.n2, query_edge.weight - query_edge.w1);
+  {
+    auto& objs = loaded[query_edge.edge];
+    index->LoadObjectsUnion(query_edge.edge, query.sk.terms, &objs);
+    for (const auto& o : objs) {
+      update_object(o, std::abs(o.w1 - query_edge.w1));
+    }
+  }
+
+  auto flush_objects = [&](double delta_t) {
+    while (!object_heap.empty()) {
+      const auto [d, id] = object_heap.top();
+      if (d > delta_t) {
+        break;
+      }
+      object_heap.pop();
+      PendingObject& po = pending[id];
+      if (po.scored || d != po.best) {
+        continue;
+      }
+      po.scored = true;
+      score_object(id, po);
+    }
+  };
+
+  while (true) {
+    // Fresh node frontier (δT).
+    double delta_t = kInfDistance;
+    while (!node_heap.empty()) {
+      const auto& [d, v] = node_heap.top();
+      if (settled.count(v) != 0 || tentative[v] != d) {
+        node_heap.pop();
+        continue;
+      }
+      delta_t = d;
+      break;
+    }
+    flush_objects(delta_t);
+
+    // Threshold termination: no unfinalized object can have distance
+    // below δT, hence no score below α·δT/δmax.
+    if (topk.size() == query.k &&
+        alpha * (delta_t / delta_max) > topk.front().score) {
+      local_stats.early_terminated = true;
+      break;
+    }
+    if (delta_t == kInfDistance) {
+      break;  // expansion exhausted; all objects flushed
+    }
+
+    const NodeId v = node_heap.top().second;
+    const double d = node_heap.top().first;
+    node_heap.pop();
+    settled.emplace(v, d);
+    ++local_stats.nodes_settled;
+    std::vector<AdjacentEdge> adjacency;
+    graph->GetAdjacency(v, &adjacency);
+    for (const AdjacentEdge& adj : adjacency) {
+      if (settled.count(adj.neighbor) == 0) {
+        relax(adj.neighbor, d + adj.weight);
+      }
+      process_edge(adj.edge, adj.weight, v, adj.neighbor, d);
+    }
+  }
+
+  std::sort(topk.begin(), topk.end(), better);
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return topk;
+}
+
+}  // namespace dsks

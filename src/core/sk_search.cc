@@ -1,0 +1,180 @@
+#include "core/sk_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
+                                         ObjectIndex* index,
+                                         const SkQuery& query,
+                                         const QueryEdgeInfo& query_edge)
+    : graph_(graph),
+      index_(index),
+      delta_max_(query.delta_max),
+      terms_(query.terms) {
+  DSKS_CHECK_MSG(!terms_.empty(), "SK query needs at least one keyword");
+  DSKS_CHECK_MSG(delta_max_ > 0.0, "delta_max must be positive");
+  DSKS_CHECK(std::is_sorted(terms_.begin(), terms_.end()));
+  DSKS_CHECK_MSG(query_edge.n1 < query_edge.n2,
+                 "query edge endpoints must be (reference, far) ordered");
+
+  // Seed Dijkstra with the two endpoints of the query's edge.
+  RelaxNode(query_edge.n1, query_edge.w1);
+  RelaxNode(query_edge.n2, query_edge.weight - query_edge.w1);
+
+  // Objects on the query's own edge are reachable directly along the edge
+  // (δ(q,p) = w(q,p) when both lie on the same edge, §2.1); paths through
+  // the endpoints are applied when those endpoints settle.
+  index_->LoadObjects(query_edge.edge, terms_, &load_scratch_);
+  LoadedEdge& le = loaded_edges_[query_edge.edge];
+  le.weight = query_edge.weight;
+  le.objects = load_scratch_;
+  for (const LoadedObject& o : le.objects) {
+    UpdateObject(o, query_edge.edge, query_edge.n1, query_edge.n2,
+                 query_edge.weight, std::abs(o.w1 - query_edge.w1));
+  }
+}
+
+void IncrementalSkSearch::RelaxNode(NodeId v, double dist) {
+  if (dist > delta_max_ || settled_.count(v) != 0) {
+    return;
+  }
+  auto it = tentative_.find(v);
+  if (it == tentative_.end() || dist < it->second) {
+    tentative_[v] = dist;
+    node_heap_.emplace(dist, v);
+  }
+}
+
+void IncrementalSkSearch::UpdateObject(const LoadedObject& o, EdgeId e,
+                                       NodeId n1, NodeId n2, double w,
+                                       double dist) {
+  auto [it, inserted] = object_state_.try_emplace(o.id);
+  ObjectState& st = it->second;
+  if (inserted) {
+    st.best = dist;
+    st.edge = e;
+    st.n1 = n1;
+    st.n2 = n2;
+    st.w1 = o.w1;
+    st.edge_weight = w;
+    object_heap_.emplace(dist, o.id);
+    return;
+  }
+  if (dist < st.best) {
+    DSKS_CHECK_MSG(!st.emitted, "emitted object distance improved");
+    st.best = dist;
+    object_heap_.emplace(dist, o.id);
+  }
+}
+
+void IncrementalSkSearch::ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb,
+                                      double d) {
+  auto it = loaded_edges_.find(e);
+  if (it == loaded_edges_.end()) {
+    ++stats_.edges_processed;
+    index_->LoadObjects(e, terms_, &load_scratch_);
+    it = loaded_edges_.emplace(e, LoadedEdge{w, load_scratch_}).first;
+  }
+  // v was just settled at distance d; the cost from v to an object at
+  // offset w1 (from the reference node n1 = min endpoint id) is w1 if v is
+  // n1, else w - w1.
+  const bool v_is_n1 = v < nb;
+  const NodeId n1 = std::min(v, nb);
+  const NodeId n2 = std::max(v, nb);
+  for (const LoadedObject& o : it->second.objects) {
+    const double via_v = d + (v_is_n1 ? o.w1 : w - o.w1);
+    UpdateObject(o, e, n1, n2, w, via_v);
+  }
+}
+
+double IncrementalSkSearch::NodeLowerBound() {
+  while (!node_heap_.empty()) {
+    const auto& [d, v] = node_heap_.top();
+    if (settled_.count(v) != 0) {
+      node_heap_.pop();
+      continue;
+    }
+    auto it = tentative_.find(v);
+    if (it == tentative_.end() || it->second != d) {
+      node_heap_.pop();  // superseded entry
+      continue;
+    }
+    if (d > delta_max_) {
+      expansion_done_ = true;
+      return kInfDistance;
+    }
+    return d;
+  }
+  expansion_done_ = true;
+  return kInfDistance;
+}
+
+bool IncrementalSkSearch::ExpandOneNode() {
+  const double d = NodeLowerBound();
+  if (expansion_done_) {
+    return false;
+  }
+  const NodeId v = node_heap_.top().second;
+  node_heap_.pop();
+  settled_.emplace(v, d);
+  ++stats_.nodes_settled;
+
+  graph_->GetAdjacency(v, &adjacency_scratch_);
+  for (const AdjacentEdge& adj : adjacency_scratch_) {
+    if (settled_.count(adj.neighbor) == 0) {
+      RelaxNode(adj.neighbor, d + adj.weight);
+    }
+    ProcessEdge(adj.edge, adj.weight, v, adj.neighbor, d);
+  }
+  return true;
+}
+
+bool IncrementalSkSearch::Next(SkResult* out) {
+  if (terminated_) {
+    return false;
+  }
+  while (true) {
+    const double delta_t =
+        expansion_done_ ? kInfDistance : NodeLowerBound();
+
+    // Emit the closest finalized object, if any.
+    while (!object_heap_.empty()) {
+      const auto [d, id] = object_heap_.top();
+      ObjectState& st = object_state_[id];
+      if (st.emitted || d != st.best) {
+        object_heap_.pop();  // stale or duplicate entry
+        continue;
+      }
+      if (d > delta_t) {
+        break;  // might still improve through an unsettled node
+      }
+      object_heap_.pop();
+      st.emitted = true;
+      if (d > delta_max_) {
+        continue;  // final but outside the search range
+      }
+      ++stats_.objects_emitted;
+      out->id = id;
+      out->edge = st.edge;
+      out->n1 = st.n1;
+      out->n2 = st.n2;
+      out->w1 = st.w1;
+      out->edge_weight = st.edge_weight;
+      out->dist = d;
+      return true;
+    }
+
+    if (expansion_done_) {
+      return false;  // nothing settleable left and all objects flushed
+    }
+    if (!ExpandOneNode()) {
+      continue;  // expansion just finished; flush remaining objects
+    }
+  }
+}
+
+}  // namespace dsks

@@ -1,0 +1,127 @@
+#ifndef DSKS_CORE_SK_SEARCH_H_
+#define DSKS_CORE_SK_SEARCH_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/ccam.h"
+#include "graph/types.h"
+#include "index/object_index.h"
+
+namespace dsks {
+
+/// Where the query point sits on the network: the endpoints and weight of
+/// its edge plus the cost from the reference node n1 to the query point.
+/// Clients know the query's edge (e.g. by snapping through the network
+/// R-tree), so this is cheap to provide.
+struct QueryEdgeInfo {
+  NodeId n1 = kInvalidNodeId;
+  NodeId n2 = kInvalidNodeId;
+  EdgeId edge = kInvalidEdgeId;
+  double weight = 0.0;
+  /// w(n1, q).
+  double w1 = 0.0;
+};
+
+/// Algorithm 3: incremental network expansion (INE) integrated with
+/// Dijkstra's algorithm, pulling spatio-textual objects from an
+/// ObjectIndex in non-decreasing order of network distance from the query.
+///
+/// The search is pull-based: each Next() call returns the next closest
+/// object satisfying the keyword constraint within δmax, expanding the
+/// network only as far as needed. This is what lets the diversified search
+/// (Algorithm 6) terminate the expansion early once its pruning bound
+/// fires.
+///
+/// All graph traversal goes through the CCAM file and all object loading
+/// through the index, so every page touched is accounted in the buffer
+/// pool / disk statistics.
+class IncrementalSkSearch {
+ public:
+  struct Stats {
+    uint64_t nodes_settled = 0;
+    uint64_t edges_processed = 0;
+    uint64_t objects_emitted = 0;
+  };
+
+  IncrementalSkSearch(const CcamGraph* graph, ObjectIndex* index,
+                      const SkQuery& query, const QueryEdgeInfo& query_edge);
+
+  /// Produces the next object in non-decreasing δ(q, o), with
+  /// δ(q, o) <= δmax. Returns false when the search is exhausted (or was
+  /// terminated).
+  bool Next(SkResult* out);
+
+  /// Stops the search early: subsequent Next() calls return false and no
+  /// further I/O happens. Used by the diversity pruning of Algorithm 6.
+  void Terminate() { terminated_ = true; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ObjectState {
+    double best = 0.0;
+    bool emitted = false;
+    EdgeId edge = kInvalidEdgeId;
+    NodeId n1 = kInvalidNodeId;
+    NodeId n2 = kInvalidNodeId;
+    double w1 = 0.0;
+    double edge_weight = 0.0;
+  };
+
+  struct LoadedEdge {
+    double weight = 0.0;
+    std::vector<LoadedObject> objects;
+  };
+
+  void RelaxNode(NodeId v, double dist);
+
+  /// Applies distance `dist` to object `o` on edge `e` = (`n1`, `n2`)
+  /// (weight `w`).
+  void UpdateObject(const LoadedObject& o, EdgeId e, NodeId n1, NodeId n2,
+                    double w, double dist);
+
+  /// Loads (or re-uses) the objects of edge `e` and applies the paths
+  /// through endpoint `v`, just settled at distance `d` (`nb` is the other
+  /// endpoint).
+  void ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb, double d);
+
+  /// Drops settled/stale node-heap entries; returns the fresh top key
+  /// (the δT lower bound) or infinity when expansion is finished.
+  double NodeLowerBound();
+
+  /// Settles one node and processes its adjacency. Returns false when no
+  /// settleable node remains within δmax.
+  bool ExpandOneNode();
+
+  const CcamGraph* graph_;
+  ObjectIndex* index_;
+  const double delta_max_;
+  std::vector<TermId> terms_;
+
+  using HeapEntry = std::pair<double, uint32_t>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+  MinHeap node_heap_;
+  std::unordered_map<NodeId, double> tentative_;
+  std::unordered_map<NodeId, double> settled_;
+  std::unordered_map<EdgeId, LoadedEdge> loaded_edges_;
+  std::unordered_map<ObjectId, ObjectState> object_state_;
+  MinHeap object_heap_;
+
+  std::vector<AdjacentEdge> adjacency_scratch_;
+  std::vector<LoadedObject> load_scratch_;
+
+  bool expansion_done_ = false;
+  bool terminated_ = false;
+  Stats stats_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_CORE_SK_SEARCH_H_

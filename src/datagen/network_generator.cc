@@ -1,0 +1,124 @@
+#include "datagen/network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/zorder.h"
+
+namespace dsks {
+
+namespace {
+
+/// Union-find over node ids for the spanning-tree phase.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return false;
+    }
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoadNetwork> GenerateRoadNetwork(
+    const NetworkGenConfig& config) {
+  DSKS_CHECK_MSG(config.num_nodes >= 4, "network too small");
+  Random rng(config.seed);
+  auto net = std::make_unique<RoadNetwork>();
+
+  // Lay the nodes out on a jittered grid covering the data space.
+  const auto side = static_cast<size_t>(
+      std::round(std::sqrt(static_cast<double>(config.num_nodes))));
+  const size_t rows = side;
+  const size_t cols = (config.num_nodes + rows - 1) / rows;
+  const double span = ZOrder::kSpaceMax - ZOrder::kSpaceMin;
+  const double sx = span / static_cast<double>(cols);
+  const double sy = span / static_cast<double>(rows);
+
+  std::vector<std::vector<NodeId>> grid(rows, std::vector<NodeId>(cols));
+  size_t created = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const double jx = rng.UniformDouble(-config.jitter, config.jitter) * sx;
+      const double jy = rng.UniformDouble(-config.jitter, config.jitter) * sy;
+      Point p{ZOrder::kSpaceMin + (static_cast<double>(c) + 0.5) * sx + jx,
+              ZOrder::kSpaceMin + (static_cast<double>(r) + 0.5) * sy + jy};
+      p.x = std::clamp(p.x, ZOrder::kSpaceMin, ZOrder::kSpaceMax);
+      p.y = std::clamp(p.y, ZOrder::kSpaceMin, ZOrder::kSpaceMax);
+      grid[r][c] = net->AddNode(p);
+      ++created;
+    }
+  }
+
+  // Candidate road segments: the 4-neighbour grid plus both diagonals.
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  candidates.reserve(created * 4);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) candidates.emplace_back(grid[r][c], grid[r][c + 1]);
+      if (r + 1 < rows) candidates.emplace_back(grid[r][c], grid[r + 1][c]);
+      if (r + 1 < rows && c + 1 < cols) {
+        candidates.emplace_back(grid[r][c], grid[r + 1][c + 1]);
+        candidates.emplace_back(grid[r][c + 1], grid[r + 1][c]);
+      }
+    }
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+
+  const auto target_edges = static_cast<size_t>(
+      std::round(static_cast<double>(created) * config.edge_node_ratio));
+
+  // Phase 1: random spanning tree (guarantees connectivity).
+  DisjointSets sets(created);
+  std::vector<char> taken(candidates.size(), 0);
+  size_t edges = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const auto& [a, b] = candidates[i];
+    if (sets.Union(a, b)) {
+      EdgeId out;
+      DSKS_CHECK(net->AddEdge(a, b, -1.0, &out).ok());
+      taken[i] = 1;
+      ++edges;
+    }
+  }
+  DSKS_CHECK_MSG(edges == created - 1, "grid candidates must span the grid");
+
+  // Phase 2: densify to the edge target with the remaining candidates.
+  for (size_t i = 0; i < candidates.size() && edges < target_edges; ++i) {
+    if (taken[i]) {
+      continue;
+    }
+    const auto& [a, b] = candidates[i];
+    EdgeId out;
+    DSKS_CHECK(net->AddEdge(a, b, -1.0, &out).ok());
+    ++edges;
+  }
+
+  net->Finalize();
+  return net;
+}
+
+}  // namespace dsks

@@ -1,0 +1,91 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsks {
+
+DatasetConfig PresetNA() {
+  DatasetConfig c;
+  c.name = "NA";
+  c.network.num_nodes = 7000;
+  c.network.edge_node_ratio = 1.05;
+  c.network.seed = 1001;
+  c.objects.num_objects = 400000;  // density raised ~5x: preserves per-query
+                                   // candidate counts under the ~25x network
+                                   // downscale (see DESIGN.md)
+  c.objects.vocab_size = 8000;
+  c.objects.keywords_per_object = 7;  // paper: 6.8 average
+  c.objects.fixed_keyword_count = false;
+  c.objects.zipf_z = 1.0;
+  c.objects.num_topics = 160;
+  c.objects.seed = 2001;
+  return c;
+}
+
+DatasetConfig PresetSF() {
+  DatasetConfig c;
+  c.name = "SF";
+  c.network.num_nodes = 7000;
+  c.network.edge_node_ratio = 1.27;
+  c.network.seed = 1002;
+  c.objects.num_objects = 255000;  // density raised ~3x (long texts)
+  c.objects.vocab_size = 3200;
+  c.objects.keywords_per_object = 26;
+  c.objects.fixed_keyword_count = false;
+  c.objects.zipf_z = 1.0;
+  c.objects.num_topics = 64;
+  c.objects.seed = 2002;
+  return c;
+}
+
+DatasetConfig PresetTW() {
+  DatasetConfig c;
+  c.name = "TW";
+  c.network.num_nodes = 12000;
+  c.network.edge_node_ratio = 2.40;
+  c.network.seed = 1003;
+  c.objects.num_objects = 440000;  // density raised ~4x
+  c.objects.vocab_size = 16000;
+  c.objects.keywords_per_object = 11;  // paper: 10.8 average
+  c.objects.fixed_keyword_count = false;
+  c.objects.zipf_z = 1.1;
+  c.objects.num_topics = 320;
+  c.objects.seed = 2003;
+  return c;
+}
+
+DatasetConfig PresetSYN() {
+  DatasetConfig c;
+  c.name = "SYN";
+  c.network.num_nodes = 7000;
+  c.network.edge_node_ratio = 1.27;
+  c.network.seed = 1004;
+  c.objects.num_objects = 200000;  // paper default n_o = 1M, scaled /5
+  c.objects.vocab_size = 4000;    // paper default n_v = 100K, scaled /25
+  c.objects.keywords_per_object = 15;
+  c.objects.fixed_keyword_count = true;
+  c.objects.zipf_z = 1.1;
+  c.objects.num_topics = 80;
+  c.objects.seed = 2004;
+  return c;
+}
+
+std::vector<DatasetConfig> AllPresets() {
+  return {PresetNA(), PresetSF(), PresetSYN(), PresetTW()};
+}
+
+DatasetConfig ScalePreset(DatasetConfig config, double factor) {
+  auto scale = [factor](size_t v) {
+    return std::max<size_t>(
+        16, static_cast<size_t>(std::round(static_cast<double>(v) * factor)));
+  };
+  config.network.num_nodes = scale(config.network.num_nodes);
+  config.objects.num_objects = scale(config.objects.num_objects);
+  config.objects.vocab_size = std::max(
+      config.objects.keywords_per_object * 2 + 1,
+      scale(config.objects.vocab_size));
+  return config;
+}
+
+}  // namespace dsks

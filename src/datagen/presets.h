@@ -1,0 +1,39 @@
+#ifndef DSKS_DATAGEN_PRESETS_H_
+#define DSKS_DATAGEN_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/network_generator.h"
+#include "datagen/object_generator.h"
+
+namespace dsks {
+
+/// A fully specified dataset: road network plus spatio-textual objects.
+struct DatasetConfig {
+  std::string name;
+  NetworkGenConfig network;
+  ObjectGenConfig objects;
+};
+
+/// Laptop-scale stand-ins for the paper's four datasets (Table 2), scaled
+/// ~25x down (TW ~100x) with the published shape preserved: NA is sparse
+/// (|E|/|V| ~ 1.02) with short texts, SF is denser with long texts and a
+/// small vocabulary, TW has the densest network (Bay Area, ratio ~2.5) and
+/// the largest vocabulary, SYN is the synthetic default (n_k = 15 fixed,
+/// Zipf z = 1.1). See DESIGN.md for the substitution rationale.
+DatasetConfig PresetNA();
+DatasetConfig PresetSF();
+DatasetConfig PresetTW();
+DatasetConfig PresetSYN();
+
+/// All four presets in the order the paper's figures list them.
+std::vector<DatasetConfig> AllPresets();
+
+/// Uniformly scales node and object counts (for quick tests and smoke
+/// benches); keeps ratios and text statistics.
+DatasetConfig ScalePreset(DatasetConfig config, double factor);
+
+}  // namespace dsks
+
+#endif  // DSKS_DATAGEN_PRESETS_H_

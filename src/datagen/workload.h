@@ -1,0 +1,64 @@
+#ifndef DSKS_DATAGEN_WORKLOAD_H_
+#define DSKS_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/sk_search.h"
+#include "graph/object_set.h"
+#include "text/term_stats.h"
+
+namespace dsks {
+
+/// How query keywords are drawn.
+enum class KeywordSource {
+  /// Keywords are the terms of the (randomly chosen) object at the query
+  /// location. Marginally this is still frequency-weighted — every term
+  /// occurrence is equally likely — but the keywords co-occur on at least
+  /// one real object, so conjunctive queries are satisfiable. This is the
+  /// default: the paper's independent model below yields almost-always
+  /// empty AND-results at laptop scale (see DESIGN.md).
+  kCoLocatedObject,
+  /// The paper's literal model: each keyword drawn independently with
+  /// probability freq(t)/Σfreq.
+  kGlobalFrequency,
+};
+
+/// Workload parameters mirroring §5: query locations are drawn from the
+/// object locations; keywords are frequency-weighted; δmax defaults to
+/// 500·l.
+struct WorkloadConfig {
+  size_t num_queries = 100;
+  /// l, the number of query keywords (1-4 in the paper, default 3).
+  size_t num_keywords = 3;
+  /// δmax = delta_max_per_keyword · l unless delta_max_override > 0.
+  double delta_max_per_keyword = 500.0;
+  double delta_max_override = -1.0;
+  KeywordSource keyword_source = KeywordSource::kCoLocatedObject;
+  uint64_t seed = 99;
+};
+
+/// One generated query: the SkQuery plus the precomputed location of the
+/// query point on its edge (what IncrementalSkSearch needs to seed the
+/// expansion).
+struct WorkloadQuery {
+  SkQuery sk;
+  QueryEdgeInfo edge;
+};
+
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+};
+
+Workload GenerateWorkload(const ObjectSet& objects, const TermStats& stats,
+                          const WorkloadConfig& config);
+
+/// The QueryEdgeInfo for an arbitrary network location (exposed for
+/// examples and tests that craft their own queries).
+QueryEdgeInfo MakeQueryEdgeInfo(const RoadNetwork& net,
+                                const NetworkLocation& loc);
+
+}  // namespace dsks
+
+#endif  // DSKS_DATAGEN_WORKLOAD_H_

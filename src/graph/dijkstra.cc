@@ -1,0 +1,149 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+namespace {
+
+using HeapEntry = std::pair<double, NodeId>;  // (distance, node), min-heap
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<double> DijkstraFromNode(const RoadNetwork& net, NodeId source) {
+  DSKS_CHECK(source < net.num_nodes());
+  std::vector<double> dist(net.num_nodes(), kInfDistance);
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) {
+      continue;  // stale entry
+    }
+    for (const AdjacentEdge& adj : net.Neighbors(v)) {
+      const double nd = d + adj.weight;
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        heap.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::unordered_map<NodeId, double> BoundedDijkstraFromLocation(
+    const RoadNetwork& net, const NetworkLocation& from, double radius) {
+  DSKS_CHECK(from.edge < net.num_edges());
+  const Edge& e = net.edge(from.edge);
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, double> settled;
+  MinHeap heap;
+
+  auto relax = [&](NodeId v, double d) {
+    auto it = dist.find(v);
+    if (it == dist.end() || d < it->second) {
+      dist[v] = d;
+      heap.emplace(d, v);
+    }
+  };
+  relax(e.n1, net.WeightFromN1(from.edge, from.offset));
+  relax(e.n2, net.WeightFromN2(from.edge, from.offset));
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > radius) {
+      break;
+    }
+    auto it = settled.find(v);
+    if (it != settled.end()) {
+      continue;
+    }
+    settled.emplace(v, d);
+    for (const AdjacentEdge& adj : net.Neighbors(v)) {
+      const double nd = d + adj.weight;
+      if (nd <= radius && !settled.count(adj.neighbor)) {
+        relax(adj.neighbor, nd);
+      }
+    }
+  }
+  return settled;
+}
+
+namespace {
+
+/// Distance from a source whose node distances are in `node_dist` to a
+/// target location, applying Equation 1 plus the same-edge direct path.
+double CombineToLocation(const RoadNetwork& net,
+                         const std::unordered_map<NodeId, double>& node_dist,
+                         const NetworkLocation& src,
+                         const NetworkLocation& dst) {
+  const Edge& e = net.edge(dst.edge);
+  double best = kInfDistance;
+  if (auto it = node_dist.find(e.n1); it != node_dist.end()) {
+    best = std::min(best, it->second + net.WeightFromN1(dst.edge, dst.offset));
+  }
+  if (auto it = node_dist.find(e.n2); it != node_dist.end()) {
+    best = std::min(best, it->second + net.WeightFromN2(dst.edge, dst.offset));
+  }
+  if (src.edge == dst.edge) {
+    const double direct = std::abs(net.WeightFromN1(dst.edge, dst.offset) -
+                                   net.WeightFromN1(src.edge, src.offset));
+    best = std::min(best, direct);
+  }
+  return best;
+}
+
+}  // namespace
+
+double ExactNetworkDistance(const RoadNetwork& net, const NetworkLocation& a,
+                            const NetworkLocation& b) {
+  auto node_dist = BoundedDijkstraFromLocation(net, a, kInfDistance);
+  return CombineToLocation(net, node_dist, a, b);
+}
+
+std::vector<double> DistancesToLocations(
+    const RoadNetwork& net, const NetworkLocation& a,
+    const std::vector<NetworkLocation>& objs) {
+  auto node_dist = BoundedDijkstraFromLocation(net, a, kInfDistance);
+  std::vector<double> out;
+  out.reserve(objs.size());
+  for (const NetworkLocation& loc : objs) {
+    out.push_back(CombineToLocation(net, node_dist, a, loc));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> FloydWarshall(const RoadNetwork& net) {
+  const size_t n = net.num_nodes();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kInfDistance));
+  for (size_t v = 0; v < n; ++v) {
+    d[v][v] = 0.0;
+  }
+  for (const Edge& e : net.edges()) {
+    d[e.n1][e.n2] = std::min(d[e.n1][e.n2], e.weight);
+    d[e.n2][e.n1] = std::min(d[e.n2][e.n1], e.weight);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfDistance) continue;
+      for (size_t j = 0; j < n; ++j) {
+        const double via = d[i][k] + d[k][j];
+        if (via < d[i][j]) {
+          d[i][j] = via;
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace dsks

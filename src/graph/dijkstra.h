@@ -1,0 +1,51 @@
+#ifndef DSKS_GRAPH_DIJKSTRA_H_
+#define DSKS_GRAPH_DIJKSTRA_H_
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// A point on the road network, addressed as (edge, geometric offset from
+/// the reference node n1). Queries and objects are both network locations.
+struct NetworkLocation {
+  EdgeId edge = kInvalidEdgeId;
+  double offset = 0.0;
+};
+
+/// In-memory single-source Dijkstra over all nodes. Reference algorithm for
+/// tests and for index-construction-time computations; query processing
+/// uses the I/O-charged CCAM traversal instead.
+std::vector<double> DijkstraFromNode(const RoadNetwork& net, NodeId source);
+
+/// Dijkstra from an arbitrary network location, expanding only nodes with
+/// distance <= radius. Returns the node -> distance map (only settled nodes
+/// within the radius appear).
+std::unordered_map<NodeId, double> BoundedDijkstraFromLocation(
+    const RoadNetwork& net, const NetworkLocation& from, double radius);
+
+/// Network distance (cost of the least costly path, §2.1) between two
+/// locations, combining node distances with edge-offset costs per
+/// Equation 1; handles the same-edge direct path. Exact but O(|E| log |V|):
+/// use only for reference checks and small instances.
+double ExactNetworkDistance(const RoadNetwork& net, const NetworkLocation& a,
+                            const NetworkLocation& b);
+
+/// Distance between location `a` and every object location in `objs`,
+/// sharing one Dijkstra run. Returns distances in the order of `objs`.
+std::vector<double> DistancesToLocations(const RoadNetwork& net,
+                                         const NetworkLocation& a,
+                                         const std::vector<NetworkLocation>& objs);
+
+/// All-pairs node distances via Floyd-Warshall; O(V^3), test-only.
+std::vector<std::vector<double>> FloydWarshall(const RoadNetwork& net);
+
+}  // namespace dsks
+
+#endif  // DSKS_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,119 @@
+#include "graph/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+LandmarkIndex::LandmarkIndex(const RoadNetwork* net, size_t num_landmarks)
+    : net_(net) {
+  DSKS_CHECK_MSG(num_landmarks >= 1, "need at least one landmark");
+  DSKS_CHECK_MSG(net->num_nodes() >= 1, "empty network");
+  num_landmarks = std::min(num_landmarks, net->num_nodes());
+
+  // Farthest-point sampling: start from node 0, then repeatedly take the
+  // node maximizing the distance to the chosen set.
+  landmark_nodes_.push_back(0);
+  dist_.push_back(DijkstraFromNode(*net_, 0));
+  std::vector<double> to_set = dist_.back();
+  while (landmark_nodes_.size() < num_landmarks) {
+    NodeId best = 0;
+    double best_dist = -1.0;
+    for (NodeId v = 0; v < net_->num_nodes(); ++v) {
+      if (to_set[v] > best_dist && to_set[v] != kInfDistance) {
+        best_dist = to_set[v];
+        best = v;
+      }
+    }
+    landmark_nodes_.push_back(best);
+    dist_.push_back(DijkstraFromNode(*net_, best));
+    const auto& d = dist_.back();
+    for (NodeId v = 0; v < net_->num_nodes(); ++v) {
+      to_set[v] = std::min(to_set[v], d[v]);
+    }
+  }
+}
+
+double LandmarkIndex::LowerBound(NodeId u, NodeId v) const {
+  double bound = 0.0;
+  for (const auto& d : dist_) {
+    bound = std::max(bound, std::abs(d[u] - d[v]));
+  }
+  return bound;
+}
+
+double LandmarkIndex::Distance(NodeId u, NodeId v,
+                               uint64_t* expanded) const {
+  // A* with the landmark heuristic h(x) = LowerBound(x, v).
+  using Entry = std::pair<double, NodeId>;  // (g + h, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  std::vector<double> g(net_->num_nodes(), kInfDistance);
+  std::vector<char> closed(net_->num_nodes(), 0);
+  uint64_t settled = 0;
+
+  g[u] = 0.0;
+  open.emplace(LowerBound(u, v), u);
+  while (!open.empty()) {
+    const auto [f, x] = open.top();
+    open.pop();
+    if (closed[x]) {
+      continue;
+    }
+    closed[x] = 1;
+    ++settled;
+    if (x == v) {
+      break;
+    }
+    for (const AdjacentEdge& adj : net_->Neighbors(x)) {
+      const double ng = g[x] + adj.weight;
+      if (ng < g[adj.neighbor]) {
+        g[adj.neighbor] = ng;
+        open.emplace(ng + LowerBound(adj.neighbor, v), adj.neighbor);
+      }
+    }
+  }
+  if (expanded != nullptr) {
+    *expanded = settled;
+  }
+  return g[v];
+}
+
+double LandmarkIndex::Distance(const NetworkLocation& a,
+                               const NetworkLocation& b,
+                               uint64_t* expanded) const {
+  const Edge& ea = net_->edge(a.edge);
+  const Edge& eb = net_->edge(b.edge);
+  const double wa1 = net_->WeightFromN1(a.edge, a.offset);
+  const double wa2 = ea.weight - wa1;
+  const double wb1 = net_->WeightFromN1(b.edge, b.offset);
+  const double wb2 = eb.weight - wb1;
+
+  uint64_t total = 0;
+  uint64_t one = 0;
+  double best = kInfDistance;
+  for (const auto& [an, aw] : {std::pair{ea.n1, wa1}, {ea.n2, wa2}}) {
+    for (const auto& [bn, bw] : {std::pair{eb.n1, wb1}, {eb.n2, wb2}}) {
+      const double d = Distance(an, bn, &one);
+      total += one;
+      best = std::min(best, aw + d + bw);
+    }
+  }
+  if (a.edge == b.edge) {
+    best = std::min(best, std::abs(wa1 - wb1));
+  }
+  if (expanded != nullptr) {
+    *expanded = total;
+  }
+  return best;
+}
+
+uint64_t LandmarkIndex::SizeBytes() const {
+  return dist_.size() * net_->num_nodes() * sizeof(double) +
+         landmark_nodes_.size() * sizeof(NodeId);
+}
+
+}  // namespace dsks

@@ -1,0 +1,99 @@
+#include "graph/object_set.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+Status ObjectSet::Add(EdgeId edge, double offset, std::vector<TermId> terms,
+                      ObjectId* out_id) {
+  DSKS_CHECK_MSG(!finalized_, "Add after Finalize");
+  if (edge >= network_->num_edges()) {
+    return Status::InvalidArgument("object on unknown edge");
+  }
+  const Edge& e = network_->edge(edge);
+  if (offset < 0.0 || offset > e.length) {
+    return Status::InvalidArgument("object offset outside edge");
+  }
+  if (terms.empty()) {
+    return Status::InvalidArgument("object must have at least one keyword");
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  SpatioTextualObject obj;
+  obj.id = static_cast<ObjectId>(objects_.size());
+  obj.edge = edge;
+  obj.offset = offset;
+  obj.loc = network_->PointOnEdge(edge, offset);
+  obj.terms = std::move(terms);
+  objects_.push_back(std::move(obj));
+  if (out_id != nullptr) {
+    *out_id = objects_.back().id;
+  }
+  return Status::Ok();
+}
+
+void ObjectSet::Finalize() {
+  DSKS_CHECK_MSG(!finalized_, "Finalize called twice");
+  const size_t num_edges = network_->num_edges();
+  std::vector<uint32_t> counts(num_edges + 1, 0);
+  for (const auto& obj : objects_) {
+    ++counts[obj.edge];
+  }
+  edge_offsets_.assign(num_edges + 1, 0);
+  for (size_t e = 0; e < num_edges; ++e) {
+    edge_offsets_[e + 1] = edge_offsets_[e] + counts[e];
+  }
+  edge_objects_.resize(objects_.size());
+  std::vector<uint32_t> cursor(edge_offsets_.begin(), edge_offsets_.end() - 1);
+  for (const auto& obj : objects_) {
+    edge_objects_[cursor[obj.edge]++] = obj.id;
+  }
+  // Within each edge, order by offset from the reference node (the
+  // "visiting order along the edge" of §3.3).
+  for (size_t e = 0; e < num_edges; ++e) {
+    std::sort(edge_objects_.begin() + edge_offsets_[e],
+              edge_objects_.begin() + edge_offsets_[e + 1],
+              [this](ObjectId a, ObjectId b) {
+                if (objects_[a].offset != objects_[b].offset) {
+                  return objects_[a].offset < objects_[b].offset;
+                }
+                return a < b;
+              });
+  }
+  finalized_ = true;
+}
+
+std::span<const ObjectId> ObjectSet::ObjectsOnEdge(EdgeId edge) const {
+  DSKS_CHECK_MSG(finalized_, "ObjectsOnEdge before Finalize");
+  DSKS_CHECK(edge < network_->num_edges());
+  return {edge_objects_.data() + edge_offsets_[edge],
+          edge_objects_.data() + edge_offsets_[edge + 1]};
+}
+
+bool ObjectSet::ObjectHasTerm(ObjectId id, TermId t) const {
+  const auto& terms = objects_[id].terms;
+  return std::binary_search(terms.begin(), terms.end(), t);
+}
+
+bool ObjectSet::ObjectHasAllTerms(ObjectId id,
+                                  std::span<const TermId> terms) const {
+  for (TermId t : terms) {
+    if (!ObjectHasTerm(id, t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t ObjectSet::TotalTermOccurrences() const {
+  uint64_t total = 0;
+  for (const auto& obj : objects_) {
+    total += obj.terms.size();
+  }
+  return total;
+}
+
+}  // namespace dsks

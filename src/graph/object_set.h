@@ -1,0 +1,70 @@
+#ifndef DSKS_GRAPH_OBJECT_SET_H_
+#define DSKS_GRAPH_OBJECT_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+/// The collection of spatio-textual objects lying on a road network's
+/// edges. This is the ground-truth object store that every index (IR, IF,
+/// SIF, SIF-P, SIF-G) is built from and that reference implementations in
+/// tests scan directly.
+///
+/// Usage: Add() objects, then Finalize() to build the per-edge lists (each
+/// sorted by offset along the edge, matching the visiting order used by the
+/// partitioning technique of §3.3).
+class ObjectSet {
+ public:
+  explicit ObjectSet(const RoadNetwork* network) : network_(network) {}
+
+  ObjectSet(const ObjectSet&) = delete;
+  ObjectSet& operator=(const ObjectSet&) = delete;
+  ObjectSet(ObjectSet&&) = default;
+  ObjectSet& operator=(ObjectSet&&) = default;
+
+  /// Adds an object lying on `edge` at geometric offset `offset` from the
+  /// reference node, with sorted-deduplicated `terms`. The object's
+  /// location is derived from the edge geometry.
+  Status Add(EdgeId edge, double offset, std::vector<TermId> terms,
+             ObjectId* out_id);
+
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t size() const { return objects_.size(); }
+  const SpatioTextualObject& object(ObjectId id) const { return objects_[id]; }
+  const std::vector<SpatioTextualObject>& objects() const { return objects_; }
+
+  /// Objects on `edge`, ordered by offset from the reference node.
+  std::span<const ObjectId> ObjectsOnEdge(EdgeId edge) const;
+
+  /// True iff object `id` contains term `t` (binary search over its sorted
+  /// term list).
+  bool ObjectHasTerm(ObjectId id, TermId t) const;
+
+  /// True iff object `id` contains every term in `terms` (the boolean AND
+  /// keyword constraint of Definition 1).
+  bool ObjectHasAllTerms(ObjectId id, std::span<const TermId> terms) const;
+
+  /// Total number of (object, term) pairs; the inverted-file posting count.
+  uint64_t TotalTermOccurrences() const;
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<SpatioTextualObject> objects_;
+  /// CSR: ids of objects on each edge, sorted by offset.
+  std::vector<ObjectId> edge_objects_;
+  std::vector<uint32_t> edge_offsets_;
+  bool finalized_ = false;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_GRAPH_OBJECT_SET_H_

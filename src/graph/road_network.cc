@@ -1,0 +1,117 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+NodeId RoadNetwork::AddNode(Point loc) {
+  DSKS_CHECK_MSG(!finalized_, "AddNode after Finalize");
+  nodes_.push_back(Node{loc});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status RoadNetwork::AddEdge(NodeId a, NodeId b, double weight, EdgeId* out_id) {
+  DSKS_CHECK_MSG(!finalized_, "AddEdge after Finalize");
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  Edge e;
+  e.n1 = std::min(a, b);
+  e.n2 = std::max(a, b);
+  e.length = EuclideanDistance(nodes_[e.n1].loc, nodes_[e.n2].loc);
+  e.weight = weight < 0.0 ? e.length : weight;
+  if (e.length <= 0.0) {
+    return Status::InvalidArgument("edge endpoints are co-located");
+  }
+  edges_.push_back(e);
+  if (out_id != nullptr) {
+    *out_id = static_cast<EdgeId>(edges_.size() - 1);
+  }
+  return Status::Ok();
+}
+
+void RoadNetwork::Finalize() {
+  DSKS_CHECK_MSG(!finalized_, "Finalize called twice");
+  std::vector<uint32_t> degree(nodes_.size() + 1, 0);
+  for (const Edge& e : edges_) {
+    ++degree[e.n1];
+    ++degree[e.n2];
+  }
+  adj_offsets_.assign(nodes_.size() + 1, 0);
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    adj_offsets_[v + 1] = adj_offsets_[v] + degree[v];
+  }
+  adjacency_.resize(adj_offsets_.back());
+  std::vector<uint32_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    adjacency_[cursor[e.n1]++] = AdjacentEdge{e.n2, id, e.weight};
+    adjacency_[cursor[e.n2]++] = AdjacentEdge{e.n1, id, e.weight};
+  }
+  finalized_ = true;
+}
+
+std::span<const AdjacentEdge> RoadNetwork::Neighbors(NodeId id) const {
+  DSKS_CHECK_MSG(finalized_, "Neighbors before Finalize");
+  DSKS_CHECK(id < nodes_.size());
+  return {adjacency_.data() + adj_offsets_[id],
+          adjacency_.data() + adj_offsets_[id + 1]};
+}
+
+Mbr RoadNetwork::EdgeMbr(EdgeId id) const {
+  const Edge& e = edges_[id];
+  return Mbr::FromPoints(nodes_[e.n1].loc, nodes_[e.n2].loc);
+}
+
+Point RoadNetwork::EdgeCenter(EdgeId id) const {
+  const Edge& e = edges_[id];
+  const Point& a = nodes_[e.n1].loc;
+  const Point& b = nodes_[e.n2].loc;
+  return Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+double RoadNetwork::WeightFromN1(EdgeId id, double offset) const {
+  const Edge& e = edges_[id];
+  DSKS_CHECK(offset >= 0.0 && offset <= e.length);
+  return e.weight * (offset / e.length);
+}
+
+double RoadNetwork::WeightFromN2(EdgeId id, double offset) const {
+  return edges_[id].weight - WeightFromN1(id, offset);
+}
+
+Point RoadNetwork::PointOnEdge(EdgeId id, double offset) const {
+  const Edge& e = edges_[id];
+  const Point& a = nodes_[e.n1].loc;
+  const Point& b = nodes_[e.n2].loc;
+  const double t = offset / e.length;
+  return Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+double RoadNetwork::ProjectOntoEdge(EdgeId id, const Point& p, Point* snapped,
+                                    double* euclidean_dist) const {
+  const Edge& e = edges_[id];
+  const Point& a = nodes_[e.n1].loc;
+  const Point& b = nodes_[e.n2].loc;
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  Point s{a.x + t * abx, a.y + t * aby};
+  if (snapped != nullptr) {
+    *snapped = s;
+  }
+  if (euclidean_dist != nullptr) {
+    *euclidean_dist = EuclideanDistance(p, s);
+  }
+  return t * e.length;
+}
+
+}  // namespace dsks

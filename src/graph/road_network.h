@@ -1,0 +1,91 @@
+#ifndef DSKS_GRAPH_ROAD_NETWORK_H_
+#define DSKS_GRAPH_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+#include "spatial/mbr.h"
+
+namespace dsks {
+
+/// In-memory model of a weighted road network G = (V, E, W) (§2.1).
+///
+/// This is the canonical representation produced by generators and loaders;
+/// query processing reads the *disk-resident* CCAM layout built from it
+/// (graph/ccam.h), so that I/O is accounted for. The in-memory form remains
+/// available for index construction and for brute-force reference
+/// algorithms in tests.
+///
+/// Usage: AddNode/AddEdge, then Finalize() once to build the CSR adjacency;
+/// the network is immutable afterwards.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  RoadNetwork(const RoadNetwork&) = delete;
+  RoadNetwork& operator=(const RoadNetwork&) = delete;
+  RoadNetwork(RoadNetwork&&) = default;
+  RoadNetwork& operator=(RoadNetwork&&) = default;
+
+  NodeId AddNode(Point loc);
+
+  /// Adds a bi-directional edge. The smaller node id becomes the reference
+  /// node n1 (§2.1). If `weight` < 0 the Euclidean length is used as the
+  /// weight (the paper's default, Example 2). Returns the edge id, or an
+  /// error for self-loops / unknown nodes.
+  Status AddEdge(NodeId a, NodeId b, double weight, EdgeId* out_id);
+
+  /// Builds the adjacency structure. Must be called exactly once, after all
+  /// AddNode/AddEdge calls.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Adjacency list of `id`. Requires Finalize().
+  std::span<const AdjacentEdge> Neighbors(NodeId id) const;
+
+  /// Bounding box of the edge's two endpoints.
+  Mbr EdgeMbr(EdgeId id) const;
+
+  /// Geometric midpoint of the edge; its Z-order code keys the edge in the
+  /// inverted-file B+trees (§3.1).
+  Point EdgeCenter(EdgeId id) const;
+
+  /// Cost from the reference node n1 to the point at geometric offset
+  /// `offset` along edge `id`: w(n1,p) = w(n1,n2) * d(n1,p)/d(n1,n2).
+  double WeightFromN1(EdgeId id, double offset) const;
+
+  /// Cost from the far node n2 to the same point.
+  double WeightFromN2(EdgeId id, double offset) const;
+
+  /// Point at geometric offset `offset` from n1, linearly interpolated.
+  Point PointOnEdge(EdgeId id, double offset) const;
+
+  /// Geometric offset (from n1) of the closest point of edge `id` to `p`,
+  /// and optionally the snapped point / distance.
+  double ProjectOntoEdge(EdgeId id, const Point& p, Point* snapped,
+                         double* euclidean_dist) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+
+  /// CSR adjacency: adjacency_[adj_offsets_[v] .. adj_offsets_[v+1]).
+  std::vector<AdjacentEdge> adjacency_;
+  std::vector<uint32_t> adj_offsets_;
+  bool finalized_ = false;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_GRAPH_ROAD_NETWORK_H_

@@ -1,0 +1,148 @@
+#include "harness/database.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "datagen/network_generator.h"
+#include "datagen/object_generator.h"
+#include "index/inverted_file.h"
+#include "index/inverted_rtree.h"
+#include "index/sif.h"
+#include "index/sif_group.h"
+
+namespace dsks {
+
+std::string IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kIR:
+      return "IR";
+    case IndexKind::kIF:
+      return "IF";
+    case IndexKind::kSIF:
+      return "SIF";
+    case IndexKind::kSIFP:
+      return "SIF-P";
+    case IndexKind::kSIFG:
+      return "SIF-G";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Build-phase pool: large enough that construction is not eviction-bound.
+constexpr size_t kBuildPoolFrames = 64 * 1024;  // 256 MiB of frames
+
+}  // namespace
+
+Database::Database(const DatasetConfig& config) : config_(config) {
+  network_ = GenerateRoadNetwork(config.network);
+  objects_ = GenerateObjects(*network_, config.objects);
+  term_stats_ = std::make_unique<TermStats>(*objects_, config.objects.vocab_size);
+  pool_ = std::make_unique<BufferPool>(&disk_, kBuildPoolFrames);
+  ccam_file_ = CcamFileBuilder::Build(*network_, &disk_);
+  ccam_graph_ = std::make_unique<CcamGraph>(&ccam_file_, pool_.get());
+}
+
+Database::IndexBuildInfo Database::BuildIndex(const IndexOptions& options) {
+  const size_t vocab = config_.objects.vocab_size;
+  const size_t min_postings = options.signature_min_postings == 0
+                                  ? PostingFile::EntriesPerPage()
+                                  : options.signature_min_postings;
+  Timer timer;
+  switch (options.kind) {
+    case IndexKind::kIR:
+      index_ = std::make_unique<InvertedRTreeIndex>(pool_.get(), *objects_,
+                                                    vocab);
+      break;
+    case IndexKind::kIF:
+      index_ =
+          std::make_unique<InvertedFileIndex>(pool_.get(), *objects_, vocab);
+      break;
+    case IndexKind::kSIF:
+      index_ = std::make_unique<SifIndex>(pool_.get(), *objects_, vocab,
+                                          min_postings);
+      break;
+    case IndexKind::kSIFP: {
+      SifPConfig sifp = options.sifp;
+      if (sifp.log_provider == nullptr) {
+        sifp.log_provider = MakeQueryLogProvider(
+            QueryLogMode::kFrequency, {}, /*terms_per_query=*/3,
+            /*queries_per_edge=*/8, /*seed=*/config_.network.seed ^ 0xABCD);
+      }
+      index_ = std::make_unique<SifPartitionedIndex>(pool_.get(), *objects_,
+                                                     vocab, sifp, min_postings);
+      break;
+    }
+    case IndexKind::kSIFG:
+      index_ = std::make_unique<SifGroupIndex>(pool_.get(), *objects_, vocab,
+                                               options.sifg_frequent_terms,
+                                               min_postings);
+      break;
+  }
+  IndexBuildInfo info;
+  info.build_millis = timer.ElapsedMillis();
+  info.size_bytes = index_->SizeBytes();
+  return info;
+}
+
+void Database::PrepareForQueries(double fraction, size_t min_frames) {
+  DSKS_CHECK_MSG(index_ != nullptr, "build an index first");
+  pool_->FlushAll();
+  // Budget relative to the *live* dataset (CCAM + current index) rather
+  // than the raw disk, which may hold pages of superseded indexes when
+  // BuildIndex was called more than once.
+  const double live_pages = static_cast<double>(
+      (ccam_file_.size_bytes() + index_->SizeBytes()) / kPageSize);
+  const auto frames = static_cast<size_t>(
+      std::max(static_cast<double>(min_frames), fraction * live_pages));
+  pool_->Clear();
+  pool_->SetCapacity(frames);
+  ResetCounters();
+}
+
+void Database::ResetCounters() {
+  disk_.mutable_stats()->Reset();
+  pool_->mutable_stats()->Reset();
+  if (index_ != nullptr) {
+    index_->stats().Reset();
+  }
+}
+
+uint64_t Database::IoCount() const { return disk_.stats().reads; }
+
+std::vector<SkResult> Database::RunSkQuery(const SkQuery& query,
+                                           const QueryEdgeInfo& edge) {
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query, edge);
+  std::vector<SkResult> results;
+  SkResult r;
+  while (search.Next(&r)) {
+    results.push_back(r);
+  }
+  return results;
+}
+
+std::vector<SkResult> Database::RunKnnQuery(const SkQuery& query,
+                                            const QueryEdgeInfo& edge,
+                                            size_t k) {
+  return BooleanKnnSearch(ccam_graph_.get(), index_.get(), query, edge, k);
+}
+
+std::vector<RankedResult> Database::RunRankedQuery(const RankedQuery& query,
+                                                   const QueryEdgeInfo& edge) {
+  return RankedSkSearch(ccam_graph_.get(), index_.get(), query, edge);
+}
+
+DivSearchOutput Database::RunDivQuery(const DivQuery& query,
+                                      const QueryEdgeInfo& edge,
+                                      bool use_com) {
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query.sk, edge);
+  PairwiseDistanceOracle oracle(ccam_graph_.get(),
+                                2.0 * query.sk.delta_max);
+  return use_com ? DiversifiedSearchCOM(&search, query, &oracle)
+                 : DiversifiedSearchSEQ(&search, query, &oracle);
+}
+
+}  // namespace dsks

@@ -1,0 +1,115 @@
+#ifndef DSKS_HARNESS_DATABASE_H_
+#define DSKS_HARNESS_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/div_search.h"
+#include "core/query.h"
+#include "core/ranked_search.h"
+#include "core/sk_search.h"
+#include "datagen/presets.h"
+#include "graph/ccam.h"
+#include "graph/object_set.h"
+#include "graph/road_network.h"
+#include "index/object_index.h"
+#include "index/query_log.h"
+#include "index/sif_partitioned.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "text/term_stats.h"
+
+namespace dsks {
+
+/// Which object index a Database mounts.
+enum class IndexKind { kIR, kIF, kSIF, kSIFP, kSIFG };
+
+std::string IndexKindName(IndexKind kind);
+
+/// Options for BuildIndex.
+struct IndexOptions {
+  IndexKind kind = IndexKind::kSIF;
+  /// SIF-P settings; `sifp.log_provider` defaults to the kFrequency mode
+  /// of §3.3 Remark 1 when unset.
+  SifPConfig sifp;
+  /// x for SIF-G (top-x frequent terms get pair lists).
+  size_t sifg_frequent_terms = 25;
+  /// Keywords below this posting count get no signature (one page by
+  /// default, per §3.1).
+  size_t signature_min_postings = 0;  // 0 = one page worth of postings
+};
+
+/// A fully assembled "database instance": a generated dataset, its CCAM
+/// file, an object index and the shared buffer pool. Every bench and
+/// example talks to the system through this facade.
+class Database {
+ public:
+  /// Generates the dataset and writes the CCAM file. The buffer pool
+  /// starts large (for index construction); PrepareForQueries() shrinks it
+  /// to the paper's 2% before measurements.
+  explicit Database(const DatasetConfig& config);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  struct IndexBuildInfo {
+    double build_millis = 0.0;
+    uint64_t size_bytes = 0;
+  };
+
+  /// Builds (or replaces) the object index. May be called multiple times;
+  /// superseded index pages stay on the simulated disk but are untouched.
+  IndexBuildInfo BuildIndex(const IndexOptions& options);
+
+  /// Flushes everything and shrinks the buffer pool to
+  /// max(min_frames, fraction · disk pages), then clears all statistics.
+  void PrepareForQueries(double fraction = 0.02, size_t min_frames = 64);
+
+  /// Resets the I/O and index counters (per-query measurement).
+  void ResetCounters();
+
+  /// Physical reads since the last ResetCounters (the paper's "# of I/O").
+  uint64_t IoCount() const;
+
+  /// Runs Algorithm 3 to exhaustion. Returns the result objects.
+  std::vector<SkResult> RunSkQuery(const SkQuery& query,
+                                   const QueryEdgeInfo& edge);
+
+  /// Runs a diversified query with SEQ or COM.
+  DivSearchOutput RunDivQuery(const DivQuery& query, const QueryEdgeInfo& edge,
+                              bool use_com);
+
+  /// Boolean k-nearest-neighbour SK query (all keywords, k closest).
+  std::vector<SkResult> RunKnnQuery(const SkQuery& query,
+                                    const QueryEdgeInfo& edge, size_t k);
+
+  /// Ranked top-k SK query (OR semantics, distance/text score blend).
+  std::vector<RankedResult> RunRankedQuery(const RankedQuery& query,
+                                           const QueryEdgeInfo& edge);
+
+  const RoadNetwork& network() const { return *network_; }
+  const ObjectSet& objects() const { return *objects_; }
+  const TermStats& term_stats() const { return *term_stats_; }
+  const DatasetConfig& config() const { return config_; }
+  ObjectIndex* index() { return index_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+  const CcamGraph& ccam_graph() const { return *ccam_graph_; }
+  uint64_t ccam_size_bytes() const { return ccam_file_.size_bytes(); }
+
+ private:
+  DatasetConfig config_;
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<ObjectSet> objects_;
+  std::unique_ptr<TermStats> term_stats_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  CcamFile ccam_file_;
+  std::unique_ptr<CcamGraph> ccam_graph_;
+  std::unique_ptr<ObjectIndex> index_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_HARNESS_DATABASE_H_

@@ -1,0 +1,147 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace dsks {
+
+namespace {
+
+/// 95th percentile of a sample set (nearest-rank definition).
+double Percentile95(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t rank =
+      (samples.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
+  return samples[std::min(samples.size(), rank) - 1];
+}
+
+/// Applies the simulated per-read disk latency for the duration of a
+/// measured workload (not during index builds). Default 50us; override
+/// with DSKS_IO_DELAY_US (0 disables — pure CPU timing).
+class ScopedIoDelay {
+ public:
+  explicit ScopedIoDelay(Database* db) : db_(db) {
+    const char* env = std::getenv("DSKS_IO_DELAY_US");
+    db_->disk()->set_read_delay_us(env == nullptr ? 50.0 : std::atof(env));
+  }
+  ~ScopedIoDelay() { db_->disk()->set_read_delay_us(0.0); }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace
+
+SkWorkloadMetrics RunSkWorkload(Database* db, const Workload& workload) {
+  DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
+  SkWorkloadMetrics m;
+  ScopedIoDelay delay(db);
+  std::vector<double> samples;
+  samples.reserve(workload.queries.size());
+  for (const WorkloadQuery& wq : workload.queries) {
+    db->ResetCounters();
+    Timer timer;
+    const std::vector<SkResult> results = db->RunSkQuery(wq.sk, wq.edge);
+    samples.push_back(timer.ElapsedMillis());
+    m.avg_millis += samples.back();
+    m.avg_io += static_cast<double>(db->IoCount());
+    m.avg_candidates += static_cast<double>(results.size());
+    const ObjectIndexStats& st = db->index()->stats();
+    m.avg_false_hits += static_cast<double>(st.false_hits);
+    m.avg_false_hit_objects += static_cast<double>(st.false_hit_objects);
+    m.avg_edges_skipped += static_cast<double>(st.edges_skipped_by_signature);
+    m.avg_objects_loaded += static_cast<double>(st.objects_loaded);
+  }
+  const auto n = static_cast<double>(workload.queries.size());
+  m.avg_millis /= n;
+  m.avg_io /= n;
+  m.avg_candidates /= n;
+  m.avg_false_hits /= n;
+  m.avg_false_hit_objects /= n;
+  m.avg_edges_skipped /= n;
+  m.avg_objects_loaded /= n;
+  m.p95_millis = Percentile95(std::move(samples));
+  return m;
+}
+
+DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
+                                  size_t k, double lambda, bool use_com) {
+  DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
+  DivWorkloadMetrics m;
+  ScopedIoDelay delay(db);
+  std::vector<double> samples;
+  samples.reserve(workload.queries.size());
+  for (const WorkloadQuery& wq : workload.queries) {
+    DivQuery dq;
+    dq.sk = wq.sk;
+    dq.k = k;
+    dq.lambda = lambda;
+    db->ResetCounters();
+    Timer timer;
+    const DivSearchOutput out = db->RunDivQuery(dq, wq.edge, use_com);
+    samples.push_back(timer.ElapsedMillis());
+    m.avg_millis += samples.back();
+    m.avg_io += static_cast<double>(db->IoCount());
+    m.avg_candidates += static_cast<double>(out.stats.candidates);
+    m.avg_objective += out.objective;
+    m.avg_pruned += static_cast<double>(out.stats.pruned_objects);
+    m.early_termination_rate += out.stats.early_terminated ? 1.0 : 0.0;
+  }
+  const auto n = static_cast<double>(workload.queries.size());
+  m.avg_millis /= n;
+  m.avg_io /= n;
+  m.avg_candidates /= n;
+  m.avg_objective /= n;
+  m.avg_pruned /= n;
+  m.early_termination_rate /= n;
+  m.p95_millis = Percentile95(std::move(samples));
+  return m;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DSKS_CHECK_MSG(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&width](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), cells[c].c_str(),
+                  c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  size_t total = headers_.size() - 1;
+  for (size_t w : width) total += w + 1;
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace dsks

@@ -1,0 +1,66 @@
+#ifndef DSKS_HARNESS_EXPERIMENT_H_
+#define DSKS_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/workload.h"
+#include "harness/database.h"
+
+namespace dsks {
+
+/// Workload-averaged SK search metrics — the quantities the paper's §5.1
+/// figures plot (response time, # I/O accesses, # candidate objects,
+/// false-hit volume).
+struct SkWorkloadMetrics {
+  double avg_millis = 0.0;
+  /// 95th-percentile per-query response time (tail behaviour).
+  double p95_millis = 0.0;
+  double avg_io = 0.0;
+  double avg_candidates = 0.0;
+  double avg_false_hits = 0.0;
+  double avg_false_hit_objects = 0.0;
+  double avg_edges_skipped = 0.0;
+  double avg_objects_loaded = 0.0;
+};
+
+/// Runs every query of the workload through Algorithm 3 (after a warm-up
+/// pass is NOT performed — the paper measures with a small LRU buffer and
+/// so do we) and averages the counters.
+SkWorkloadMetrics RunSkWorkload(Database* db, const Workload& workload);
+
+/// Workload-averaged diversified search metrics (§5.2).
+struct DivWorkloadMetrics {
+  double avg_millis = 0.0;
+  /// 95th-percentile per-query response time (tail behaviour).
+  double p95_millis = 0.0;
+  double avg_io = 0.0;
+  double avg_candidates = 0.0;
+  double avg_objective = 0.0;
+  double avg_pruned = 0.0;
+  double early_termination_rate = 0.0;
+};
+
+DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
+                                  size_t k, double lambda, bool use_com);
+
+/// Minimal fixed-width table printer for the bench binaries, so every
+/// figure's output reads like the paper's series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_HARNESS_EXPERIMENT_H_

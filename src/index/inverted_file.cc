@@ -1,0 +1,221 @@
+#include "index/inverted_file.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "spatial/zorder.h"
+
+namespace dsks {
+
+InvertedFileIndex::InvertedFileIndex(BufferPool* pool,
+                                     const ObjectSet& objects,
+                                     size_t vocab_size)
+    : pool_(pool) {
+  const RoadNetwork& net = objects.network();
+  DSKS_CHECK_MSG(objects.finalized(), "object set must be finalized");
+
+  edge_zcode_.resize(net.num_edges());
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    edge_zcode_[e] = ZOrder::Encode(net.EdgeCenter(e));
+  }
+
+  // Collect per-term posting runs. Iterating edges in id order and objects
+  // in position order makes each run sorted by position for free.
+  struct Run {
+    EdgeId edge;
+    std::vector<PostingFile::Entry> entries;
+  };
+  std::vector<std::vector<Run>> term_runs(vocab_size);
+  posting_count_.assign(vocab_size, 0);
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    uint16_t pos = 0;
+    for (ObjectId id : objects.ObjectsOnEdge(e)) {
+      const SpatioTextualObject& obj = objects.object(id);
+      const double w1 = net.WeightFromN1(e, obj.offset);
+      for (TermId t : obj.terms) {
+        auto& runs = term_runs[t];
+        if (runs.empty() || runs.back().edge != e) {
+          runs.push_back(Run{e, {}});
+        }
+        runs.back().entries.push_back(PostingFile::Entry{id, pos, w1});
+        ++posting_count_[t];
+      }
+      ++pos;
+    }
+  }
+
+  // Phase 1: append every posting run (exclusive allocation so that runs
+  // can span contiguous pages).
+  postings_ = std::make_unique<PostingFile>(pool_);
+  std::vector<std::vector<std::pair<EdgeId, PostingFile::Locator>>> locators(
+      vocab_size);
+  for (TermId t = 0; t < vocab_size; ++t) {
+    for (const Run& run : term_runs[t]) {
+      locators[t].emplace_back(run.edge, postings_->AppendRun(run.entries));
+    }
+    term_runs[t].clear();
+  }
+
+  // Phase 2: one B+tree per keyword mapping edge keys to run locators,
+  // bulk loaded from the keyword's sorted edge-key list.
+  term_roots_.assign(vocab_size, kInvalidPageId);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (TermId t = 0; t < vocab_size; ++t) {
+    if (locators[t].empty()) {
+      continue;
+    }
+    pairs.clear();
+    pairs.reserve(locators[t].size());
+    for (const auto& [edge, loc] : locators[t]) {
+      pairs.emplace_back(EdgeKey(edge_zcode_[edge], edge), loc);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    BPlusTree tree = BPlusTree::BulkLoad(pool_, pairs);
+    term_roots_[t] = tree.root();
+    btree_pages_ += tree.CountPages();
+  }
+  directory_bytes_ = term_roots_.size() * sizeof(PageId) +
+                     edge_zcode_.size() * sizeof(uint64_t);
+
+  edge_next_pos_.assign(net.num_edges(), 0);
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    edge_next_pos_[e] =
+        static_cast<uint16_t>(objects.ObjectsOnEdge(e).size());
+  }
+}
+
+void InvertedFileIndex::AddObject(ObjectId id, EdgeId edge, double w1,
+                                  std::span<const TermId> terms) {
+  DSKS_CHECK_MSG(edge < edge_zcode_.size(), "unknown edge");
+  DSKS_CHECK_MSG(!terms.empty(), "object needs at least one keyword");
+  DSKS_CHECK(std::is_sorted(terms.begin(), terms.end()));
+  const uint16_t pos = edge_next_pos_[edge]++;
+
+  std::vector<PostingFile::Entry> run;
+  for (TermId t : terms) {
+    DSKS_CHECK_MSG(t < term_roots_.size(), "term outside vocabulary");
+    run.clear();
+    const uint64_t key = EdgeKey(edge_zcode_[edge], edge);
+    if (auto loc = FindRun(t, edge); loc.has_value()) {
+      postings_->ReadRun(*loc, &run);
+    }
+    // New positions are assigned in increasing order, so appending keeps
+    // the run sorted by position.
+    run.push_back(PostingFile::Entry{id, pos, w1});
+    const PostingFile::Locator new_loc = postings_->AppendRun(run);
+    if (term_roots_[t] == kInvalidPageId) {
+      BPlusTree tree = BPlusTree::Create(pool_);
+      tree.Insert(key, new_loc);
+      term_roots_[t] = tree.root();
+    } else {
+      BPlusTree tree(pool_, term_roots_[t]);
+      tree.Insert(key, new_loc);
+      term_roots_[t] = tree.root();  // root may change on split
+    }
+    ++posting_count_[t];
+  }
+  OnObjectAdded(id, edge, terms);
+}
+
+std::optional<PostingFile::Locator> InvertedFileIndex::FindRun(
+    TermId t, EdgeId edge) const {
+  if (t >= term_roots_.size() || term_roots_[t] == kInvalidPageId) {
+    return std::nullopt;
+  }
+  BPlusTree tree(pool_, term_roots_[t]);
+  return tree.Get(EdgeKey(edge_zcode_[edge], edge));
+}
+
+void InvertedFileIndex::LoadObjects(EdgeId edge, std::span<const TermId> terms,
+                                    std::vector<LoadedObject>* out) {
+  out->clear();
+  DSKS_CHECK_MSG(!terms.empty(), "query must have at least one keyword");
+  ++stats_.edges_probed;
+
+  std::vector<PosRange> ranges;
+  if (!CheckSignature(edge, terms, &ranges)) {
+    ++stats_.edges_skipped_by_signature;
+    return;
+  }
+  auto in_ranges = [&ranges](uint16_t pos) {
+    if (ranges.empty()) {
+      return true;
+    }
+    for (const PosRange& r : ranges) {
+      if (pos >= r.start && pos < r.end) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  uint64_t loaded_here = 0;
+  // Candidate map: position -> (entry, number of terms matched so far).
+  std::vector<PostingFile::Entry> run;
+  std::vector<PostingFile::Entry> candidates;
+  bool first = true;
+  for (TermId t : terms) {
+    auto loc = FindRun(t, edge);
+    if (!loc.has_value()) {
+      candidates.clear();
+      break;
+    }
+    postings_->ReadRun(*loc, &run);
+    std::vector<PostingFile::Entry> filtered;
+    filtered.reserve(run.size());
+    for (const PostingFile::Entry& e : run) {
+      if (in_ranges(e.pos)) {
+        filtered.push_back(e);
+      }
+    }
+    loaded_here += filtered.size();
+    if (first) {
+      candidates = std::move(filtered);
+      first = false;
+    } else {
+      // Intersect by position (positions are unique per edge); both lists
+      // are sorted by position.
+      std::vector<PostingFile::Entry> merged;
+      merged.reserve(std::min(candidates.size(), filtered.size()));
+      size_t i = 0;
+      size_t j = 0;
+      while (i < candidates.size() && j < filtered.size()) {
+        if (candidates[i].pos < filtered[j].pos) {
+          ++i;
+        } else if (candidates[i].pos > filtered[j].pos) {
+          ++j;
+        } else {
+          merged.push_back(candidates[i]);
+          ++i;
+          ++j;
+        }
+      }
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) {
+      break;
+    }
+  }
+
+  stats_.objects_loaded += loaded_here;
+  if (candidates.empty()) {
+    if (loaded_here > 0) {
+      ++stats_.false_hits;
+      stats_.false_hit_objects += loaded_here;
+    }
+    return;
+  }
+  out->reserve(candidates.size());
+  for (const PostingFile::Entry& e : candidates) {
+    out->push_back(LoadedObject{e.object, e.w1});
+  }
+  stats_.objects_returned += out->size();
+}
+
+uint64_t InvertedFileIndex::SizeBytes() const {
+  return (postings_->num_pages() + btree_pages_) * kPageSize +
+         directory_bytes_ + SummarySizeBytes();
+}
+
+}  // namespace dsks

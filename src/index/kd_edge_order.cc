@@ -1,0 +1,71 @@
+#include "index/kd_edge_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+KdEdgeOrder::KdEdgeOrder(const RoadNetwork& net) {
+  const size_t n = net.num_edges();
+  edge_at_.resize(n);
+  std::iota(edge_at_.begin(), edge_at_.end(), EdgeId{0});
+  if (n > 1) {
+    BuildRecursive(&edge_at_, 0, n, 0, net);
+  }
+  position_.resize(n);
+  for (uint32_t pos = 0; pos < n; ++pos) {
+    position_[edge_at_[pos]] = pos;
+  }
+}
+
+void KdEdgeOrder::BuildRecursive(std::vector<EdgeId>* edges, size_t lo,
+                                 size_t hi, int axis,
+                                 const RoadNetwork& net) {
+  if (hi - lo <= 1) {
+    return;
+  }
+  const size_t mid = (lo + hi) / 2;
+  auto cmp = [&net, axis](EdgeId a, EdgeId b) {
+    const Point ca = net.EdgeCenter(a);
+    const Point cb = net.EdgeCenter(b);
+    const double va = axis == 0 ? ca.x : ca.y;
+    const double vb = axis == 0 ? cb.x : cb.y;
+    return va != vb ? va < vb : a < b;
+  };
+  std::nth_element(edges->begin() + lo, edges->begin() + mid,
+                   edges->begin() + hi, cmp);
+  BuildRecursive(edges, lo, mid, 1 - axis, net);
+  BuildRecursive(edges, mid, hi, 1 - axis, net);
+}
+
+uint64_t KdEdgeOrder::CompactedTrieNodesRecursive(
+    std::span<const uint32_t> positions, uint32_t range_lo,
+    uint32_t range_hi) const {
+  const uint32_t range_size = range_hi - range_lo;
+  // Uniform subtree (all zeros or all ones): one compacted node.
+  if (positions.empty() || positions.size() == range_size) {
+    return 1;
+  }
+  DSKS_CHECK(range_size > 1);
+  const uint32_t mid = range_lo + range_size / 2;  // matches BuildRecursive
+  auto split = std::lower_bound(positions.begin(), positions.end(), mid);
+  const auto left =
+      positions.subspan(0, static_cast<size_t>(split - positions.begin()));
+  const auto right =
+      positions.subspan(static_cast<size_t>(split - positions.begin()));
+  return 1 + CompactedTrieNodesRecursive(left, range_lo, mid) +
+         CompactedTrieNodesRecursive(right, mid, range_hi);
+}
+
+uint64_t KdEdgeOrder::CompactedTrieNodes(
+    std::span<const uint32_t> sorted_positions) const {
+  if (edge_at_.empty()) {
+    return 0;
+  }
+  return CompactedTrieNodesRecursive(sorted_positions, 0,
+                                     static_cast<uint32_t>(edge_at_.size()));
+}
+
+}  // namespace dsks

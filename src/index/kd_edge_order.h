@@ -1,0 +1,57 @@
+#ifndef DSKS_INDEX_KD_EDGE_ORDER_H_
+#define DSKS_INDEX_KD_EDGE_ORDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+/// KD-tree ordering of the edges of a road network, built by recursively
+/// median-splitting the edge center points with alternating axes (§3.1:
+/// "we recursively divide the edges by KD-tree partition method based on
+/// the center points of the edges, and each leaf node corresponds to the
+/// signature of an edge").
+///
+/// The ordering assigns every edge a *position*: the index of its leaf in
+/// left-to-right order. A keyword's signature is then the set of positions
+/// whose edges carry the keyword; because the KD layout keeps spatially
+/// close edges in contiguous position ranges, the signature compacts well
+/// ("compacting the tree node if all of its descendant nodes share the
+/// same signature value"), which CompactedTrieNodes quantifies.
+class KdEdgeOrder {
+ public:
+  explicit KdEdgeOrder(const RoadNetwork& net);
+
+  /// Position (leaf rank) of edge `e` in the KD layout.
+  uint32_t PositionOf(EdgeId e) const { return position_[e]; }
+
+  /// Edge at KD position `pos`.
+  EdgeId EdgeAt(uint32_t pos) const { return edge_at_[pos]; }
+
+  size_t num_edges() const { return edge_at_.size(); }
+
+  /// Number of nodes in the compacted signature trie for the given sorted
+  /// set of positions: subtrees that are uniformly 0 or uniformly 1
+  /// collapse to a single node. One bit per node approximates the size of
+  /// the paper's compacted signature.
+  uint64_t CompactedTrieNodes(std::span<const uint32_t> sorted_positions) const;
+
+ private:
+  void BuildRecursive(std::vector<EdgeId>* edges, size_t lo, size_t hi,
+                      int axis, const RoadNetwork& net);
+
+  uint64_t CompactedTrieNodesRecursive(std::span<const uint32_t> positions,
+                                       uint32_t range_lo,
+                                       uint32_t range_hi) const;
+
+  std::vector<uint32_t> position_;
+  std::vector<EdgeId> edge_at_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_KD_EDGE_ORDER_H_

@@ -1,0 +1,33 @@
+#include "index/object_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dsks {
+
+void ObjectIndex::LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
+                                   std::vector<LoadedObjectUnion>* out) {
+  out->clear();
+  // Generic implementation on top of single-term AND loads; subclasses
+  // with cheaper access paths may override.
+  std::map<ObjectId, LoadedObjectUnion> merged;
+  std::vector<LoadedObject> per_term;
+  for (TermId t : terms) {
+    const TermId single[1] = {t};
+    LoadObjects(edge, single, &per_term);
+    for (const LoadedObject& o : per_term) {
+      auto [it, inserted] = merged.try_emplace(o.id);
+      if (inserted) {
+        it->second.id = o.id;
+        it->second.w1 = o.w1;
+      }
+      ++it->second.matched;
+    }
+  }
+  out->reserve(merged.size());
+  for (const auto& [id, o] : merged) {
+    out->push_back(o);
+  }
+}
+
+}  // namespace dsks

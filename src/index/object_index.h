@@ -1,0 +1,81 @@
+#ifndef DSKS_INDEX_OBJECT_INDEX_H_
+#define DSKS_INDEX_OBJECT_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dsks {
+
+/// An object that satisfied the keyword constraint on a probed edge,
+/// together with its cost offset from the edge's reference node n1
+/// (w(n2, o) = edge weight - w1, Equation 1).
+struct LoadedObject {
+  ObjectId id = kInvalidObjectId;
+  double w1 = 0.0;
+};
+
+/// Per-query counters an index accumulates across LoadObjects calls. The
+/// figures in §5 are built from these plus the buffer-pool/disk I/O stats.
+struct ObjectIndexStats {
+  /// LoadObjects invocations (edges probed during network expansion).
+  uint64_t edges_probed = 0;
+  /// Edges rejected by the in-memory signature test without any I/O.
+  uint64_t edges_skipped_by_signature = 0;
+  /// Posting entries (or R-tree candidate objects) read from disk pages.
+  uint64_t objects_loaded = 0;
+  /// Objects returned (satisfied the full AND keyword constraint).
+  uint64_t objects_returned = 0;
+  /// Probes that performed I/O but returned no object (§3.3 "false hit").
+  uint64_t false_hits = 0;
+  /// Objects loaded by those false hits (the ξ cost of §3.3).
+  uint64_t false_hit_objects = 0;
+
+  void Reset() { *this = ObjectIndexStats(); }
+};
+
+/// Interface of the spatio-textual object indexes compared in the paper:
+/// IR (inverted R-tree), IF (inverted file), SIF (signature-based inverted
+/// file), SIF-P (partition-enhanced) and SIF-G (group-based). The SK search
+/// algorithm (Algorithm 3) calls LoadObjects for every edge it expands.
+class ObjectIndex {
+ public:
+  virtual ~ObjectIndex() = default;
+
+  /// Algorithm 2: returns the objects lying on `edge` that contain every
+  /// term in `terms` (sorted by position along the edge). `terms` must be
+  /// non-empty.
+  virtual void LoadObjects(EdgeId edge, std::span<const TermId> terms,
+                           std::vector<LoadedObject>* out) = 0;
+
+  /// OR-semantics variant used by the ranked search: objects containing
+  /// *at least one* term, with `matched` = how many of the query terms
+  /// each contains. Default implementation loads per-term and unions.
+  struct LoadedObjectUnion {
+    ObjectId id = kInvalidObjectId;
+    double w1 = 0.0;
+    uint32_t matched = 0;
+  };
+  virtual void LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
+                                std::vector<LoadedObjectUnion>* out);
+
+  /// Total size of the disk-resident part plus in-memory summaries
+  /// (signatures, directories), for the Fig. 6(c) index-size comparison.
+  virtual uint64_t SizeBytes() const = 0;
+
+  /// Display name, e.g. "SIF-P".
+  virtual std::string name() const = 0;
+
+  ObjectIndexStats& stats() { return stats_; }
+  const ObjectIndexStats& stats() const { return stats_; }
+
+ protected:
+  ObjectIndexStats stats_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_OBJECT_INDEX_H_

@@ -1,0 +1,214 @@
+#include "index/partition.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+namespace {
+
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// ξ(q, e') of a single virtual edge covering object indexes [lo, hi]
+/// (inclusive): its object count if it passes the signature test but no
+/// object matches all query terms, else 0.
+double VirtualEdgeCost(std::span<const std::vector<TermId>> objs, size_t lo,
+                       size_t hi, const LogQuery& q) {
+  bool some_object_full = false;
+  for (size_t i = lo; i <= hi && !some_object_full; ++i) {
+    some_object_full = std::includes(objs[i].begin(), objs[i].end(),
+                                     q.terms.begin(), q.terms.end());
+  }
+  if (some_object_full) {
+    return 0.0;  // true hit
+  }
+  // Signature test: every query term present on some object in the range.
+  for (TermId t : q.terms) {
+    bool present = false;
+    for (size_t i = lo; i <= hi && !present; ++i) {
+      present = std::binary_search(objs[i].begin(), objs[i].end(), t);
+    }
+    if (!present) {
+      return 0.0;  // fails the signature test, nothing is loaded
+    }
+  }
+  return static_cast<double>(hi - lo + 1);  // false hit: all objects loaded
+}
+
+/// ξ(Q, [lo..hi]) summed over the log with probabilities.
+double RangeCost(std::span<const std::vector<TermId>> objs, size_t lo,
+                 size_t hi, std::span<const LogQuery> log) {
+  double total = 0.0;
+  for (const LogQuery& q : log) {
+    total += q.prob * VirtualEdgeCost(objs, lo, hi, q);
+  }
+  return total;
+}
+
+}  // namespace
+
+void EdgePartition::Range(size_t i, size_t m, size_t* start,
+                          size_t* end) const {
+  DSKS_CHECK(i < num_virtual_edges());
+  *start = i == 0 ? 0 : boundaries[i - 1];
+  *end = i == boundaries.size() ? m : boundaries[i];
+}
+
+double PartitionCost(std::span<const std::vector<TermId>> edge_objects,
+                     const EdgePartition& partition,
+                     std::span<const LogQuery> log) {
+  const size_t m = edge_objects.size();
+  DSKS_CHECK(m > 0);
+  double total = 0.0;
+  for (size_t i = 0; i < partition.num_virtual_edges(); ++i) {
+    size_t start = 0;
+    size_t end = 0;
+    partition.Range(i, m, &start, &end);
+    DSKS_CHECK_MSG(start < end, "empty virtual edge");
+    total += RangeCost(edge_objects, start, end - 1, log);
+  }
+  return total;
+}
+
+EdgePartition GreedyPartition(
+    std::span<const std::vector<TermId>> edge_objects,
+    std::span<const LogQuery> log, size_t max_cuts) {
+  const size_t m = edge_objects.size();
+  EdgePartition best;
+  if (m <= 1) {
+    return best;
+  }
+  // Incremental evaluation (the O(c·m·(s_e + |Q|·q_t)) greedy of §3.3):
+  // splitting one virtual edge only changes that edge's contribution, so
+  // each candidate cut costs two RangeCost calls instead of re-evaluating
+  // the whole partition.
+  auto range_cost = [&](size_t start, size_t end) {
+    return RangeCost(edge_objects, start, end - 1, log);
+  };
+  // Virtual edges as (start, end, cost), kept sorted by start.
+  struct Ve {
+    size_t start;
+    size_t end;
+    double cost;
+  };
+  std::vector<Ve> ves = {{0, m, range_cost(0, m)}};
+
+  for (size_t iter = 0; iter < max_cuts; ++iter) {
+    double best_gain = 0.0;
+    size_t best_ve = 0;
+    size_t best_cut = 0;
+    double best_left = 0.0;
+    double best_right = 0.0;
+    for (size_t v = 0; v < ves.size(); ++v) {
+      const Ve& ve = ves[v];
+      if (ve.cost == 0.0 || ve.end - ve.start < 2) {
+        continue;  // splitting a zero-cost edge can only hurt
+      }
+      for (size_t cut = ve.start + 1; cut < ve.end; ++cut) {
+        const double left = range_cost(ve.start, cut);
+        const double right = range_cost(cut, ve.end);
+        const double gain = ve.cost - left - right;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_ve = v;
+          best_cut = cut;
+          best_left = left;
+          best_right = right;
+        }
+      }
+    }
+    if (best_gain <= 0.0) {
+      break;  // no strictly improving cut
+    }
+    const Ve old = ves[best_ve];
+    ves[best_ve] = Ve{old.start, best_cut, best_left};
+    ves.insert(ves.begin() + static_cast<ptrdiff_t>(best_ve) + 1,
+               Ve{best_cut, old.end, best_right});
+  }
+
+  for (size_t v = 1; v < ves.size(); ++v) {
+    best.boundaries.push_back(static_cast<uint16_t>(ves[v].start));
+  }
+  return best;
+}
+
+EdgePartition DpPartition(std::span<const std::vector<TermId>> edge_objects,
+                          std::span<const LogQuery> log, size_t cuts) {
+  const size_t m = edge_objects.size();
+  EdgePartition result;
+  if (m <= 1 || cuts == 0) {
+    return result;
+  }
+  const size_t max_c = std::min(cuts, m - 1);
+
+  // P[c][i][j]: minimal cost of splitting objects [i..j] into c+1 virtual
+  // edges (Equations 7-9); choice[c][i][j] records the fixed cut position k
+  // and the left-side cut count v that achieve it.
+  auto idx = [m](size_t i, size_t j) { return i * m + j; };
+  std::vector<std::vector<double>> cost(
+      max_c + 1, std::vector<double>(m * m, kInfCost));
+  std::vector<std::vector<std::pair<uint16_t, uint16_t>>> choice(
+      max_c + 1, std::vector<std::pair<uint16_t, uint16_t>>(m * m, {0, 0}));
+
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i; j < m; ++j) {
+      cost[0][idx(i, j)] = RangeCost(edge_objects, i, j, log);
+    }
+  }
+  for (size_t c = 1; c <= max_c; ++c) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + c; j < m; ++j) {
+        double best = kInfCost;
+        std::pair<uint16_t, uint16_t> best_choice = {0, 0};
+        for (size_t k = i; k < j; ++k) {
+          // Q*(i,j,k,c): cut after object k, distribute remaining cuts.
+          for (size_t v = 0; v < c; ++v) {
+            const double left = cost[v][idx(i, k)];
+            const double right = cost[c - 1 - v][idx(k + 1, j)];
+            if (left == kInfCost || right == kInfCost) {
+              continue;
+            }
+            if (left + right < best) {
+              best = left + right;
+              best_choice = {static_cast<uint16_t>(k),
+                             static_cast<uint16_t>(v)};
+            }
+          }
+        }
+        cost[c][idx(i, j)] = best;
+        choice[c][idx(i, j)] = best_choice;
+      }
+    }
+  }
+
+  // The "number of cuts allowed" semantics: pick the best c in [0, max_c].
+  size_t best_c = 0;
+  for (size_t c = 1; c <= max_c; ++c) {
+    if (cost[c][idx(0, m - 1)] < cost[best_c][idx(0, m - 1)]) {
+      best_c = c;
+    }
+  }
+
+  // Reconstruct the cut positions.
+  std::vector<uint16_t> bounds;
+  std::function<void(size_t, size_t, size_t)> rebuild = [&](size_t i, size_t j,
+                                                            size_t c) {
+    if (c == 0) {
+      return;
+    }
+    auto [k, v] = choice[c][idx(i, j)];
+    bounds.push_back(static_cast<uint16_t>(k + 1));
+    rebuild(i, k, v);
+    rebuild(k + 1, j, c - 1 - v);
+  };
+  rebuild(0, m - 1, best_c);
+  std::sort(bounds.begin(), bounds.end());
+  result.boundaries = std::move(bounds);
+  return result;
+}
+
+}  // namespace dsks

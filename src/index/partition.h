@@ -1,0 +1,58 @@
+#ifndef DSKS_INDEX_PARTITION_H_
+#define DSKS_INDEX_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dsks {
+
+/// A query-log entry used to train the §3.3 edge partitioning: a keyword
+/// set and the probability the query is issued (Equation 6).
+struct LogQuery {
+  std::vector<TermId> terms;  // sorted unique
+  double prob = 1.0;
+};
+
+/// A partition of the m objects on one edge into contiguous *virtual
+/// edges*. `boundaries` holds the start index of every virtual edge except
+/// the first (so `boundaries.size()` == number of cuts); virtual edge i
+/// covers object indexes [start_i, start_{i+1}).
+struct EdgePartition {
+  std::vector<uint16_t> boundaries;
+
+  size_t num_virtual_edges() const { return boundaries.size() + 1; }
+
+  /// [start, end) object-index range of virtual edge `i` given `m` objects.
+  void Range(size_t i, size_t m, size_t* start, size_t* end) const;
+};
+
+/// False-hit cost ξ(Q, P) (Equations 5-6) of partitioning `edge_objects`
+/// (the sorted term set of each object on the edge, in visiting order)
+/// with `partition`, under query log `log`. A virtual edge contributes its
+/// object count for query q iff it passes the signature test (every term
+/// of q appears on some object) but contains no object with all terms.
+double PartitionCost(std::span<const std::vector<TermId>> edge_objects,
+                     const EdgePartition& partition,
+                     std::span<const LogQuery> log);
+
+/// The greedy heuristic of §3.3: starting from the whole edge, repeatedly
+/// adds the single cut that minimizes ξ(Q, P), stopping after `max_cuts`
+/// cuts or when no cut strictly improves the cost. This is the variant the
+/// paper uses in all experiments (up to two orders of magnitude faster
+/// than the DP at similar quality).
+EdgePartition GreedyPartition(std::span<const std::vector<TermId>> edge_objects,
+                              std::span<const LogQuery> log, size_t max_cuts);
+
+/// Algorithm 4: exact dynamic program over P*(i, j, c); O(c^2 m^3).
+/// Returns a minimum-cost partition with *exactly* min(c, m-1) cuts unless
+/// fewer cuts already achieve cost 0. Intended for small m (tests,
+/// ablations).
+EdgePartition DpPartition(std::span<const std::vector<TermId>> edge_objects,
+                          std::span<const LogQuery> log, size_t cuts);
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_PARTITION_H_

@@ -1,0 +1,66 @@
+#ifndef DSKS_INDEX_POSTING_FILE_H_
+#define DSKS_INDEX_POSTING_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "storage/buffer_pool.h"
+
+namespace dsks {
+
+/// Append-only storage for inverted-file posting runs. A *run* is the list
+/// of postings of one (keyword, edge) pair: every object on that edge that
+/// contains the keyword, ordered by position along the edge. The
+/// per-keyword B+trees (§3.1) map edges to run locators in this file.
+///
+/// Runs are packed back to back; a run may span consecutive pages, so all
+/// AppendRun calls must happen in one exclusive build phase (no interleaved
+/// page allocation on the same disk), which the builder enforces.
+class PostingFile {
+ public:
+  /// One posting: the object, its rank along the edge (the visiting order
+  /// used by the §3.3 partitioning), and its cost offset w(n1, o) from the
+  /// edge's reference node. w(n2, o) is edge_weight - w1.
+  struct Entry {
+    ObjectId object = kInvalidObjectId;
+    uint16_t pos = 0;
+    double w1 = 0.0;
+  };
+
+  /// Opaque run locator: packs (first page, first slot, entry count).
+  using Locator = uint64_t;
+
+  explicit PostingFile(BufferPool* pool) : pool_(pool) {}
+
+  PostingFile(const PostingFile&) = delete;
+  PostingFile& operator=(const PostingFile&) = delete;
+  PostingFile(PostingFile&&) = default;
+
+  /// Appends a run (at most 65535 entries) and returns its locator.
+  Locator AppendRun(std::span<const Entry> entries);
+
+  /// Reads a whole run into `out` (cleared first).
+  void ReadRun(Locator locator, std::vector<Entry>* out) const;
+
+  /// Number of entries in a run without reading it.
+  static uint32_t RunLength(Locator locator);
+
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Entries that fit on one 4 KiB page.
+  static size_t EntriesPerPage();
+
+ private:
+  BufferPool* pool_;
+  PageId current_page_ = kInvalidPageId;
+  uint32_t current_slot_ = 0;
+  uint64_t num_pages_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_POSTING_FILE_H_

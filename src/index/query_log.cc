@@ -1,0 +1,124 @@
+#include "index/query_log.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace dsks {
+
+namespace {
+
+/// Distinct terms on the edge and, for kFrequency, how many objects carry
+/// each.
+void EdgeTermCounts(std::span<const std::vector<TermId>> edge_objects,
+                    std::vector<std::pair<TermId, uint32_t>>* counts) {
+  std::map<TermId, uint32_t> acc;
+  for (const auto& terms : edge_objects) {
+    for (TermId t : terms) {
+      ++acc[t];
+    }
+  }
+  counts->assign(acc.begin(), acc.end());
+}
+
+/// Samples `l` distinct terms with the given per-term weights.
+std::vector<TermId> SampleTerms(
+    const std::vector<std::pair<TermId, uint32_t>>& weighted, size_t l,
+    bool uniform, Random* rng) {
+  std::vector<TermId> out;
+  if (weighted.empty()) {
+    return out;
+  }
+  double total = 0.0;
+  for (const auto& [t, c] : weighted) {
+    total += uniform ? 1.0 : static_cast<double>(c);
+  }
+  // Rejection-sample distinct terms; the domains here are tiny (terms on
+  // one edge), so a bounded number of attempts suffices.
+  const size_t want = std::min(l, weighted.size());
+  size_t attempts = 0;
+  while (out.size() < want && attempts < 64 * want) {
+    ++attempts;
+    double u = rng->NextDouble() * total;
+    TermId picked = weighted.back().first;
+    for (const auto& [t, c] : weighted) {
+      u -= uniform ? 1.0 : static_cast<double>(c);
+      if (u <= 0.0) {
+        picked = t;
+        break;
+      }
+    }
+    if (std::find(out.begin(), out.end(), picked) == out.end()) {
+      out.push_back(picked);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::function<std::vector<LogQuery>(EdgeId,
+                                    std::span<const std::vector<TermId>>)>
+MakeQueryLogProvider(QueryLogMode mode,
+                     std::vector<std::vector<TermId>> workload_terms,
+                     size_t terms_per_query, size_t queries_per_edge,
+                     uint64_t seed) {
+  if (mode == QueryLogMode::kReal) {
+    auto workload = std::make_shared<std::vector<std::vector<TermId>>>(
+        std::move(workload_terms));
+    for (auto& terms : *workload) {
+      std::sort(terms.begin(), terms.end());
+      terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    }
+    return [workload](EdgeId, std::span<const std::vector<TermId>> objs) {
+      // Keep only queries whose keywords all appear on the edge; other
+      // queries cost 0 for every partition and would just slow training.
+      std::vector<LogQuery> log;
+      const double prob = 1.0 / static_cast<double>(workload->size());
+      for (const auto& q : *workload) {
+        bool all_present = true;
+        for (TermId t : q) {
+          bool present = false;
+          for (const auto& terms : objs) {
+            if (std::binary_search(terms.begin(), terms.end(), t)) {
+              present = true;
+              break;
+            }
+          }
+          if (!present) {
+            all_present = false;
+            break;
+          }
+        }
+        if (all_present) {
+          log.push_back(LogQuery{q, prob});
+        }
+      }
+      return log;
+    };
+  }
+
+  const bool uniform = mode == QueryLogMode::kRandom;
+  return [uniform, terms_per_query, queries_per_edge, seed](
+             EdgeId edge, std::span<const std::vector<TermId>> objs) {
+    // Per-edge deterministic RNG so partitioning does not depend on the
+    // order edges are processed in.
+    Random rng(seed ^ (0x9E3779B97F4A7C15ULL * (edge + 1)));
+    std::vector<std::pair<TermId, uint32_t>> counts;
+    EdgeTermCounts(objs, &counts);
+    std::vector<LogQuery> log;
+    const double prob = 1.0 / static_cast<double>(queries_per_edge);
+    for (size_t i = 0; i < queries_per_edge; ++i) {
+      std::vector<TermId> terms =
+          SampleTerms(counts, terms_per_query, uniform, &rng);
+      if (!terms.empty()) {
+        log.push_back(LogQuery{std::move(terms), prob});
+      }
+    }
+    return log;
+  };
+}
+
+}  // namespace dsks

@@ -1,0 +1,44 @@
+#ifndef DSKS_INDEX_QUERY_LOG_H_
+#define DSKS_INDEX_QUERY_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/types.h"
+#include "index/partition.h"
+#include "index/sif_partitioned.h"
+
+namespace dsks {
+
+/// How the SIF-P training query log is obtained (Fig. 10):
+///  * kReal     — the actual query workload is used as the log
+///                (SIF-P-Real, the upper bound).
+///  * kFrequency— per edge, keywords are sampled proportionally to their
+///                frequency among the edge's objects (SIF-P-Freq, the
+///                default per §3.3 Remark 1).
+///  * kRandom   — per edge, keywords are sampled uniformly from the terms
+///                present on the edge (SIF-P-Rand).
+enum class QueryLogMode { kReal, kFrequency, kRandom };
+
+/// Builds a SifPConfig::log_provider.
+///
+/// For kReal, `workload_terms` must hold the keyword sets of the workload
+/// queries; the provider filters them to the queries whose keywords all
+/// occur on the edge (other queries have zero ξ for any partition).
+///
+/// For the synthetic modes, `queries_per_edge` keyword sets of size
+/// `terms_per_query` are drawn per edge with the stated distribution, each
+/// with equal probability. `seed` makes generation deterministic.
+std::function<std::vector<LogQuery>(EdgeId,
+                                    std::span<const std::vector<TermId>>)>
+MakeQueryLogProvider(QueryLogMode mode,
+                     std::vector<std::vector<TermId>> workload_terms,
+                     size_t terms_per_query, size_t queries_per_edge,
+                     uint64_t seed);
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_QUERY_LOG_H_

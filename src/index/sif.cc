@@ -1,0 +1,23 @@
+#include "index/sif.h"
+
+namespace dsks {
+
+SifIndex::SifIndex(BufferPool* pool, const ObjectSet& objects,
+                   size_t vocab_size, size_t min_postings)
+    : InvertedFileIndex(pool, objects, vocab_size),
+      kd_order_(std::make_unique<KdEdgeOrder>(objects.network())),
+      signature_(std::make_unique<SignatureFile>(objects, *kd_order_,
+                                                 vocab_size, min_postings)) {}
+
+bool SifIndex::CheckSignature(EdgeId edge, std::span<const TermId> terms,
+                              std::vector<PosRange>* ranges) {
+  (void)ranges;
+  for (TermId t : terms) {
+    if (!signature_->Test(edge, t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsks

@@ -1,0 +1,66 @@
+#include "index/signature.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+SignatureFile::SignatureFile(const ObjectSet& objects,
+                             const KdEdgeOrder& order, size_t vocab_size,
+                             size_t min_postings)
+    : order_(&order) {
+  const RoadNetwork& net = objects.network();
+  std::vector<uint64_t> posting_count(vocab_size, 0);
+  for (const auto& obj : objects.objects()) {
+    for (TermId t : obj.terms) {
+      ++posting_count[t];
+    }
+  }
+
+  positions_.assign(vocab_size, {});
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    const uint32_t pos = order.PositionOf(e);
+    for (ObjectId id : objects.ObjectsOnEdge(e)) {
+      for (TermId t : objects.object(id).terms) {
+        if (posting_count[t] >= min_postings) {
+          positions_[t].push_back(pos);
+        }
+      }
+    }
+  }
+  for (TermId t = 0; t < vocab_size; ++t) {
+    auto& v = positions_[t];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    if (!v.empty()) {
+      size_bytes_ = size_bytes_ + (order.CompactedTrieNodes(v) + 7) / 8;
+    }
+  }
+}
+
+void SignatureFile::AddObjectTerms(EdgeId e, std::span<const TermId> terms) {
+  const uint32_t pos = order_->PositionOf(e);
+  for (TermId t : terms) {
+    DSKS_CHECK(t < positions_.size());
+    auto& v = positions_[t];
+    if (v.empty()) {
+      continue;  // unsigned keyword: already pass-through
+    }
+    auto it = std::lower_bound(v.begin(), v.end(), pos);
+    if (it == v.end() || *it != pos) {
+      v.insert(it, pos);
+    }
+  }
+}
+
+bool SignatureFile::Test(EdgeId e, TermId t) const {
+  DSKS_CHECK(t < positions_.size());
+  const auto& v = positions_[t];
+  if (v.empty()) {
+    return true;  // no signature built for this keyword
+  }
+  return std::binary_search(v.begin(), v.end(), order_->PositionOf(e));
+}
+
+}  // namespace dsks

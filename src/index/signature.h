@@ -1,0 +1,63 @@
+#ifndef DSKS_INDEX_SIGNATURE_H_
+#define DSKS_INDEX_SIGNATURE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/object_set.h"
+#include "graph/types.h"
+#include "index/kd_edge_order.h"
+
+namespace dsks {
+
+/// The in-memory signature file of §3.1: for each keyword t, the set of
+/// edges that carry at least one object containing t (I(e,t) = 1). The
+/// signature test lets the SK search skip an edge — with zero I/O — as
+/// soon as one query keyword's bit is 0.
+///
+/// Each keyword's bit vector is stored as the sorted list of KD positions
+/// of its 1-edges (an exact, lossless encoding); SizeBytes() reports the
+/// size of the equivalent compacted KD-trie, which is what the paper's
+/// index-size figures measure.
+///
+/// Following the paper, no signature is built for a keyword whose whole
+/// inverted file fits into one data page (`min_postings`); Test() returns
+/// true for such keywords.
+class SignatureFile {
+ public:
+  /// `min_postings`: keywords with fewer total postings than this get no
+  /// signature (pass-through). The paper's rule corresponds to the posting
+  /// capacity of one page.
+  SignatureFile(const ObjectSet& objects, const KdEdgeOrder& order,
+                size_t vocab_size, size_t min_postings);
+
+  /// I(e, t): true if edge `e` may contain an object with keyword `t`
+  /// (exact for signed keywords, always true for unsigned ones).
+  bool Test(EdgeId e, TermId t) const;
+
+  /// True if keyword `t` has a signature (its bit vector is materialized).
+  bool HasSignature(TermId t) const { return !positions_[t].empty(); }
+
+  /// Dynamic-ingestion hook: sets I(e, t) = 1 for every signed term of a
+  /// newly indexed object. Unsigned keywords (below the build-time posting
+  /// threshold) stay pass-through, so the signature never produces false
+  /// negatives. SizeBytes() keeps its build-time value.
+  void AddObjectTerms(EdgeId e, std::span<const TermId> terms);
+
+  /// Compacted signature size over all keywords (one bit per trie node).
+  uint64_t SizeBytes() const { return size_bytes_; }
+
+  const KdEdgeOrder& order() const { return *order_; }
+
+ private:
+  const KdEdgeOrder* order_;
+  /// Per keyword: sorted KD positions of edges with the keyword; empty for
+  /// keywords below `min_postings` (treated as all-ones).
+  std::vector<std::vector<uint32_t>> positions_;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_INDEX_SIGNATURE_H_

@@ -1,0 +1,460 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+namespace {
+
+// Node layout:
+//   u8  is_leaf
+//   u16 count
+//   entries: { f64 min_x, f64 min_y, f64 max_x, f64 max_y, u64 payload }
+// For internal nodes the payload's low 32 bits hold the child PageId.
+constexpr size_t kHeaderSize = 3;
+constexpr size_t kEntrySize = 4 * sizeof(double) + sizeof(uint64_t);
+constexpr size_t kCapacity = (kPageSize - kHeaderSize) / kEntrySize;
+
+bool IsLeaf(const char* p) { return p[0] != 0; }
+void SetLeaf(char* p, bool leaf) { p[0] = leaf ? 1 : 0; }
+uint16_t Count(const char* p) {
+  uint16_t c;
+  std::memcpy(&c, p + 1, 2);
+  return c;
+}
+void SetCount(char* p, uint16_t c) { std::memcpy(p + 1, &c, 2); }
+
+void WriteEntry(char* p, size_t i, const Mbr& mbr, uint64_t payload) {
+  char* base = p + kHeaderSize + i * kEntrySize;
+  std::memcpy(base, &mbr.min_x, 8);
+  std::memcpy(base + 8, &mbr.min_y, 8);
+  std::memcpy(base + 16, &mbr.max_x, 8);
+  std::memcpy(base + 24, &mbr.max_y, 8);
+  std::memcpy(base + 32, &payload, 8);
+}
+
+void ReadEntry(const char* p, size_t i, Mbr* mbr, uint64_t* payload) {
+  const char* base = p + kHeaderSize + i * kEntrySize;
+  std::memcpy(&mbr->min_x, base, 8);
+  std::memcpy(&mbr->min_y, base + 8, 8);
+  std::memcpy(&mbr->max_x, base + 16, 8);
+  std::memcpy(&mbr->max_y, base + 24, 8);
+  std::memcpy(payload, base + 32, 8);
+}
+
+}  // namespace
+
+size_t RTree::LeafCapacity() { return kCapacity; }
+size_t RTree::InternalCapacity() { return kCapacity; }
+
+RTree RTree::BulkLoad(BufferPool* pool, std::vector<Entry> entries) {
+  // Empty tree: a single empty leaf keeps all read paths uniform.
+  if (entries.empty()) {
+    PageId root;
+    PageGuard guard = PageGuard::New(pool, &root);
+    SetLeaf(guard.data(), true);
+    SetCount(guard.data(), 0);
+    return RTree(pool, root, 1);
+  }
+
+  // STR: sort by center x, slice into vertical strips of ~sqrt(n/C) pages,
+  // sort each strip by center y, pack runs of C entries into nodes. Repeat
+  // one level up until a single node remains.
+  int height = 1;
+  bool leaf_level = true;
+  while (true) {
+    const size_t n = entries.size();
+    const size_t num_nodes = (n + kCapacity - 1) / kCapacity;
+    const auto slice_count =
+        static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+    const size_t slice_size =
+        slice_count == 0 ? n : (n + slice_count - 1) / slice_count;
+
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+      return a.mbr.Center().x < b.mbr.Center().x;
+    });
+    for (size_t start = 0; start < n; start += slice_size) {
+      const size_t end = std::min(n, start + slice_size);
+      std::sort(entries.begin() + start, entries.begin() + end,
+                [](const Entry& a, const Entry& b) {
+                  return a.mbr.Center().y < b.mbr.Center().y;
+                });
+    }
+
+    std::vector<Entry> parents;
+    parents.reserve(num_nodes);
+    for (size_t start = 0; start < n; start += kCapacity) {
+      const size_t end = std::min(n, start + kCapacity);
+      PageId node_id;
+      PageGuard guard = PageGuard::New(pool, &node_id);
+      char* p = guard.data();
+      SetLeaf(p, leaf_level);
+      SetCount(p, static_cast<uint16_t>(end - start));
+      Mbr node_mbr = Mbr::Empty();
+      for (size_t i = start; i < end; ++i) {
+        WriteEntry(p, i - start, entries[i].mbr, entries[i].payload);
+        node_mbr.Extend(entries[i].mbr);
+      }
+      guard.MarkDirty();
+      parents.push_back(Entry{node_mbr, node_id});
+    }
+
+    if (parents.size() == 1) {
+      return RTree(pool, static_cast<PageId>(parents[0].payload), height);
+    }
+    entries = std::move(parents);
+    leaf_level = false;
+    ++height;
+  }
+}
+
+RTree RTree::CreateEmpty(BufferPool* pool) {
+  PageId root;
+  PageGuard guard = PageGuard::New(pool, &root);
+  SetLeaf(guard.data(), true);
+  SetCount(guard.data(), 0);
+  return RTree(pool, root, 1);
+}
+
+namespace {
+
+/// Guttman's quadratic split over `entries` (size kCapacity + 1): returns
+/// the index partition into two groups.
+void QuadraticSplit(const std::vector<RTree::Entry>& entries,
+                    std::vector<size_t>* left, std::vector<size_t>* right) {
+  const size_t n = entries.size();
+  // Pick the pair of seeds wasting the most area together.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Mbr merged = entries[i].mbr;
+      merged.Extend(entries[j].mbr);
+      const double dead =
+          merged.Area() - entries[i].mbr.Area() - entries[j].mbr.Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  left->assign(1, seed_a);
+  right->assign(1, seed_b);
+  Mbr left_mbr = entries[seed_a].mbr;
+  Mbr right_mbr = entries[seed_b].mbr;
+  const size_t min_fill = n / 3;  // keep both sides reasonably full
+
+  for (size_t i = 0; i < n; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const size_t remaining = n - left->size() - right->size();
+    // Force-assign when one side must take everything left to reach the
+    // minimum fill.
+    if (left->size() + remaining <= min_fill + 1) {
+      left->push_back(i);
+      left_mbr.Extend(entries[i].mbr);
+      continue;
+    }
+    if (right->size() + remaining <= min_fill + 1) {
+      right->push_back(i);
+      right_mbr.Extend(entries[i].mbr);
+      continue;
+    }
+    const double grow_l = left_mbr.Enlargement(entries[i].mbr);
+    const double grow_r = right_mbr.Enlargement(entries[i].mbr);
+    if (grow_l < grow_r ||
+        (grow_l == grow_r && left->size() <= right->size())) {
+      left->push_back(i);
+      left_mbr.Extend(entries[i].mbr);
+    } else {
+      right->push_back(i);
+      right_mbr.Extend(entries[i].mbr);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<RTree::SplitResult> RTree::InsertRecursive(PageId node,
+                                                         int level,
+                                                         const Entry& entry,
+                                                         Mbr* node_mbr) {
+  PageGuard guard(pool_, node);
+  char* p = guard.data();
+  const size_t n = Count(p);
+  const bool leaf = IsLeaf(p);
+
+  if (!leaf) {
+    // Choose the child whose MBR grows least.
+    size_t best = 0;
+    double best_grow = 0.0;
+    double best_area = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      Mbr mbr;
+      uint64_t payload;
+      ReadEntry(p, i, &mbr, &payload);
+      const double grow = mbr.Enlargement(entry.mbr);
+      const double area = mbr.Area();
+      if (i == 0 || grow < best_grow ||
+          (grow == best_grow && area < best_area)) {
+        best = i;
+        best_grow = grow;
+        best_area = area;
+      }
+    }
+    Mbr child_mbr;
+    uint64_t child_payload;
+    ReadEntry(p, best, &child_mbr, &child_payload);
+    guard.Release();  // no pin across recursion
+
+    Mbr new_child_mbr = child_mbr;
+    auto split = InsertRecursive(static_cast<PageId>(child_payload),
+                                 level - 1, entry, &new_child_mbr);
+
+    PageGuard again(pool_, node);
+    p = again.data();
+    WriteEntry(p, best, new_child_mbr, child_payload);
+    again.MarkDirty();
+    if (!split.has_value()) {
+      // Recompute this node's MBR cheaply by extending.
+      *node_mbr = Mbr::Empty();
+      for (size_t i = 0; i < Count(p); ++i) {
+        Mbr mbr;
+        uint64_t payload;
+        ReadEntry(p, i, &mbr, &payload);
+        node_mbr->Extend(mbr);
+      }
+      return std::nullopt;
+    }
+    // Add the new sibling entry here (fall through to common overflow
+    // handling below with the promoted entry).
+    const Entry promoted{split->mbr, split->page};
+    const size_t count = Count(p);
+    if (count < kCapacity) {
+      WriteEntry(p, count, promoted.mbr, promoted.payload);
+      SetCount(p, static_cast<uint16_t>(count + 1));
+      *node_mbr = Mbr::Empty();
+      for (size_t i = 0; i < count + 1; ++i) {
+        Mbr mbr;
+        uint64_t payload;
+        ReadEntry(p, i, &mbr, &payload);
+        node_mbr->Extend(mbr);
+      }
+      return std::nullopt;
+    }
+    // Overflow: split this internal node.
+    std::vector<Entry> all;
+    all.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      Entry e;
+      ReadEntry(p, i, &e.mbr, &e.payload);
+      all.push_back(e);
+    }
+    all.push_back(promoted);
+    std::vector<size_t> left_idx;
+    std::vector<size_t> right_idx;
+    QuadraticSplit(all, &left_idx, &right_idx);
+
+    SetCount(p, static_cast<uint16_t>(left_idx.size()));
+    *node_mbr = Mbr::Empty();
+    for (size_t i = 0; i < left_idx.size(); ++i) {
+      WriteEntry(p, i, all[left_idx[i]].mbr, all[left_idx[i]].payload);
+      node_mbr->Extend(all[left_idx[i]].mbr);
+    }
+    again.MarkDirty();
+
+    PageId right_id;
+    PageGuard right = PageGuard::New(pool_, &right_id);
+    char* rp = right.data();
+    SetLeaf(rp, false);
+    SetCount(rp, static_cast<uint16_t>(right_idx.size()));
+    Mbr right_mbr = Mbr::Empty();
+    for (size_t i = 0; i < right_idx.size(); ++i) {
+      WriteEntry(rp, i, all[right_idx[i]].mbr, all[right_idx[i]].payload);
+      right_mbr.Extend(all[right_idx[i]].mbr);
+    }
+    right.MarkDirty();
+    return SplitResult{right_mbr, right_id};
+  }
+
+  // Leaf.
+  if (n < kCapacity) {
+    WriteEntry(p, n, entry.mbr, entry.payload);
+    SetCount(p, static_cast<uint16_t>(n + 1));
+    guard.MarkDirty();
+    *node_mbr = Mbr::Empty();
+    for (size_t i = 0; i < n + 1; ++i) {
+      Mbr mbr;
+      uint64_t payload;
+      ReadEntry(p, i, &mbr, &payload);
+      node_mbr->Extend(mbr);
+    }
+    return std::nullopt;
+  }
+  std::vector<Entry> all;
+  all.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    Entry e;
+    ReadEntry(p, i, &e.mbr, &e.payload);
+    all.push_back(e);
+  }
+  all.push_back(entry);
+  std::vector<size_t> left_idx;
+  std::vector<size_t> right_idx;
+  QuadraticSplit(all, &left_idx, &right_idx);
+
+  SetCount(p, static_cast<uint16_t>(left_idx.size()));
+  *node_mbr = Mbr::Empty();
+  for (size_t i = 0; i < left_idx.size(); ++i) {
+    WriteEntry(p, i, all[left_idx[i]].mbr, all[left_idx[i]].payload);
+    node_mbr->Extend(all[left_idx[i]].mbr);
+  }
+  guard.MarkDirty();
+
+  PageId right_id;
+  PageGuard right = PageGuard::New(pool_, &right_id);
+  char* rp = right.data();
+  SetLeaf(rp, true);
+  SetCount(rp, static_cast<uint16_t>(right_idx.size()));
+  Mbr right_mbr = Mbr::Empty();
+  for (size_t i = 0; i < right_idx.size(); ++i) {
+    WriteEntry(rp, i, all[right_idx[i]].mbr, all[right_idx[i]].payload);
+    right_mbr.Extend(all[right_idx[i]].mbr);
+  }
+  right.MarkDirty();
+  return SplitResult{right_mbr, right_id};
+}
+
+void RTree::Insert(const Entry& entry) {
+  Mbr root_mbr = Mbr::Empty();
+  auto split = InsertRecursive(root_, height_, entry, &root_mbr);
+  if (!split.has_value()) {
+    return;
+  }
+  // Root split: grow the tree.
+  PageId new_root;
+  PageGuard guard = PageGuard::New(pool_, &new_root);
+  char* p = guard.data();
+  SetLeaf(p, false);
+  SetCount(p, 2);
+  WriteEntry(p, 0, root_mbr, root_);
+  WriteEntry(p, 1, split->mbr, split->page);
+  guard.MarkDirty();
+  root_ = new_root;
+  ++height_;
+}
+
+void RTree::RangeSearchRecursive(
+    PageId node, int level, const Mbr& range,
+    const std::function<bool(const Mbr&, uint64_t)>& visit,
+    bool* keep_going) const {
+  if (!*keep_going) return;
+  PageGuard guard(pool_, node);
+  const char* p = guard.data();
+  const size_t n = Count(p);
+  const bool leaf = IsLeaf(p);
+  // Collect matching children before releasing the pin (recursion must not
+  // hold pins, or deep trees could exhaust a small pool).
+  std::vector<uint64_t> children;
+  for (size_t i = 0; i < n && *keep_going; ++i) {
+    Mbr mbr;
+    uint64_t payload;
+    ReadEntry(p, i, &mbr, &payload);
+    if (!mbr.Intersects(range)) continue;
+    if (leaf) {
+      if (!visit(mbr, payload)) {
+        *keep_going = false;
+      }
+    } else {
+      children.push_back(payload);
+    }
+  }
+  guard.Release();
+  for (uint64_t child : children) {
+    if (!*keep_going) return;
+    RangeSearchRecursive(static_cast<PageId>(child), level + 1, range, visit,
+                         keep_going);
+  }
+}
+
+void RTree::RangeSearch(
+    const Mbr& range,
+    const std::function<bool(const Mbr&, uint64_t)>& visit) const {
+  bool keep_going = true;
+  RangeSearchRecursive(root_, 0, range, visit, &keep_going);
+}
+
+bool RTree::Nearest(const Point& p, Entry* out) const {
+  struct QueueItem {
+    double dist;
+    bool is_entry;
+    Mbr mbr;
+    uint64_t payload;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.dist > b.dist;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> heap(
+      cmp);
+  heap.push(QueueItem{0.0, false, Mbr::Empty(), root_});
+  // The first item popped is the node; nodes at height_ levels down are
+  // leaves whose entries we enqueue as final answers.
+  // We track leafness by reading each node's header instead of depth.
+  bool root_item = true;
+  while (!heap.empty()) {
+    QueueItem item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      *out = Entry{item.mbr, item.payload};
+      return true;
+    }
+    PageGuard guard(pool_, static_cast<PageId>(item.payload));
+    const char* node = guard.data();
+    const size_t n = Count(node);
+    const bool leaf = IsLeaf(node);
+    if (root_item && n == 0) {
+      return false;  // empty tree
+    }
+    root_item = false;
+    for (size_t i = 0; i < n; ++i) {
+      Mbr mbr;
+      uint64_t payload;
+      ReadEntry(node, i, &mbr, &payload);
+      heap.push(QueueItem{mbr.MinDistance(p), leaf, mbr, payload});
+    }
+  }
+  return false;
+}
+
+uint64_t RTree::CountPagesRecursive(PageId node, int level) const {
+  PageGuard guard(pool_, node);
+  const char* p = guard.data();
+  if (IsLeaf(p)) {
+    return 1;
+  }
+  const size_t n = Count(p);
+  std::vector<PageId> children;
+  children.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Mbr mbr;
+    uint64_t payload;
+    ReadEntry(p, i, &mbr, &payload);
+    children.push_back(static_cast<PageId>(payload));
+  }
+  guard.Release();
+  uint64_t total = 1;
+  for (PageId c : children) {
+    total += CountPagesRecursive(c, level + 1);
+  }
+  return total;
+}
+
+uint64_t RTree::CountPages() const { return CountPagesRecursive(root_, 0); }
+
+}  // namespace dsks

@@ -1,0 +1,92 @@
+#ifndef DSKS_RTREE_RTREE_H_
+#define DSKS_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "spatial/mbr.h"
+#include "spatial/point.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace dsks {
+
+/// Disk-resident R-tree over (MBR, 64-bit payload) entries, bulk loaded
+/// with the Sort-Tile-Recursive (STR) algorithm. Used for:
+///  * the network R-tree organizing edge MBRs (§2.2), which snaps objects
+///    and query points to their road segments, and
+///  * the per-keyword object R-trees of the IR (inverted R-tree) baseline
+///    compared in §5.
+///
+/// All node accesses go through the buffer pool and are counted as I/O.
+class RTree {
+ public:
+  struct Entry {
+    Mbr mbr;
+    uint64_t payload = 0;
+  };
+
+  /// Opens an existing tree.
+  RTree(BufferPool* pool, PageId root, int height)
+      : pool_(pool), root_(root), height_(height) {}
+
+  /// Builds a tree from `entries` (consumed). An empty input produces a
+  /// valid empty tree.
+  static RTree BulkLoad(BufferPool* pool, std::vector<Entry> entries);
+
+  /// Creates an empty tree ready for Insert().
+  static RTree CreateEmpty(BufferPool* pool);
+
+  /// Dynamic insertion (Guttman): choose-subtree by least enlargement,
+  /// quadratic split on overflow. May increase height().
+  void Insert(const Entry& entry);
+
+  /// Visits every entry whose MBR intersects `range`; the visitor returns
+  /// false to stop the search.
+  void RangeSearch(const Mbr& range,
+                   const std::function<bool(const Mbr&, uint64_t)>& visit) const;
+
+  /// Best-first nearest-neighbour search by MBR distance to `p`. Returns
+  /// false if the tree is empty; otherwise fills the closest entry.
+  bool Nearest(const Point& p, Entry* out) const;
+
+  /// Nodes in the tree (for index-size accounting).
+  uint64_t CountPages() const;
+
+  PageId root() const { return root_; }
+  int height() const { return height_; }
+
+  static size_t LeafCapacity();
+  static size_t InternalCapacity();
+
+ private:
+  struct SplitResult {
+    Mbr mbr;
+    PageId page;
+  };
+
+  /// Inserts into the subtree at `node` (whose level counts down to 1 at
+  /// the leaves); returns the new sibling if the node split, and updates
+  /// `*node_mbr` to the node's MBR after insertion.
+  std::optional<SplitResult> InsertRecursive(PageId node, int level,
+                                             const Entry& entry,
+                                             Mbr* node_mbr);
+
+  void RangeSearchRecursive(
+      PageId node, int level, const Mbr& range,
+      const std::function<bool(const Mbr&, uint64_t)>& visit,
+      bool* keep_going) const;
+
+  uint64_t CountPagesRecursive(PageId node, int level) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  /// 1 = root is a leaf.
+  int height_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_RTREE_RTREE_H_

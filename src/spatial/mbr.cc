@@ -1,0 +1,23 @@
+#include "spatial/mbr.h"
+
+#include <cmath>
+
+namespace dsks {
+
+double Mbr::MinDistance(const Point& p) const {
+  double dx = 0.0;
+  if (p.x < min_x) {
+    dx = min_x - p.x;
+  } else if (p.x > max_x) {
+    dx = p.x - max_x;
+  }
+  double dy = 0.0;
+  if (p.y < min_y) {
+    dy = min_y - p.y;
+  } else if (p.y > max_y) {
+    dy = p.y - max_y;
+  }
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dsks

@@ -1,0 +1,30 @@
+#ifndef DSKS_SPATIAL_POINT_H_
+#define DSKS_SPATIAL_POINT_H_
+
+#include <cmath>
+
+namespace dsks {
+
+/// A location in the 2-dimensional space the paper scales all datasets to
+/// ([0, 10000] x [0, 10000], §5).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points. Used for edge lengths and for
+/// snapping objects to their closest road segment; query processing itself
+/// always uses network distance.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dsks
+
+#endif  // DSKS_SPATIAL_POINT_H_

@@ -1,0 +1,55 @@
+#include "spatial/zorder.h"
+
+#include <algorithm>
+
+namespace dsks {
+
+uint32_t ZOrder::Quantize(double v) {
+  double clamped = std::clamp(v, kSpaceMin, kSpaceMax);
+  double norm = (clamped - kSpaceMin) / (kSpaceMax - kSpaceMin);
+  auto cell = static_cast<uint32_t>(norm * (kCellsPerDim - 1));
+  return std::min(cell, kCellsPerDim - 1);
+}
+
+uint64_t ZOrder::SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t ZOrder::CompactBits(uint64_t v) {
+  uint64_t x = v & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+uint64_t ZOrder::EncodeCell(uint32_t cx, uint32_t cy) {
+  return SpreadBits(cx) | (SpreadBits(cy) << 1);
+}
+
+void ZOrder::DecodeCell(uint64_t code, uint32_t* cx, uint32_t* cy) {
+  *cx = CompactBits(code);
+  *cy = CompactBits(code >> 1);
+}
+
+uint64_t ZOrder::Encode(const Point& p) {
+  return EncodeCell(Quantize(p.x), Quantize(p.y));
+}
+
+Point ZOrder::DecodeApprox(uint64_t code) {
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+  DecodeCell(code, &cx, &cy);
+  const double cell_w = (kSpaceMax - kSpaceMin) / (kCellsPerDim - 1);
+  return Point{kSpaceMin + cx * cell_w, kSpaceMin + cy * cell_w};
+}
+
+}  // namespace dsks

@@ -1,0 +1,46 @@
+#ifndef DSKS_SPATIAL_ZORDER_H_
+#define DSKS_SPATIAL_ZORDER_H_
+
+#include <cstdint>
+
+#include "spatial/point.h"
+
+namespace dsks {
+
+/// Z-order (Morton) codes over the [0, 10000]^2 data space, quantized to
+/// 16 bits per dimension. Used to (a) cluster road nodes into CCAM pages
+/// (§2.2) and (b) key edges in the per-keyword inverted-file B+trees by the
+/// Z-ordering of their center points (§3.1).
+class ZOrder {
+ public:
+  /// Extent of the data space; the paper scales every dataset into
+  /// [0, 10000]^2 (§5).
+  static constexpr double kSpaceMin = 0.0;
+  static constexpr double kSpaceMax = 10000.0;
+  static constexpr uint32_t kBitsPerDim = 16;
+  static constexpr uint32_t kCellsPerDim = 1u << kBitsPerDim;
+
+  /// Morton code of a point; interleaves the quantized x and y bits.
+  static uint64_t Encode(const Point& p);
+
+  /// Morton code from already-quantized cell coordinates.
+  static uint64_t EncodeCell(uint32_t cx, uint32_t cy);
+
+  /// Inverse of EncodeCell.
+  static void DecodeCell(uint64_t code, uint32_t* cx, uint32_t* cy);
+
+  /// Center of the cell a code addresses (round trip is lossy by at most
+  /// half a cell width per dimension).
+  static Point DecodeApprox(uint64_t code);
+
+  /// Quantizes one coordinate to its cell index.
+  static uint32_t Quantize(double v);
+
+ private:
+  static uint64_t SpreadBits(uint32_t v);
+  static uint32_t CompactBits(uint64_t v);
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_SPATIAL_ZORDER_H_

@@ -1,0 +1,116 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  DSKS_CHECK_MSG(capacity_ > 0, "buffer pool needs at least one frame");
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+BufferPool::Frame* BufferPool::GetFrame(PageId id) {
+  auto it = frames_.find(id);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+char* BufferPool::FetchPage(PageId id) {
+  Frame* frame = GetFrame(id);
+  if (frame != nullptr) {
+    ++stats_.hits;
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pin_count;
+    return frame->data.get();
+  }
+  ++stats_.misses;
+  if (frames_.size() >= capacity_) {
+    EvictOne();
+  }
+  Frame& f = frames_[id];
+  f.data = std::make_unique<char[]>(kPageSize);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  disk_->ReadPage(id, f.data.get());
+  return f.data.get();
+}
+
+char* BufferPool::NewPage(PageId* id) {
+  *id = disk_->AllocatePage();
+  if (frames_.size() >= capacity_) {
+    EvictOne();
+  }
+  Frame& f = frames_[*id];
+  f.data = std::make_unique<char[]>(kPageSize);
+  std::memset(f.data.get(), 0, kPageSize);
+  f.page_id = *id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  return f.data.get();
+}
+
+void BufferPool::UnpinPage(PageId id, bool dirty) {
+  Frame* frame = GetFrame(id);
+  DSKS_CHECK_MSG(frame != nullptr, "unpin of page not in pool");
+  DSKS_CHECK_MSG(frame->pin_count > 0, "unpin of unpinned page");
+  frame->dirty = frame->dirty || dirty;
+  --frame->pin_count;
+  if (frame->pin_count == 0) {
+    lru_.push_back(id);
+    frame->lru_pos = std::prev(lru_.end());
+    frame->in_lru = true;
+  }
+}
+
+void BufferPool::EvictOne() {
+  DSKS_CHECK_MSG(!lru_.empty(), "buffer pool exhausted: all pages pinned");
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  DSKS_CHECK(it != frames_.end());
+  Frame& f = it->second;
+  DSKS_CHECK(f.pin_count == 0);
+  if (f.dirty) {
+    disk_->WritePage(victim, f.data.get());
+  }
+  frames_.erase(it);
+  ++stats_.evictions;
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      disk_->WritePage(id, frame.data.get());
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPool::SetCapacity(size_t capacity) {
+  DSKS_CHECK_MSG(capacity > 0, "buffer pool needs at least one frame");
+  capacity_ = capacity;
+  while (frames_.size() > capacity_) {
+    EvictOne();
+  }
+}
+
+void BufferPool::Clear() {
+  FlushAll();
+  for (auto& [id, frame] : frames_) {
+    DSKS_CHECK_MSG(frame.pin_count == 0, "Clear with pinned pages");
+    (void)id;
+  }
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace dsks

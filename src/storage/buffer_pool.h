@@ -1,0 +1,174 @@
+#ifndef DSKS_STORAGE_BUFFER_POOL_H_
+#define DSKS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace dsks {
+
+/// Cache behaviour counters. A `miss` is a logical page request that had to
+/// go to disk; together with DiskStats::reads it is the I/O metric the
+/// paper's experiments report.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { hits = misses = evictions = 0; }
+
+  uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(a);
+  }
+};
+
+/// Fixed-capacity LRU buffer pool over a DiskManager, mirroring the paper's
+/// setup ("an LRU memory buffer whose size is set to 2% of the network
+/// dataset size", §5). Pages are pinned while in use; only unpinned frames
+/// are eligible for eviction.
+///
+/// Typical use goes through PageGuard (RAII pin/unpin); direct Fetch/Unpin
+/// calls are available for structures that manage pins across scopes.
+class BufferPool {
+ public:
+  /// `capacity` is the number of 4 KiB frames the pool may hold at once.
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Returns a pinned pointer to the page contents. The pointer stays valid
+  /// until the matching UnpinPage.
+  char* FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and returns it pinned; `*id` receives
+  /// the new page id.
+  char* NewPage(PageId* id);
+
+  /// Releases one pin; `dirty` marks the frame for write-back on eviction.
+  void UnpinPage(PageId id, bool dirty);
+
+  /// Writes back every dirty frame (pinned or not) without evicting.
+  void FlushAll();
+
+  /// Drops all unpinned frames (writing back dirty ones). Used between
+  /// experiment runs to start from a cold cache. Requires no pinned pages.
+  void Clear();
+
+  /// Changes the frame budget, evicting down if needed. Lets a database be
+  /// built with a large pool and queried with the paper's 2% LRU buffer
+  /// without invalidating pointers held by the index structures.
+  void SetCapacity(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t num_frames_in_use() const { return frames_.size(); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats* mutable_stats() { return &stats_; }
+  DiskManager* disk() { return disk_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when pin_count == 0.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Evicts one unpinned frame to make room. Fatal if everything is pinned.
+  void EvictOne();
+
+  Frame* GetFrame(PageId id);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  /// Unpinned pages, least-recently-used at the front.
+  std::list<PageId> lru_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin on a buffer-pool page.
+class PageGuard {
+ public:
+  PageGuard() : pool_(nullptr), id_(kInvalidPageId), data_(nullptr) {}
+
+  /// Fetches (and pins) page `id`.
+  PageGuard(BufferPool* pool, PageId id)
+      : pool_(pool), id_(id), data_(pool->FetchPage(id)), dirty_(false) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  PageGuard(PageGuard&& other) noexcept { MoveFrom(&other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  ~PageGuard() { Release(); }
+
+  /// Allocates a new pinned page via the pool.
+  static PageGuard New(BufferPool* pool, PageId* id) {
+    PageGuard g;
+    g.pool_ = pool;
+    g.data_ = pool->NewPage(id);
+    g.id_ = *id;
+    g.dirty_ = true;
+    return g;
+  }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  PageId id() const { return id_; }
+  bool valid() const { return data_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins early (before destruction).
+  void Release() {
+    if (pool_ != nullptr && data_ != nullptr) {
+      pool_->UnpinPage(id_, dirty_);
+    }
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+    dirty_ = false;
+  }
+
+ private:
+  void MoveFrom(PageGuard* other) {
+    pool_ = other->pool_;
+    id_ = other->id_;
+    data_ = other->data_;
+    dirty_ = other->dirty_;
+    other->pool_ = nullptr;
+    other->data_ = nullptr;
+    other->id_ = kInvalidPageId;
+    other->dirty_ = false;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_STORAGE_BUFFER_POOL_H_

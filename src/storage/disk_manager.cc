@@ -1,0 +1,46 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+namespace {
+
+void SpinForMicros(double us) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(
+                                    static_cast<int64_t>(us * 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // busy wait: simulated device latency
+  }
+}
+
+}  // namespace
+
+PageId DiskManager::AllocatePage() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  ++stats_.allocations;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::ReadPage(PageId id, char* out) {
+  DSKS_CHECK_MSG(id < pages_.size(), "read of unallocated page");
+  if (read_delay_us_ > 0.0) {
+    SpinForMicros(read_delay_us_);
+  }
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  ++stats_.reads;
+}
+
+void DiskManager::WritePage(PageId id, const char* in) {
+  DSKS_CHECK_MSG(id < pages_.size(), "write of unallocated page");
+  std::memcpy(pages_[id].get(), in, kPageSize);
+  ++stats_.writes;
+}
+
+}  // namespace dsks

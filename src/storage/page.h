@@ -1,0 +1,21 @@
+#ifndef DSKS_STORAGE_PAGE_H_
+#define DSKS_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsks {
+
+/// Identifier of a page in the simulated disk's global address space.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (e.g. a B+tree leaf with no successor).
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// All disk-resident structures in this library use 4096-byte pages, the
+/// page size fixed in the paper's experimental setup (§5).
+inline constexpr size_t kPageSize = 4096;
+
+}  // namespace dsks
+
+#endif  // DSKS_STORAGE_PAGE_H_

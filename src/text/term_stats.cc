@@ -1,0 +1,32 @@
+#include "text/term_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+TermStats::TermStats(const ObjectSet& objects, size_t vocab_size) {
+  freq_.assign(vocab_size, 0);
+  for (const auto& obj : objects.objects()) {
+    for (TermId t : obj.terms) {
+      DSKS_CHECK_MSG(t < vocab_size, "object term outside vocabulary");
+      ++freq_[t];
+      ++total_;
+    }
+  }
+  by_freq_.resize(vocab_size);
+  std::iota(by_freq_.begin(), by_freq_.end(), TermId{0});
+  std::sort(by_freq_.begin(), by_freq_.end(), [this](TermId a, TermId b) {
+    return freq_[a] != freq_[b] ? freq_[a] > freq_[b] : a < b;
+  });
+  cum_by_freq_.resize(vocab_size);
+  double running = 0.0;
+  for (size_t i = 0; i < vocab_size; ++i) {
+    running += static_cast<double>(freq_[by_freq_[i]]);
+    cum_by_freq_[i] = running;
+  }
+}
+
+}  // namespace dsks

@@ -1,0 +1,43 @@
+#ifndef DSKS_TEXT_TERM_STATS_H_
+#define DSKS_TEXT_TERM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/object_set.h"
+#include "graph/types.h"
+
+namespace dsks {
+
+/// Corpus-level term frequencies. Query workloads pick keywords with
+/// probability freq(t) / sum(freq) (§5), and the SIF-P "Freq" query-log
+/// generator uses per-edge frequencies (§3.3, Remark 1).
+class TermStats {
+ public:
+  /// Counts every (object, term) occurrence in `objects`. `vocab_size`
+  /// bounds the term-id domain (terms never used get frequency 0).
+  TermStats(const ObjectSet& objects, size_t vocab_size);
+
+  uint64_t Frequency(TermId t) const { return freq_[t]; }
+  uint64_t total_occurrences() const { return total_; }
+  size_t vocab_size() const { return freq_.size(); }
+
+  /// Term ids sorted by decreasing frequency (ties by id). Index = rank.
+  const std::vector<TermId>& ByFrequency() const { return by_freq_; }
+
+  /// Cumulative frequency distribution aligned with ByFrequency(); enables
+  /// O(log n) frequency-weighted sampling.
+  const std::vector<double>& CumulativeByFrequency() const {
+    return cum_by_freq_;
+  }
+
+ private:
+  std::vector<uint64_t> freq_;
+  std::vector<TermId> by_freq_;
+  std::vector<double> cum_by_freq_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_TEXT_TERM_STATS_H_

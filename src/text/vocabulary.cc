@@ -1,0 +1,31 @@
+#include "text/vocabulary.h"
+
+#include "common/macros.h"
+
+namespace dsks {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  TermId id = static_cast<TermId>(names_.size());
+  names_.emplace_back(term);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+void Vocabulary::AddSyntheticTerms(size_t n) {
+  names_.reserve(names_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    TermId id = Intern("term" + std::to_string(names_.size()));
+    DSKS_CHECK(id + 1 == names_.size());
+  }
+}
+
+}  // namespace dsks

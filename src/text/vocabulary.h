@@ -1,0 +1,42 @@
+#ifndef DSKS_TEXT_VOCABULARY_H_
+#define DSKS_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dsks {
+
+/// Bidirectional mapping between keyword strings and dense TermIds. All
+/// query processing works on TermIds; the string side exists for loaders
+/// and the example applications.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `term`, creating it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Inverse of Intern.
+  const std::string& Name(TermId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  /// Creates `n` synthetic terms named "term<k>". Used by generators that
+  /// only care about ids.
+  void AddSyntheticTerms(size_t n);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_TEXT_VOCABULARY_H_

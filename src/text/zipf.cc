@@ -1,0 +1,41 @@
+#include "text/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dsks {
+
+ZipfSampler::ZipfSampler(size_t n, double z) : z_(z) {
+  DSKS_CHECK_MSG(n > 0, "Zipf over empty domain");
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cumulative_[r] = total;
+  }
+  for (double& c : cumulative_) {
+    c /= total;
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) {
+    return cumulative_.size() - 1;
+  }
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::Probability(size_t r) const {
+  DSKS_CHECK(r < cumulative_.size());
+  if (r == 0) {
+    return cumulative_[0];
+  }
+  return cumulative_[r] - cumulative_[r - 1];
+}
+
+}  // namespace dsks

@@ -1,0 +1,35 @@
+#ifndef DSKS_TEXT_ZIPF_H_
+#define DSKS_TEXT_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dsks {
+
+/// Samples ranks from a Zipf distribution: P(rank = r) proportional to
+/// 1/r^z for r in [1, n]. The paper's synthetic vocabularies draw term
+/// frequencies this way with z in [0.9, 1.3], default 1.1 (§5).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double z);
+
+  /// Returns a 0-based rank in [0, n).
+  size_t Sample(Random* rng) const;
+
+  /// Probability mass of 0-based rank `r`.
+  double Probability(size_t r) const;
+
+  size_t n() const { return cumulative_.size(); }
+  double z() const { return z_; }
+
+ private:
+  double z_;
+  /// cumulative_[r] = P(rank <= r); strictly increasing, last element 1.
+  std::vector<double> cumulative_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_TEXT_ZIPF_H_

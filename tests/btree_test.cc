@@ -1,0 +1,245 @@
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace dsks {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&disk_, 4096) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeFindsNothing) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  EXPECT_FALSE(tree.Get(42).has_value());
+  EXPECT_EQ(tree.CountEntries(), 0u);
+  EXPECT_EQ(tree.CountPages(), 1u);
+}
+
+TEST_F(BPlusTreeTest, SingleLeafInsertGet) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  tree.Insert(5, 50);
+  tree.Insert(1, 10);
+  tree.Insert(9, 90);
+  EXPECT_EQ(tree.Get(5), 50u);
+  EXPECT_EQ(tree.Get(1), 10u);
+  EXPECT_EQ(tree.Get(9), 90u);
+  EXPECT_FALSE(tree.Get(2).has_value());
+  EXPECT_EQ(tree.CountEntries(), 3u);
+}
+
+TEST_F(BPlusTreeTest, OverwriteKeepsSingleEntry) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  tree.Insert(7, 1);
+  tree.Insert(7, 2);
+  EXPECT_EQ(tree.Get(7), 2u);
+  EXPECT_EQ(tree.CountEntries(), 1u);
+}
+
+TEST_F(BPlusTreeTest, RangeScanOrderedAndBounded) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  for (uint64_t k = 0; k < 100; k += 2) {
+    tree.Insert(k, k * 10);
+  }
+  std::vector<uint64_t> keys;
+  tree.RangeScan(10, 30, [&keys](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k * 10);
+    keys.push_back(k);
+    return true;
+  });
+  std::vector<uint64_t> expected = {10, 12, 14, 16, 18, 20,
+                                    22, 24, 26, 28, 30};
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_F(BPlusTreeTest, RangeScanEarlyStop) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  for (uint64_t k = 0; k < 50; ++k) tree.Insert(k, k);
+  int seen = 0;
+  tree.RangeScan(0, UINT64_MAX, [&seen](uint64_t, uint64_t) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowTheTree) {
+  BPlusTree tree = BPlusTree::Create(&pool_);
+  const size_t n = BPlusTree::LeafCapacity() * 3;
+  for (uint64_t k = 0; k < n; ++k) {
+    tree.Insert(k, k + 1);
+  }
+  EXPECT_GT(tree.CountPages(), 3u);
+  EXPECT_EQ(tree.CountEntries(), n);
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_EQ(tree.Get(k), k + 1) << "key " << k;
+  }
+}
+
+struct RandomOpsParam {
+  uint64_t seed;
+  size_t ops;
+  uint64_t key_space;
+};
+
+class BPlusTreeRandomTest
+    : public ::testing::TestWithParam<RandomOpsParam> {};
+
+/// Property: under a random stream of inserts/overwrites, the tree behaves
+/// exactly like std::map, including full-range iteration order.
+TEST_P(BPlusTreeRandomTest, MatchesStdMap) {
+  const RandomOpsParam p = GetParam();
+  DiskManager disk;
+  BufferPool pool(&disk, 4096);
+  BPlusTree tree = BPlusTree::Create(&pool);
+  std::map<uint64_t, uint64_t> ref;
+  Random rng(p.seed);
+
+  for (size_t i = 0; i < p.ops; ++i) {
+    const uint64_t key = rng.Uniform(p.key_space);
+    const uint64_t value = rng.Uniform(1u << 30);
+    tree.Insert(key, value);
+    ref[key] = value;
+  }
+
+  // Point lookups, present and absent.
+  for (size_t i = 0; i < 200; ++i) {
+    const uint64_t key = rng.Uniform(p.key_space * 2);
+    auto it = ref.find(key);
+    auto got = tree.Get(key);
+    if (it == ref.end()) {
+      EXPECT_FALSE(got.has_value()) << "key " << key;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "key " << key;
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+
+  // Full scan matches the ordered reference.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  tree.RangeScan(0, UINT64_MAX, [&scanned](uint64_t k, uint64_t v) {
+    scanned.emplace_back(k, v);
+    return true;
+  });
+  ASSERT_EQ(scanned.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(scanned[i].first, k);
+    EXPECT_EQ(scanned[i].second, v);
+    ++i;
+  }
+
+  // Random sub-range scans.
+  for (int round = 0; round < 20; ++round) {
+    uint64_t lo = rng.Uniform(p.key_space);
+    uint64_t hi = rng.Uniform(p.key_space);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint64_t> got;
+    tree.RangeScan(lo, hi, [&got](uint64_t k, uint64_t) {
+      got.push_back(k);
+      return true;
+    });
+    std::vector<uint64_t> want;
+    for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi;
+         ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreeRandomTest,
+    ::testing::Values(RandomOpsParam{1, 100, 200},
+                      RandomOpsParam{2, 1000, 500},
+                      RandomOpsParam{3, 5000, 100000},
+                      RandomOpsParam{4, 20000, 1u << 20},
+                      RandomOpsParam{5, 3000, 64},  // heavy overwrite
+                      RandomOpsParam{6, 12000, 12000}));
+
+class BPlusTreeBulkLoadTest : public ::testing::TestWithParam<size_t> {};
+
+/// BulkLoad must be equivalent to one-by-one insertion, including mixed
+/// use (inserts after a bulk load).
+TEST_P(BPlusTreeBulkLoadTest, EquivalentToInsertion) {
+  const size_t n = GetParam();
+  DiskManager disk;
+  BufferPool pool(&disk, 8192);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(i * 3 + 1, i * 7);
+  }
+  BPlusTree tree = BPlusTree::BulkLoad(&pool, pairs);
+  EXPECT_EQ(tree.CountEntries(), n);
+  for (const auto& [k, v] : pairs) {
+    ASSERT_EQ(tree.Get(k), v) << "key " << k;
+  }
+  EXPECT_FALSE(tree.Get(0).has_value());
+
+  // Scans stay ordered across leaf boundaries.
+  uint64_t prev = 0;
+  bool first = true;
+  size_t seen = 0;
+  tree.RangeScan(0, UINT64_MAX, [&](uint64_t k, uint64_t) {
+    if (!first) {
+      EXPECT_GT(k, prev);
+    }
+    prev = k;
+    first = false;
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, n);
+
+  // Follow-up inserts (both fresh keys and overwrites) still work.
+  tree.Insert(0, 42);
+  tree.Insert(1, 43);  // overwrite
+  EXPECT_EQ(tree.Get(0), 42u);
+  EXPECT_EQ(tree.Get(1), 43u);
+  EXPECT_EQ(tree.CountEntries(), n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BPlusTreeBulkLoadTest,
+                         ::testing::Values(1, 2, 100, 255, 256, 1000, 10000,
+                                           70000));
+
+/// Sequential ascending and descending insertion are classic split-path
+/// edge cases.
+TEST(BPlusTreeOrderTest, AscendingAndDescendingInsertion) {
+  for (bool ascending : {true, false}) {
+    DiskManager disk;
+    BufferPool pool(&disk, 4096);
+    BPlusTree tree = BPlusTree::Create(&pool);
+    const size_t n = BPlusTree::LeafCapacity() * 5 + 17;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = ascending ? i : n - 1 - i;
+      tree.Insert(k, k ^ 0xFF);
+    }
+    EXPECT_EQ(tree.CountEntries(), n);
+    uint64_t prev = 0;
+    bool first = true;
+    tree.RangeScan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+      EXPECT_EQ(v, k ^ 0xFF);
+      if (!first) {
+        EXPECT_GT(k, prev);
+      }
+      prev = k;
+      first = false;
+      return true;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dsks

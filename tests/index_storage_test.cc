@@ -1,0 +1,148 @@
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "index/object_file.h"
+#include "index/posting_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tests/test_util.h"
+
+namespace dsks {
+namespace {
+
+TEST(PostingFileTest, SingleRunRoundTrip) {
+  DiskManager disk;
+  BufferPool pool(&disk, 256);
+  PostingFile file(&pool);
+  std::vector<PostingFile::Entry> run = {
+      {10, 0, 1.5}, {11, 1, 2.5}, {12, 2, 3.75}};
+  const auto loc = file.AppendRun(run);
+  EXPECT_EQ(PostingFile::RunLength(loc), 3u);
+
+  std::vector<PostingFile::Entry> out;
+  file.ReadRun(loc, &out);
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].object, run[i].object);
+    EXPECT_EQ(out[i].pos, run[i].pos);
+    EXPECT_DOUBLE_EQ(out[i].w1, run[i].w1);
+  }
+}
+
+TEST(PostingFileTest, ManyRunsArePackedTightly) {
+  DiskManager disk;
+  BufferPool pool(&disk, 256);
+  PostingFile file(&pool);
+  std::vector<PostingFile::Locator> locs;
+  std::vector<std::vector<PostingFile::Entry>> runs;
+  for (uint32_t r = 0; r < 100; ++r) {
+    std::vector<PostingFile::Entry> run;
+    for (uint32_t i = 0; i <= r % 7; ++i) {
+      run.push_back(PostingFile::Entry{r * 100 + i,
+                                       static_cast<uint16_t>(i), r + 0.25});
+    }
+    locs.push_back(file.AppendRun(run));
+    runs.push_back(std::move(run));
+  }
+  // ~400 entries at 256/page must not exceed 3 pages.
+  EXPECT_LE(file.num_pages(), 3u);
+  std::vector<PostingFile::Entry> out;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    file.ReadRun(locs[r], &out);
+    ASSERT_EQ(out.size(), runs[r].size()) << "run " << r;
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].object, runs[r][i].object);
+      EXPECT_DOUBLE_EQ(out[i].w1, runs[r][i].w1);
+    }
+  }
+}
+
+TEST(PostingFileTest, RunLargerThanOnePageSpansContiguously) {
+  DiskManager disk;
+  BufferPool pool(&disk, 256);
+  PostingFile file(&pool);
+  const size_t per_page = PostingFile::EntriesPerPage();
+  // A run 2.5 pages long must round trip across page boundaries.
+  std::vector<PostingFile::Entry> big;
+  for (uint32_t i = 0; i < per_page * 5 / 2; ++i) {
+    big.push_back(PostingFile::Entry{1000 + i,
+                                     static_cast<uint16_t>(i % 65535),
+                                     i * 0.5});
+  }
+  const auto loc = file.AppendRun(big);
+  EXPECT_EQ(file.num_pages(), 3u);
+  std::vector<PostingFile::Entry> out;
+  file.ReadRun(loc, &out);
+  ASSERT_EQ(out.size(), big.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].object, big[i].object);
+    ASSERT_DOUBLE_EQ(out[i].w1, big[i].w1);
+  }
+}
+
+TEST(PostingFileTest, ToleratesInterleavedForeignAllocations) {
+  // Dynamic ingestion interleaves B+tree page splits with posting
+  // appends; runs must stay readable regardless.
+  DiskManager disk;
+  BufferPool pool(&disk, 256);
+  PostingFile file(&pool);
+  std::vector<PostingFile::Locator> locs;
+  std::vector<std::vector<PostingFile::Entry>> runs;
+  Random rng(9);
+  for (int r = 0; r < 60; ++r) {
+    std::vector<PostingFile::Entry> run;
+    const size_t len = 1 + rng.Uniform(40);
+    for (uint32_t i = 0; i < len; ++i) {
+      run.push_back(PostingFile::Entry{static_cast<ObjectId>(r * 100 + i),
+                                       static_cast<uint16_t>(i), r + 0.5});
+    }
+    locs.push_back(file.AppendRun(run));
+    runs.push_back(std::move(run));
+    // A foreign structure grabs pages in between.
+    if (r % 3 == 0) {
+      disk.AllocatePage();
+    }
+  }
+  std::vector<PostingFile::Entry> out;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    file.ReadRun(locs[r], &out);
+    ASSERT_EQ(out.size(), runs[r].size()) << "run " << r;
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].object, runs[r][i].object);
+    }
+  }
+}
+
+TEST(ObjectFileTest, RecordsRoundTrip) {
+  auto data = testing::MakeRandomDataset(55, 100, 300, 20, 3);
+  DiskManager disk;
+  BufferPool pool(&disk, 1024);
+  ObjectFile file(&pool, *data.objects);
+  EXPECT_GT(file.num_pages(), 0u);
+
+  const RoadNetwork& net = *data.network;
+  for (ObjectId id = 0; id < data.objects->size(); ++id) {
+    const auto& obj = data.objects->object(id);
+    const ObjectFile::Record rec = file.Get(id);
+    ASSERT_EQ(rec.edge, obj.edge);
+    EXPECT_DOUBLE_EQ(rec.w1, net.WeightFromN1(obj.edge, obj.offset));
+  }
+}
+
+TEST(ObjectFileTest, PositionsMatchEdgeOrder) {
+  auto data = testing::MakeRandomDataset(56, 100, 300, 20, 3);
+  DiskManager disk;
+  BufferPool pool(&disk, 1024);
+  ObjectFile file(&pool, *data.objects);
+  for (EdgeId e = 0; e < data.network->num_edges(); ++e) {
+    uint16_t expected = 0;
+    for (ObjectId id : data.objects->ObjectsOnEdge(e)) {
+      EXPECT_EQ(file.Get(id).pos, expected) << "edge " << e;
+      ++expected;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsks

@@ -1,0 +1,204 @@
+#include <algorithm>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "gtest/gtest.h"
+#include "harness/database.h"
+#include "harness/experiment.h"
+#include "tests/test_util.h"
+
+namespace dsks {
+namespace {
+
+/// A preset scaled down far enough for fast end-to-end tests.
+DatasetConfig TinyPreset() {
+  DatasetConfig c = ScalePreset(PresetSYN(), 0.03);
+  c.objects.keywords_per_object = 6;
+  return c;
+}
+
+class DatabaseIntegrationTest
+    : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(DatabaseIntegrationTest, EndToEndSkAndDivQueries) {
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = GetParam();
+  const auto info = db.BuildIndex(opts);
+  EXPECT_GT(info.size_bytes, 0u);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 8;
+  wc.num_keywords = 2;
+  wc.seed = 5;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  for (const auto& wq : wl.queries) {
+    db.ResetCounters();
+    const auto results = db.RunSkQuery(wq.sk, wq.edge);
+    // Verify against the brute-force reference.
+    const auto want = testing::BruteForceSkSearch(db.network(), db.objects(),
+                                                  wq.sk);
+    ASSERT_EQ(results.size(), want.size())
+        << IndexKindName(GetParam());
+    // Every returned object satisfies the constraint.
+    for (const auto& r : results) {
+      EXPECT_TRUE(db.objects().ObjectHasAllTerms(r.id, wq.sk.terms));
+    }
+  }
+
+  // Diversified queries: COM == SEQ.
+  for (size_t i = 0; i < 3; ++i) {
+    DivQuery dq;
+    dq.sk = wl.queries[i].sk;
+    dq.k = 6;
+    dq.lambda = 0.8;
+    const auto seq = db.RunDivQuery(dq, wl.queries[i].edge, false);
+    const auto com = db.RunDivQuery(dq, wl.queries[i].edge, true);
+    std::vector<ObjectId> a;
+    std::vector<ObjectId> b;
+    for (const auto& r : seq.selected) a.push_back(r.id);
+    for (const auto& r : com.selected) b.push_back(r.id);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << IndexKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, DatabaseIntegrationTest,
+                         ::testing::Values(IndexKind::kIR, IndexKind::kIF,
+                                           IndexKind::kSIF, IndexKind::kSIFP,
+                                           IndexKind::kSIFG),
+                         [](const auto& info) {
+                           std::string n = IndexKindName(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(DatabaseTest, IoCountingIsPerQuery) {
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 1;
+  wc.seed = 6;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+  db.ResetCounters();
+  db.RunSkQuery(wl.queries[0].sk, wl.queries[0].edge);
+  const uint64_t io1 = db.IoCount();
+  EXPECT_GT(io1, 0u);
+  db.ResetCounters();
+  EXPECT_EQ(db.IoCount(), 0u);
+}
+
+TEST(DatabaseTest, SifNeverSlowerThanIfInIo) {
+  // The headline §5.1 trend at tiny scale: total workload I/O of SIF is
+  // below IF (signatures prune probes).
+  const DatasetConfig preset = TinyPreset();
+  WorkloadConfig wc;
+  wc.num_queries = 12;
+  wc.num_keywords = 3;
+  wc.seed = 7;
+
+  double io_if = 0.0;
+  double io_sif = 0.0;
+  {
+    Database db(preset);
+    IndexOptions o;
+    o.kind = IndexKind::kIF;
+    db.BuildIndex(o);
+    db.PrepareForQueries();
+    const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+    io_if = RunSkWorkload(&db, wl).avg_io;
+  }
+  {
+    Database db(preset);
+    IndexOptions o;
+    o.kind = IndexKind::kSIF;
+    o.signature_min_postings = 1;  // sign every keyword
+    db.BuildIndex(o);
+    db.PrepareForQueries();
+    const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+    io_sif = RunSkWorkload(&db, wl).avg_io;
+  }
+  EXPECT_LE(io_sif, io_if);
+}
+
+TEST(ExperimentTest, WorkloadMetricsAreAveraged) {
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+  WorkloadConfig wc;
+  wc.num_queries = 5;
+  wc.seed = 8;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+  const SkWorkloadMetrics m = RunSkWorkload(&db, wl);
+  EXPECT_GE(m.avg_io, 0.0);
+  EXPECT_GE(m.avg_millis, 0.0);
+  // The 95th percentile can never undercut the fastest query; with five
+  // samples it equals the maximum, so it bounds the average from above.
+  EXPECT_GE(m.p95_millis, m.avg_millis);
+
+  const DivWorkloadMetrics dm = RunDivWorkload(&db, wl, 4, 0.8, true);
+  EXPECT_GE(dm.avg_candidates, 0.0);
+  EXPECT_GE(dm.avg_objective, 0.0);
+  EXPECT_GE(dm.p95_millis, dm.avg_millis);
+}
+
+TEST(DatabaseTest, KnnAndRankedQueriesThroughTheFacade) {
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  const auto& anchor = db.objects().object(17 % db.objects().size());
+  SkQuery q;
+  q.loc = NetworkLocation{anchor.edge, anchor.offset};
+  q.terms = {anchor.terms[0]};
+  q.delta_max = 2000.0;
+  const QueryEdgeInfo qe = MakeQueryEdgeInfo(db.network(), q.loc);
+
+  // kNN: prefix of the full result, closest first.
+  const auto full = db.RunSkQuery(q, qe);
+  const auto knn = db.RunKnnQuery(q, qe, 3);
+  ASSERT_LE(knn.size(), 3u);
+  ASSERT_LE(knn.size(), full.size());
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_NEAR(knn[i].dist, full[i].dist, 1e-9);
+  }
+
+  // Ranked: partial matches allowed, so at least as many hits compete.
+  RankedQuery rq;
+  rq.sk = q;
+  rq.sk.terms = anchor.terms;  // several keywords, OR semantics
+  rq.k = 5;
+  rq.alpha = 0.5;
+  const auto ranked = db.RunRankedQuery(rq, qe);
+  EXPECT_FALSE(ranked.empty());
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].score, ranked[i].score + 1e-12);
+  }
+  // The anchor object itself matches everything at distance 0.
+  EXPECT_EQ(ranked[0].id, anchor.id);
+}
+
+TEST(TablePrinterTest, FormatsRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({TablePrinter::Fmt(3.14159, 2), TablePrinter::Fmt(2.0, 0)});
+  t.Print();  // smoke: must not crash
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dsks

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "index/partition.h"
+
+namespace dsks {
+namespace {
+
+/// The worked example of §3.3 / Fig. 3: five objects
+/// o1(t1,t3) o2(t2,t3) o3(t1) o4(t1) o5(t1,t4) on one edge.
+std::vector<std::vector<TermId>> PaperEdgeObjects() {
+  return {{1, 3}, {2, 3}, {1}, {1}, {1, 4}};
+}
+
+std::vector<LogQuery> PaperQueries() {
+  return {LogQuery{{1, 3}, 1.0},   // q1: true hit
+          LogQuery{{2, 4}, 1.0},   // q2: false hit, all 5 loaded
+          LogQuery{{1, 2}, 1.0}};  // q3: false hit, all 5 loaded
+}
+
+TEST(PartitionCostTest, MatchesPaperExampleUnpartitioned) {
+  const auto objs = PaperEdgeObjects();
+  const EdgePartition whole;  // no cuts
+  const auto queries = PaperQueries();
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, whole, {&queries[0], 1}), 0.0);
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, whole, {&queries[1], 1}), 5.0);
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, whole, {&queries[2], 1}), 5.0);
+  // q with a keyword absent from the edge fails the signature test: free.
+  const LogQuery absent{{1, 5}, 1.0};
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, whole, {&absent, 1}), 0.0);
+}
+
+TEST(PartitionCostTest, MatchesPaperExamplePartitioned) {
+  const auto objs = PaperEdgeObjects();
+  EdgePartition p;  // e1 = {o1,o2}, e2 = {o3,o4,o5} (Fig. 3(a))
+  p.boundaries = {2};
+  const auto queries = PaperQueries();
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, p, {&queries[0], 1}), 0.0);
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, p, {&queries[1], 1}), 0.0);
+  // q3 = {t1,t2}: e1 is a false hit of cost 2, e2 fails the test.
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, p, {&queries[2], 1}), 2.0);
+}
+
+TEST(GreedyPartitionTest, FindsTheBeneficialCutOnPaperExample) {
+  const auto objs = PaperEdgeObjects();
+  const auto queries = PaperQueries();
+  const EdgePartition p = GreedyPartition(objs, queries, 1);
+  ASSERT_EQ(p.boundaries.size(), 1u);
+  // With one cut, splitting after o2 removes both q2's and most of q3's
+  // false-hit cost; verify the greedy picked a cut at least that good.
+  EdgePartition best_manual;
+  best_manual.boundaries = {2};
+  EXPECT_LE(PartitionCost(objs, p, queries),
+            PartitionCost(objs, best_manual, queries));
+}
+
+TEST(GreedyPartitionTest, NoCutWhenNothingImproves) {
+  // One object: nothing to split.
+  std::vector<std::vector<TermId>> single = {{1, 2}};
+  const std::vector<LogQuery> log = {LogQuery{{1, 2}, 1.0}};
+  EXPECT_TRUE(GreedyPartition(single, log, 3).boundaries.empty());
+
+  // All queries are true hits everywhere: cost is already 0.
+  std::vector<std::vector<TermId>> objs = {{1}, {1}, {1}};
+  const std::vector<LogQuery> log2 = {LogQuery{{1}, 1.0}};
+  EXPECT_TRUE(GreedyPartition(objs, log2, 3).boundaries.empty());
+}
+
+TEST(DpPartitionTest, ZeroAndTrivialCases) {
+  std::vector<std::vector<TermId>> objs = {{1}, {2}};
+  const std::vector<LogQuery> log = {LogQuery{{1, 2}, 1.0}};
+  EXPECT_TRUE(DpPartition(objs, log, 0).boundaries.empty());
+  const EdgePartition p = DpPartition(objs, log, 1);
+  // Splitting {1}|{2} kills the false hit entirely.
+  EXPECT_EQ(p.boundaries.size(), 1u);
+  EXPECT_DOUBLE_EQ(PartitionCost(objs, p, log), 0.0);
+}
+
+/// Exhaustive reference: try every subset of cut positions up to `cuts`.
+double BruteBestCost(std::span<const std::vector<TermId>> objs,
+                     std::span<const LogQuery> log, size_t cuts) {
+  const size_t m = objs.size();
+  double best = std::numeric_limits<double>::infinity();
+  const size_t positions = m - 1;
+  for (uint32_t mask = 0; mask < (1u << positions); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) > cuts) {
+      continue;
+    }
+    EdgePartition p;
+    for (size_t i = 0; i < positions; ++i) {
+      if (mask & (1u << i)) {
+        p.boundaries.push_back(static_cast<uint16_t>(i + 1));
+      }
+    }
+    best = std::min(best, PartitionCost(objs, p, log));
+  }
+  return best;
+}
+
+struct PartitionSweep {
+  uint64_t seed;
+  size_t m;        // objects on the edge
+  size_t vocab;
+  size_t cuts;
+};
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<PartitionSweep> {};
+
+TEST_P(PartitionPropertyTest, DpIsOptimalAndGreedyIsNoBetter) {
+  const auto p = GetParam();
+  Random rng(p.seed);
+  std::vector<std::vector<TermId>> objs(p.m);
+  for (auto& terms : objs) {
+    const size_t n = 1 + rng.Uniform(3);
+    while (terms.size() < n) {
+      const TermId t = static_cast<TermId>(rng.Uniform(p.vocab));
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+  }
+  std::vector<LogQuery> log;
+  for (int q = 0; q < 6; ++q) {
+    std::vector<TermId> terms;
+    while (terms.size() < 2) {
+      const TermId t = static_cast<TermId>(rng.Uniform(p.vocab));
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    log.push_back(LogQuery{std::move(terms), 1.0 / 6});
+  }
+
+  const double brute = BruteBestCost(objs, log, p.cuts);
+  const EdgePartition dp = DpPartition(objs, log, p.cuts);
+  EXPECT_LE(dp.boundaries.size(), p.cuts);
+  EXPECT_NEAR(PartitionCost(objs, dp, log), brute, 1e-9);
+
+  const EdgePartition greedy = GreedyPartition(objs, log, p.cuts);
+  EXPECT_GE(PartitionCost(objs, greedy, log), brute - 1e-9);
+  // Greedy never loses to the trivial no-cut partition.
+  EXPECT_LE(PartitionCost(objs, greedy, log),
+            PartitionCost(objs, EdgePartition{}, log) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionPropertyTest,
+    ::testing::Values(PartitionSweep{1, 5, 5, 1},
+                      PartitionSweep{2, 6, 4, 2},
+                      PartitionSweep{3, 8, 6, 3},
+                      PartitionSweep{4, 9, 5, 2},
+                      PartitionSweep{5, 10, 8, 3},
+                      PartitionSweep{6, 7, 3, 4},
+                      PartitionSweep{7, 12, 6, 3}));
+
+TEST(EdgePartitionTest, RangesTileTheEdge) {
+  EdgePartition p;
+  p.boundaries = {2, 5, 7};
+  const size_t m = 10;
+  size_t expect_start = 0;
+  for (size_t i = 0; i < p.num_virtual_edges(); ++i) {
+    size_t s;
+    size_t e;
+    p.Range(i, m, &s, &e);
+    EXPECT_EQ(s, expect_start);
+    EXPECT_GT(e, s);
+    expect_start = e;
+  }
+  EXPECT_EQ(expect_start, m);
+}
+
+}  // namespace
+}  // namespace dsks

@@ -1,0 +1,100 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/serialization.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace dsks {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  auto data = testing::MakeRandomDataset(123, 120, 300, 25, 4);
+  const std::string path = TempPath("roundtrip.dsks");
+  ASSERT_TRUE(SaveDataset(*data.network, *data.objects, path).ok());
+
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  ASSERT_TRUE(LoadDataset(path, &net, &objs).ok());
+
+  ASSERT_EQ(net->num_nodes(), data.network->num_nodes());
+  ASSERT_EQ(net->num_edges(), data.network->num_edges());
+  for (NodeId v = 0; v < net->num_nodes(); ++v) {
+    EXPECT_EQ(net->node(v).loc, data.network->node(v).loc);
+  }
+  for (EdgeId e = 0; e < net->num_edges(); ++e) {
+    EXPECT_EQ(net->edge(e).n1, data.network->edge(e).n1);
+    EXPECT_EQ(net->edge(e).n2, data.network->edge(e).n2);
+    EXPECT_DOUBLE_EQ(net->edge(e).weight, data.network->edge(e).weight);
+    EXPECT_DOUBLE_EQ(net->edge(e).length, data.network->edge(e).length);
+  }
+  ASSERT_EQ(objs->size(), data.objects->size());
+  for (ObjectId id = 0; id < objs->size(); ++id) {
+    const auto& a = objs->object(id);
+    const auto& b = data.objects->object(id);
+    EXPECT_EQ(a.edge, b.edge);
+    EXPECT_DOUBLE_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.terms, b.terms);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  EXPECT_TRUE(
+      LoadDataset("/nonexistent/nope.dsks", &net, &objs).IsNotFound());
+}
+
+TEST(SerializationTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("badmagic.dsks");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "JUNKJUNKJUNK";
+  }
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  EXPECT_TRUE(LoadDataset(path, &net, &objs).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileIsCorruption) {
+  auto data = testing::MakeRandomDataset(321, 60, 80, 15, 3);
+  const std::string full = TempPath("full.dsks");
+  ASSERT_TRUE(SaveDataset(*data.network, *data.objects, full).ok());
+
+  // Truncate at several byte positions; every one must fail cleanly.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t cut : {5ul, 20ul, bytes.size() / 2, bytes.size() - 3}) {
+    const std::string path = TempPath("truncated.dsks");
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    std::unique_ptr<RoadNetwork> net;
+    std::unique_ptr<ObjectSet> objs;
+    const Status s = LoadDataset(path, &net, &objs);
+    EXPECT_TRUE(s.IsCorruption()) << "cut at " << cut << ": " << s.ToString();
+    std::remove(path.c_str());
+  }
+  std::remove(full.c_str());
+}
+
+TEST(SerializationTest, SaveRequiresFinalizedDataset) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1, 0});
+  ObjectSet objs(&net);
+  EXPECT_TRUE(SaveDataset(net, objs, TempPath("x.dsks")).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dsks

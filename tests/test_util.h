@@ -1,0 +1,88 @@
+#ifndef DSKS_TESTS_TEST_UTIL_H_
+#define DSKS_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/query.h"
+#include "datagen/network_generator.h"
+#include "datagen/object_generator.h"
+#include "graph/dijkstra.h"
+#include "graph/object_set.h"
+#include "graph/road_network.h"
+
+namespace dsks::testing {
+
+/// A small generated dataset for property tests.
+struct TestDataset {
+  std::unique_ptr<RoadNetwork> network;
+  std::unique_ptr<ObjectSet> objects;
+};
+
+inline TestDataset MakeRandomDataset(uint64_t seed, size_t num_nodes = 150,
+                                     size_t num_objects = 400,
+                                     size_t vocab_size = 30,
+                                     size_t keywords_per_object = 4,
+                                     double zipf_z = 1.0) {
+  NetworkGenConfig nc;
+  nc.num_nodes = num_nodes;
+  nc.edge_node_ratio = 1.4;
+  nc.seed = seed;
+  ObjectGenConfig oc;
+  oc.num_objects = num_objects;
+  oc.vocab_size = vocab_size;
+  oc.keywords_per_object = keywords_per_object;
+  oc.fixed_keyword_count = false;
+  oc.zipf_z = zipf_z;
+  oc.seed = seed ^ 0x5555;
+  TestDataset d;
+  d.network = GenerateRoadNetwork(nc);
+  d.objects = GenerateObjects(*d.network, oc);
+  return d;
+}
+
+/// Reference SK search: exact distances to every object, filtered by the
+/// AND keyword constraint and δmax, sorted by (distance, id).
+struct BruteResult {
+  ObjectId id;
+  double dist;
+};
+
+inline std::vector<BruteResult> BruteForceSkSearch(
+    const RoadNetwork& net, const ObjectSet& objects, const SkQuery& query) {
+  std::vector<NetworkLocation> locs;
+  std::vector<ObjectId> ids;
+  for (const auto& obj : objects.objects()) {
+    if (objects.ObjectHasAllTerms(obj.id, query.terms)) {
+      locs.push_back(NetworkLocation{obj.edge, obj.offset});
+      ids.push_back(obj.id);
+    }
+  }
+  const std::vector<double> dist = DistancesToLocations(net, query.loc, locs);
+  std::vector<BruteResult> out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (dist[i] <= query.delta_max) {
+      out.push_back(BruteResult{ids[i], dist[i]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const BruteResult& a,
+                                       const BruteResult& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+  });
+  return out;
+}
+
+/// A deterministic "query" location: the position of the object with the
+/// given index (mod size).
+inline NetworkLocation LocationOfObject(const ObjectSet& objects,
+                                        size_t index) {
+  const auto& obj = objects.object(
+      static_cast<ObjectId>(index % objects.size()));
+  return NetworkLocation{obj.edge, obj.offset};
+}
+
+}  // namespace dsks::testing
+
+#endif  // DSKS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,97 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "text/term_stats.h"
+#include "text/vocabulary.h"
+#include "text/zipf.h"
+
+namespace dsks {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.Intern("lobster");
+  const TermId b = v.Intern("pancake");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("lobster"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.Name(a), "lobster");
+  EXPECT_EQ(v.Lookup("pancake"), b);
+  EXPECT_EQ(v.Lookup("sushi"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, SyntheticTermsAreDense) {
+  Vocabulary v;
+  v.AddSyntheticTerms(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Lookup("term0"), 0u);
+  EXPECT_EQ(v.Lookup("term99"), 99u);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecrease) {
+  ZipfSampler zipf(1000, 1.1);
+  double sum = 0.0;
+  double prev = 1.0;
+  for (size_t r = 0; r < zipf.n(); ++r) {
+    const double p = zipf.Probability(r);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewControlsHeadMass) {
+  // Higher z concentrates more mass on the top ranks.
+  ZipfSampler mild(10000, 0.9);
+  ZipfSampler steep(10000, 1.3);
+  double mild_head = 0.0;
+  double steep_head = 0.0;
+  for (size_t r = 0; r < 10; ++r) {
+    mild_head += mild.Probability(r);
+    steep_head += steep.Probability(r);
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyTracksTheory) {
+  ZipfSampler zipf(50, 1.0);
+  Random rng(77);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  for (size_t r : {0ul, 1ul, 5ul, 20ul}) {
+    const double expected = zipf.Probability(r) * n;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 30)
+        << "rank " << r;
+  }
+}
+
+TEST(TermStatsTest, CountsOccurrencesAndRanks) {
+  auto data = testing::MakeRandomDataset(42, 80, 300, 25, 4);
+  TermStats stats(*data.objects, 25);
+  EXPECT_EQ(stats.vocab_size(), 25u);
+
+  uint64_t total = 0;
+  for (TermId t = 0; t < 25; ++t) {
+    total += stats.Frequency(t);
+  }
+  EXPECT_EQ(total, stats.total_occurrences());
+  EXPECT_EQ(total, data.objects->TotalTermOccurrences());
+
+  // ByFrequency is ordered by decreasing frequency.
+  const auto& order = stats.ByFrequency();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(stats.Frequency(order[i - 1]), stats.Frequency(order[i]));
+  }
+  // The cumulative distribution ends at the total.
+  EXPECT_DOUBLE_EQ(stats.CumulativeByFrequency().back(),
+                   static_cast<double>(total));
+}
+
+}  // namespace
+}  // namespace dsks

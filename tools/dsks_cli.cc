@@ -1,0 +1,297 @@
+// dsks_cli — command-line front end for the library.
+//
+//   dsks_cli generate --preset NA|SF|TW|SYN [--scale F] --out FILE
+//       Generate a dataset and save it in the DSKS binary format.
+//   dsks_cli info FILE
+//       Print dataset statistics (Table 2 style).
+//   dsks_cli query --data FILE [--index ir|if|sif|sifp|sifg]
+//             --terms T1,T2,... [--object-loc ID] [--delta D]
+//             [--k K] [--mode boolean|knn|ranked|div-seq|div-com]
+//             [--lambda L] [--alpha A]
+//       Load a dataset, build the index, run one query. The query point
+//       defaults to the location of object --object-loc (default 0).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "graph/serialization.h"
+#include "harness/database.h"
+#include "index/inverted_file.h"
+#include "index/inverted_rtree.h"
+#include "index/sif.h"
+#include "index/sif_group.h"
+#include "index/sif_partitioned.h"
+#include "core/distance_oracle.h"
+#include "core/div_search.h"
+#include "core/ranked_search.h"
+#include "graph/ccam.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "datagen/network_generator.h"
+#include "datagen/object_generator.h"
+#include "index/query_log.h"
+
+namespace dsks {
+namespace {
+
+/// Minimal --flag value parser: flags precede their single value.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+        values_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      } else {
+        positional_.emplace_back(argv[i]);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dsks_cli generate --preset NA|SF|TW|SYN [--scale F] "
+               "--out FILE\n"
+               "  dsks_cli info FILE\n"
+               "  dsks_cli query --data FILE [--index sif] --terms 1,2,3\n"
+               "           [--object-loc ID] [--delta 1500] [--k 10]\n"
+               "           [--mode boolean|knn|ranked|div-seq|div-com]\n"
+               "           [--lambda 0.8] [--alpha 0.5]\n");
+  return 2;
+}
+
+DatasetConfig PresetByName(const std::string& name) {
+  for (const DatasetConfig& c : AllPresets()) {
+    if (c.name == name) {
+      return c;
+    }
+  }
+  std::fprintf(stderr, "unknown preset '%s' (want NA, SF, SYN or TW)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    return Usage();
+  }
+  DatasetConfig cfg = PresetByName(args.Get("preset", "SYN"));
+  const double scale = args.GetDouble("scale", 1.0);
+  if (scale != 1.0) {
+    cfg = ScalePreset(cfg, scale);
+  }
+  std::printf("generating %s (scale %.2f)...\n", cfg.name.c_str(), scale);
+  auto net = GenerateRoadNetwork(cfg.network);
+  auto objects = GenerateObjects(*net, cfg.objects);
+  const Status s = SaveDataset(*net, *objects, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu edges, %zu objects\n", out.c_str(),
+              net->num_nodes(), net->num_edges(), objects->size());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional().size() < 3) {
+    return Usage();
+  }
+  const std::string path = args.positional()[2];
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objects;
+  const Status s = LoadDataset(path, &net, &objects);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double avg_kw = static_cast<double>(objects->TotalTermOccurrences()) /
+                        static_cast<double>(objects->size());
+  std::printf("%s:\n  nodes    %zu\n  edges    %zu\n  objects  %zu\n"
+              "  avg keywords/object  %.2f\n",
+              path.c_str(), net->num_nodes(), net->num_edges(),
+              objects->size(), avg_kw);
+  return 0;
+}
+
+std::vector<TermId> ParseTerms(const std::string& csv) {
+  std::vector<TermId> terms;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    terms.push_back(
+        static_cast<TermId>(std::atoll(csv.substr(pos, comma - pos).c_str())));
+    pos = comma + 1;
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+int CmdQuery(const Args& args) {
+  const std::string path = args.Get("data", "");
+  const std::string terms_csv = args.Get("terms", "");
+  if (path.empty() || terms_csv.empty()) {
+    return Usage();
+  }
+  // Loading through the serialization path, then wrapping into a Database
+  // would duplicate the dataset; the CLI builds the stack directly.
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objects;
+  Status s = LoadDataset(path, &net, &objects);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t vocab = 0;
+  for (const auto& o : objects->objects()) {
+    for (TermId t : o.terms) {
+      vocab = std::max<size_t>(vocab, t + 1);
+    }
+  }
+
+  DiskManager disk;
+  BufferPool pool(&disk, 1u << 16);
+  const CcamFile ccam = CcamFileBuilder::Build(*net, &disk);
+  CcamGraph graph(&ccam, &pool);
+
+  const std::string index_name = args.Get("index", "sif");
+  std::unique_ptr<ObjectIndex> index;
+  Timer build_timer;
+  if (index_name == "ir") {
+    index = std::make_unique<InvertedRTreeIndex>(&pool, *objects, vocab);
+  } else if (index_name == "if") {
+    index = std::make_unique<InvertedFileIndex>(&pool, *objects, vocab);
+  } else if (index_name == "sifp") {
+    SifPConfig cfg;
+    cfg.log_provider =
+        MakeQueryLogProvider(QueryLogMode::kFrequency, {}, 3, 8, 1);
+    index =
+        std::make_unique<SifPartitionedIndex>(&pool, *objects, vocab, cfg);
+  } else if (index_name == "sifg") {
+    index = std::make_unique<SifGroupIndex>(&pool, *objects, vocab, 25);
+  } else {
+    index = std::make_unique<SifIndex>(&pool, *objects, vocab);
+  }
+  std::printf("built %s in %.0f ms (%.1f MB)\n", index->name().c_str(),
+              build_timer.ElapsedMillis(),
+              static_cast<double>(index->SizeBytes()) / 1048576.0);
+
+  const auto& anchor = objects->object(static_cast<ObjectId>(
+      args.GetSize("object-loc", 0) % objects->size()));
+  SkQuery q;
+  q.loc = NetworkLocation{anchor.edge, anchor.offset};
+  q.terms = ParseTerms(terms_csv);
+  q.delta_max = args.GetDouble("delta", 1500.0);
+  const QueryEdgeInfo qe = MakeQueryEdgeInfo(*net, q.loc);
+  const std::string mode = args.Get("mode", "boolean");
+  const size_t k = args.GetSize("k", 10);
+
+  Timer timer;
+  if (mode == "knn") {
+    const auto res = BooleanKnnSearch(&graph, index.get(), q, qe, k);
+    for (const auto& r : res) {
+      std::printf("  object %u  dist %.1f\n", r.id, r.dist);
+    }
+  } else if (mode == "ranked") {
+    RankedQuery rq;
+    rq.sk = q;
+    rq.k = k;
+    rq.alpha = args.GetDouble("alpha", 0.5);
+    const auto res = RankedSkSearch(&graph, index.get(), rq, qe);
+    for (const auto& r : res) {
+      std::printf("  object %u  dist %.1f  matched %u/%zu  score %.4f\n",
+                  r.id, r.dist, r.matched, q.terms.size(), r.score);
+    }
+  } else if (mode == "div-seq" || mode == "div-com") {
+    DivQuery dq;
+    dq.sk = q;
+    dq.k = k;
+    dq.lambda = args.GetDouble("lambda", 0.8);
+    IncrementalSkSearch search(&graph, index.get(), dq.sk, qe);
+    PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max);
+    const DivSearchOutput out = mode == "div-com"
+                                    ? DiversifiedSearchCOM(&search, dq, &oracle)
+                                    : DiversifiedSearchSEQ(&search, dq,
+                                                           &oracle);
+    std::printf("f(S) = %.4f over %lu candidates%s\n", out.objective,
+                static_cast<unsigned long>(out.stats.candidates),
+                out.stats.early_terminated ? " (early termination)" : "");
+    for (const auto& r : out.selected) {
+      std::printf("  object %u  dist %.1f\n", r.id, r.dist);
+    }
+  } else {
+    IncrementalSkSearch search(&graph, index.get(), q, qe);
+    SkResult r;
+    size_t count = 0;
+    while (search.Next(&r)) {
+      if (count < 20) {
+        std::printf("  object %u  dist %.1f\n", r.id, r.dist);
+      }
+      ++count;
+    }
+    if (count > 20) {
+      std::printf("  ... and %zu more\n", count - 20);
+    }
+    std::printf("%zu objects satisfy the query\n", count);
+  }
+  std::printf("query time %.1f ms, %lu page reads\n", timer.ElapsedMillis(),
+              static_cast<unsigned long>(disk.stats().reads));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") {
+    return CmdGenerate(args);
+  }
+  if (cmd == "info") {
+    return CmdInfo(args);
+  }
+  if (cmd == "query") {
+    return CmdQuery(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dsks
+
+int main(int argc, char** argv) { return dsks::Main(argc, argv); }
