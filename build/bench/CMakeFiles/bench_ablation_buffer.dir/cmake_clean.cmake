@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_buffer.dir/bench_ablation_buffer.cc.o"
+  "CMakeFiles/bench_ablation_buffer.dir/bench_ablation_buffer.cc.o.d"
+  "bench_ablation_buffer"
+  "bench_ablation_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ccam.dir/bench_ablation_ccam.cc.o"
+  "CMakeFiles/bench_ablation_ccam.dir/bench_ablation_ccam.cc.o.d"
+  "bench_ablation_ccam"
+  "bench_ablation_ccam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ccam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

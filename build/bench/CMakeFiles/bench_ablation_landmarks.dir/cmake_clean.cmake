@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_landmarks.dir/bench_ablation_landmarks.cc.o"
+  "CMakeFiles/bench_ablation_landmarks.dir/bench_ablation_landmarks.cc.o.d"
+  "bench_ablation_landmarks"
+  "bench_ablation_landmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_landmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

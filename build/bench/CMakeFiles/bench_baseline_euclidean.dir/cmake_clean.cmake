@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_euclidean.dir/bench_baseline_euclidean.cc.o"
+  "CMakeFiles/bench_baseline_euclidean.dir/bench_baseline_euclidean.cc.o.d"
+  "bench_baseline_euclidean"
+  "bench_baseline_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_query_logs.dir/bench_fig10_query_logs.cc.o"
+  "CMakeFiles/bench_fig10_query_logs.dir/bench_fig10_query_logs.cc.o.d"
+  "bench_fig10_query_logs"
+  "bench_fig10_query_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_query_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

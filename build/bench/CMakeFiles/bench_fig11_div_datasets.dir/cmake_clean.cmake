@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_div_datasets.dir/bench_fig11_div_datasets.cc.o"
+  "CMakeFiles/bench_fig11_div_datasets.dir/bench_fig11_div_datasets.cc.o.d"
+  "bench_fig11_div_datasets"
+  "bench_fig11_div_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_div_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_div_keywords.dir/bench_fig12_div_keywords.cc.o"
+  "CMakeFiles/bench_fig12_div_keywords.dir/bench_fig12_div_keywords.cc.o.d"
+  "bench_fig12_div_keywords"
+  "bench_fig12_div_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_div_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_div_range.dir/bench_fig13_div_range.cc.o"
+  "CMakeFiles/bench_fig13_div_range.dir/bench_fig13_div_range.cc.o.d"
+  "bench_fig13_div_range"
+  "bench_fig13_div_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_div_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

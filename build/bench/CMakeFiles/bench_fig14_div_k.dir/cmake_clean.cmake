@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_div_k.dir/bench_fig14_div_k.cc.o"
+  "CMakeFiles/bench_fig14_div_k.dir/bench_fig14_div_k.cc.o.d"
+  "bench_fig14_div_k"
+  "bench_fig14_div_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_div_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

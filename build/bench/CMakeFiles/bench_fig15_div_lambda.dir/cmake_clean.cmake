@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_div_lambda.dir/bench_fig15_div_lambda.cc.o"
+  "CMakeFiles/bench_fig15_div_lambda.dir/bench_fig15_div_lambda.cc.o.d"
+  "bench_fig15_div_lambda"
+  "bench_fig15_div_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_div_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

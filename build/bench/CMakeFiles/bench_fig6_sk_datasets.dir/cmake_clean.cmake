@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sk_datasets.dir/bench_fig6_sk_datasets.cc.o"
+  "CMakeFiles/bench_fig6_sk_datasets.dir/bench_fig6_sk_datasets.cc.o.d"
+  "bench_fig6_sk_datasets"
+  "bench_fig6_sk_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sk_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_num_keywords.dir/bench_fig7_num_keywords.cc.o"
+  "CMakeFiles/bench_fig7_num_keywords.dir/bench_fig7_num_keywords.cc.o.d"
+  "bench_fig7_num_keywords"
+  "bench_fig7_num_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_num_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_search_range.dir/bench_fig8_search_range.cc.o"
+  "CMakeFiles/bench_fig8_search_range.dir/bench_fig8_search_range.cc.o.d"
+  "bench_fig8_search_range"
+  "bench_fig8_search_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_search_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

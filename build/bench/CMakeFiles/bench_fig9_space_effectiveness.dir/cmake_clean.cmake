@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_space_effectiveness.dir/bench_fig9_space_effectiveness.cc.o"
+  "CMakeFiles/bench_fig9_space_effectiveness.dir/bench_fig9_space_effectiveness.cc.o.d"
+  "bench_fig9_space_effectiveness"
+  "bench_fig9_space_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_space_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quality_diversification.dir/bench_quality_diversification.cc.o"
+  "CMakeFiles/bench_quality_diversification.dir/bench_quality_diversification.cc.o.d"
+  "bench_quality_diversification"
+  "bench_quality_diversification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quality_diversification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_tuning.dir/index_tuning.cpp.o"
+  "CMakeFiles/index_tuning.dir/index_tuning.cpp.o.d"
+  "index_tuning"
+  "index_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

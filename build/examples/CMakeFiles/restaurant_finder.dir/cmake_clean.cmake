@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_finder.dir/restaurant_finder.cpp.o"
+  "CMakeFiles/restaurant_finder.dir/restaurant_finder.cpp.o.d"
+  "restaurant_finder"
+  "restaurant_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

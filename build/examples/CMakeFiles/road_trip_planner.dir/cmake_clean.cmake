@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_trip_planner.dir/road_trip_planner.cpp.o"
+  "CMakeFiles/road_trip_planner.dir/road_trip_planner.cpp.o.d"
+  "road_trip_planner"
+  "road_trip_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_trip_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/bplus_tree.cc" "src/CMakeFiles/dsks.dir/btree/bplus_tree.cc.o" "gcc" "src/CMakeFiles/dsks.dir/btree/bplus_tree.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dsks.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dsks.dir/common/status.cc.o.d"
+  "/root/repo/src/core/core_pairs.cc" "src/CMakeFiles/dsks.dir/core/core_pairs.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/core_pairs.cc.o.d"
+  "/root/repo/src/core/distance_oracle.cc" "src/CMakeFiles/dsks.dir/core/distance_oracle.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/distance_oracle.cc.o.d"
+  "/root/repo/src/core/div_search.cc" "src/CMakeFiles/dsks.dir/core/div_search.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/div_search.cc.o.d"
+  "/root/repo/src/core/diversify.cc" "src/CMakeFiles/dsks.dir/core/diversify.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/diversify.cc.o.d"
+  "/root/repo/src/core/euclidean_baseline.cc" "src/CMakeFiles/dsks.dir/core/euclidean_baseline.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/euclidean_baseline.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/CMakeFiles/dsks.dir/core/objective.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/objective.cc.o.d"
+  "/root/repo/src/core/ranked_search.cc" "src/CMakeFiles/dsks.dir/core/ranked_search.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/ranked_search.cc.o.d"
+  "/root/repo/src/core/sk_search.cc" "src/CMakeFiles/dsks.dir/core/sk_search.cc.o" "gcc" "src/CMakeFiles/dsks.dir/core/sk_search.cc.o.d"
+  "/root/repo/src/datagen/network_generator.cc" "src/CMakeFiles/dsks.dir/datagen/network_generator.cc.o" "gcc" "src/CMakeFiles/dsks.dir/datagen/network_generator.cc.o.d"
+  "/root/repo/src/datagen/object_generator.cc" "src/CMakeFiles/dsks.dir/datagen/object_generator.cc.o" "gcc" "src/CMakeFiles/dsks.dir/datagen/object_generator.cc.o.d"
+  "/root/repo/src/datagen/presets.cc" "src/CMakeFiles/dsks.dir/datagen/presets.cc.o" "gcc" "src/CMakeFiles/dsks.dir/datagen/presets.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/CMakeFiles/dsks.dir/datagen/workload.cc.o" "gcc" "src/CMakeFiles/dsks.dir/datagen/workload.cc.o.d"
+  "/root/repo/src/graph/ccam.cc" "src/CMakeFiles/dsks.dir/graph/ccam.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/ccam.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/CMakeFiles/dsks.dir/graph/dijkstra.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/dijkstra.cc.o.d"
+  "/root/repo/src/graph/landmarks.cc" "src/CMakeFiles/dsks.dir/graph/landmarks.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/landmarks.cc.o.d"
+  "/root/repo/src/graph/object_set.cc" "src/CMakeFiles/dsks.dir/graph/object_set.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/object_set.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/CMakeFiles/dsks.dir/graph/road_network.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/road_network.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/CMakeFiles/dsks.dir/graph/serialization.cc.o" "gcc" "src/CMakeFiles/dsks.dir/graph/serialization.cc.o.d"
+  "/root/repo/src/harness/database.cc" "src/CMakeFiles/dsks.dir/harness/database.cc.o" "gcc" "src/CMakeFiles/dsks.dir/harness/database.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/dsks.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/dsks.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/index/inverted_file.cc" "src/CMakeFiles/dsks.dir/index/inverted_file.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/inverted_file.cc.o.d"
+  "/root/repo/src/index/inverted_rtree.cc" "src/CMakeFiles/dsks.dir/index/inverted_rtree.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/inverted_rtree.cc.o.d"
+  "/root/repo/src/index/kd_edge_order.cc" "src/CMakeFiles/dsks.dir/index/kd_edge_order.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/kd_edge_order.cc.o.d"
+  "/root/repo/src/index/object_file.cc" "src/CMakeFiles/dsks.dir/index/object_file.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/object_file.cc.o.d"
+  "/root/repo/src/index/object_index.cc" "src/CMakeFiles/dsks.dir/index/object_index.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/object_index.cc.o.d"
+  "/root/repo/src/index/partition.cc" "src/CMakeFiles/dsks.dir/index/partition.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/partition.cc.o.d"
+  "/root/repo/src/index/posting_file.cc" "src/CMakeFiles/dsks.dir/index/posting_file.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/posting_file.cc.o.d"
+  "/root/repo/src/index/query_log.cc" "src/CMakeFiles/dsks.dir/index/query_log.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/query_log.cc.o.d"
+  "/root/repo/src/index/sif.cc" "src/CMakeFiles/dsks.dir/index/sif.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/sif.cc.o.d"
+  "/root/repo/src/index/sif_group.cc" "src/CMakeFiles/dsks.dir/index/sif_group.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/sif_group.cc.o.d"
+  "/root/repo/src/index/sif_partitioned.cc" "src/CMakeFiles/dsks.dir/index/sif_partitioned.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/sif_partitioned.cc.o.d"
+  "/root/repo/src/index/signature.cc" "src/CMakeFiles/dsks.dir/index/signature.cc.o" "gcc" "src/CMakeFiles/dsks.dir/index/signature.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/dsks.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/dsks.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/spatial/mbr.cc" "src/CMakeFiles/dsks.dir/spatial/mbr.cc.o" "gcc" "src/CMakeFiles/dsks.dir/spatial/mbr.cc.o.d"
+  "/root/repo/src/spatial/zorder.cc" "src/CMakeFiles/dsks.dir/spatial/zorder.cc.o" "gcc" "src/CMakeFiles/dsks.dir/spatial/zorder.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/dsks.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/dsks.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/dsks.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/dsks.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/text/term_stats.cc" "src/CMakeFiles/dsks.dir/text/term_stats.cc.o" "gcc" "src/CMakeFiles/dsks.dir/text/term_stats.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/dsks.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/dsks.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/text/zipf.cc" "src/CMakeFiles/dsks.dir/text/zipf.cc.o" "gcc" "src/CMakeFiles/dsks.dir/text/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

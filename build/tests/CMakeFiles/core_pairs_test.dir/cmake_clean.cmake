@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pairs_test.dir/core_pairs_test.cc.o"
+  "CMakeFiles/core_pairs_test.dir/core_pairs_test.cc.o.d"
+  "core_pairs_test"
+  "core_pairs_test.pdb"
+  "core_pairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_search_test.dir/div_search_test.cc.o"
+  "CMakeFiles/div_search_test.dir/div_search_test.cc.o.d"
+  "div_search_test"
+  "div_search_test.pdb"
+  "div_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

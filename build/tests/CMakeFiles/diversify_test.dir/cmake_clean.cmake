@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversify_test.dir/diversify_test.cc.o"
+  "CMakeFiles/diversify_test.dir/diversify_test.cc.o.d"
+  "diversify_test"
+  "diversify_test.pdb"
+  "diversify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

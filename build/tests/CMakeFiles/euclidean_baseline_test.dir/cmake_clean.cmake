@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euclidean_baseline_test.dir/euclidean_baseline_test.cc.o"
+  "CMakeFiles/euclidean_baseline_test.dir/euclidean_baseline_test.cc.o.d"
+  "euclidean_baseline_test"
+  "euclidean_baseline_test.pdb"
+  "euclidean_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euclidean_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_storage_test.dir/index_storage_test.cc.o"
+  "CMakeFiles/index_storage_test.dir/index_storage_test.cc.o.d"
+  "index_storage_test"
+  "index_storage_test.pdb"
+  "index_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

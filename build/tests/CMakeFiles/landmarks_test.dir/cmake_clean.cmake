@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmarks_test.dir/landmarks_test.cc.o"
+  "CMakeFiles/landmarks_test.dir/landmarks_test.cc.o.d"
+  "landmarks_test"
+  "landmarks_test.pdb"
+  "landmarks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

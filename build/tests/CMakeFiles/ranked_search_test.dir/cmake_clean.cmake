@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_search_test.dir/ranked_search_test.cc.o"
+  "CMakeFiles/ranked_search_test.dir/ranked_search_test.cc.o.d"
+  "ranked_search_test"
+  "ranked_search_test.pdb"
+  "ranked_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

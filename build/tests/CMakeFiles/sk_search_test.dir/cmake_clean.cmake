@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sk_search_test.dir/sk_search_test.cc.o"
+  "CMakeFiles/sk_search_test.dir/sk_search_test.cc.o.d"
+  "sk_search_test"
+  "sk_search_test.pdb"
+  "sk_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sk_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

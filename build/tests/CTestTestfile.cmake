@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/index_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/sk_search_test[1]_include.cmake")
+include("/root/repo/build/tests/ranked_search_test[1]_include.cmake")
+include("/root/repo/build/tests/euclidean_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/objective_test[1]_include.cmake")
+include("/root/repo/build/tests/diversify_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pairs_test[1]_include.cmake")
+include("/root/repo/build/tests/div_search_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/landmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

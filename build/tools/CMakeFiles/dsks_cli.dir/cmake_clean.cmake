@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsks_cli.dir/dsks_cli.cc.o"
+  "CMakeFiles/dsks_cli.dir/dsks_cli.cc.o.d"
+  "dsks_cli"
+  "dsks_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsks_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
