@@ -1,0 +1,119 @@
+// Concurrent query throughput: many SK / diversified searches sharing one
+// disk-resident SIF index and one LRU buffer pool, executed by the
+// QueryExecutor thread pool at 1/2/4/8 threads. The paper's experiments
+// (§5) are sequential; this bench measures what the latched storage layer
+// adds on top — aggregate queries/sec and tail latency under concurrency.
+//
+// Knobs: DSKS_BENCH_SCALE, DSKS_BENCH_QUERIES (as everywhere),
+// DSKS_BENCH_THREADS (comma list, default "1,2,4,8"),
+// DSKS_IO_DELAY_US (per-read simulated latency, default 50).
+//
+// Besides the table, every measurement is emitted as one JSON line
+// (prefix "JSON ") for scripted consumption.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "harness/query_executor.h"
+
+using namespace dsks;         // NOLINT
+using namespace dsks::bench;  // NOLINT
+
+namespace {
+
+std::vector<size_t> ThreadCountsFromEnv() {
+  const char* s = std::getenv("DSKS_BENCH_THREADS");
+  if (s == nullptr) {
+    return {1, 2, 4, 8};
+  }
+  std::vector<size_t> counts;
+  const std::string csv = s;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    const size_t n =
+        static_cast<size_t>(std::atoll(csv.substr(pos, comma - pos).c_str()));
+    if (n > 0) {
+      counts.push_back(n);
+    }
+    pos = comma + 1;
+  }
+  return counts.empty() ? std::vector<size_t>{1} : counts;
+}
+
+void EmitJson(const char* workload, const ThroughputMetrics& m,
+              double speedup) {
+  std::printf(
+      "JSON {\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
+      "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
+      "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f}\n",
+      workload, m.num_threads, m.queries, m.wall_millis, m.qps, m.avg_millis,
+      m.p50_millis, m.p95_millis, m.p99_millis, speedup);
+}
+
+void RunSeries(const char* workload, Database* db, const Workload& wl,
+               const std::vector<size_t>& thread_counts, size_t repeat,
+               bool div) {
+  TablePrinter table({"threads", "queries", "wall ms", "qps", "avg ms",
+                      "p50 ms", "p95 ms", "p99 ms", "speedup"});
+  double base_qps = 0.0;
+  for (size_t threads : thread_counts) {
+    db->ResetCounters();
+    const ThroughputMetrics m =
+        div ? RunDivWorkloadConcurrent(db, wl, /*k=*/10, /*lambda=*/0.8,
+                                       /*use_com=*/true, threads, repeat)
+            : RunSkWorkloadConcurrent(db, wl, threads, repeat);
+    if (base_qps == 0.0) {
+      base_qps = m.qps;
+    }
+    const double speedup = base_qps > 0.0 ? m.qps / base_qps : 0.0;
+    table.AddRow({std::to_string(m.num_threads), std::to_string(m.queries),
+                  TablePrinter::Fmt(m.wall_millis, 1),
+                  TablePrinter::Fmt(m.qps, 1), TablePrinter::Fmt(m.avg_millis, 3),
+                  TablePrinter::Fmt(m.p50_millis, 3),
+                  TablePrinter::Fmt(m.p95_millis, 3),
+                  TablePrinter::Fmt(m.p99_millis, 3),
+                  TablePrinter::Fmt(speedup, 2)});
+    EmitJson(workload, m, speedup);
+  }
+  std::printf("\n[%s]\n", workload);
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Concurrent query throughput vs thread count",
+              "no paper figure — production-scaling experiment");
+  const size_t num_queries = QueriesFromEnv(200);
+  const std::vector<size_t> thread_counts = ThreadCountsFromEnv();
+  // Every thread count processes the same total batch, so wall time (and
+  // qps) are directly comparable across rows.
+  const size_t repeat = 4;
+
+  Database db(Scaled(PresetNA()));
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = num_queries;
+  wc.seed = 4242;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  RunSeries("sk", &db, wl, thread_counts, repeat, /*div=*/false);
+  RunSeries("div-com", &db, wl, thread_counts, repeat, /*div=*/true);
+
+  std::printf(
+      "\nExpected: qps grows with threads (misses overlap their simulated\n"
+      "I/O latency outside the pool latch); p99 grows more slowly than the\n"
+      "thread count since queries are independent reads.\n");
+  return 0;
+}

@@ -27,4 +27,19 @@
     }                                                                      \
   } while (0)
 
+/// Debug-only variants, compiled out under NDEBUG. For checks on teardown
+/// paths (e.g. destructors) where release builds prefer best-effort
+/// continuation over aborting the process.
+#ifdef NDEBUG
+#define DSKS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#define DSKS_DCHECK_MSG(cond, msg) \
+  do {                             \
+  } while (0)
+#else
+#define DSKS_DCHECK(cond) DSKS_CHECK(cond)
+#define DSKS_DCHECK_MSG(cond, msg) DSKS_CHECK_MSG(cond, msg)
+#endif
+
 #endif  // DSKS_COMMON_MACROS_H_

@@ -23,22 +23,18 @@ double Percentile95(std::vector<double> samples) {
   return samples[std::min(samples.size(), rank) - 1];
 }
 
-/// Applies the simulated per-read disk latency for the duration of a
-/// measured workload (not during index builds). Default 50us; override
-/// with DSKS_IO_DELAY_US (0 disables — pure CPU timing).
-class ScopedIoDelay {
- public:
-  explicit ScopedIoDelay(Database* db) : db_(db) {
-    const char* env = std::getenv("DSKS_IO_DELAY_US");
-    db_->disk()->set_read_delay_us(env == nullptr ? 50.0 : std::atof(env));
-  }
-  ~ScopedIoDelay() { db_->disk()->set_read_delay_us(0.0); }
-
- private:
-  Database* db_;
-};
-
 }  // namespace
+
+ScopedIoDelay::ScopedIoDelay(Database* db, bool yielding) : db_(db) {
+  const char* env = std::getenv("DSKS_IO_DELAY_US");
+  db_->disk()->set_read_delay_us(env == nullptr ? 50.0 : std::atof(env));
+  db_->disk()->set_read_delay_yields(yielding);
+}
+
+ScopedIoDelay::~ScopedIoDelay() {
+  db_->disk()->set_read_delay_us(0.0);
+  db_->disk()->set_read_delay_yields(false);
+}
 
 SkWorkloadMetrics RunSkWorkload(Database* db, const Workload& workload) {
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");

@@ -10,6 +10,26 @@
 
 namespace dsks {
 
+/// Applies the simulated per-read disk latency for the duration of a
+/// measured workload (not during index builds). Default 50us; override
+/// with DSKS_IO_DELAY_US (0 disables — pure CPU timing).
+///
+/// `yielding` selects DiskManager's sleep mode: the waiting thread blocks
+/// and frees its core like a real disk read would, so concurrent queries
+/// overlap their I/O. The sequential harness keeps the default busy-wait
+/// (scheduler-independent timings).
+class ScopedIoDelay {
+ public:
+  explicit ScopedIoDelay(Database* db, bool yielding = false);
+  ~ScopedIoDelay();
+
+  ScopedIoDelay(const ScopedIoDelay&) = delete;
+  ScopedIoDelay& operator=(const ScopedIoDelay&) = delete;
+
+ private:
+  Database* db_;
+};
+
 /// Workload-averaged SK search metrics — the quantities the paper's §5.1
 /// figures plot (response time, # I/O accesses, # candidate objects,
 /// false-hit volume).

@@ -1,0 +1,164 @@
+#include "harness/query_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "harness/experiment.h"
+
+namespace dsks {
+
+QueryExecutor::QueryExecutor(const ExecutorConfig& config)
+    : queue_capacity_(config.queue_capacity) {
+  DSKS_CHECK_MSG(config.num_threads > 0, "executor needs at least one thread");
+  DSKS_CHECK_MSG(config.queue_capacity > 0, "queue capacity must be positive");
+  samples_.resize(config.num_threads);
+  workers_.reserve(config.num_threads);
+  for (size_t i = 0; i < config.num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void QueryExecutor::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_not_full_.wait(lock,
+                         [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+}
+
+std::vector<double> QueryExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+  // Workers are either blocked on queue_not_empty_ or about to block; the
+  // mutex hand-off orders their sample writes before these reads.
+  std::vector<double> merged;
+  for (std::vector<double>& s : samples_) {
+    merged.insert(merged.end(), s.begin(), s.end());
+    s.clear();
+  }
+  return merged;
+}
+
+void QueryExecutor::WorkerLoop(size_t worker_id) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and no work left
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    queue_not_full_.notify_one();
+    Timer timer;
+    task();
+    const double millis = timer.ElapsedMillis();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      samples_[worker_id].push_back(millis);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
+                                      std::vector<double> samples) {
+  ThroughputMetrics m;
+  m.num_threads = num_threads;
+  m.queries = samples.size();
+  m.wall_millis = wall_millis;
+  if (samples.empty()) {
+    return m;
+  }
+  m.qps = wall_millis > 0.0
+              ? static_cast<double>(samples.size()) / (wall_millis / 1000.0)
+              : 0.0;
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  m.avg_millis = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank percentiles, matching the sequential harness's p95.
+  auto pct = [&samples](size_t p) {
+    const size_t rank = (samples.size() * p + 99) / 100;  // ceil(p% * n)
+    return samples[std::min(samples.size(), std::max<size_t>(rank, 1)) - 1];
+  };
+  m.p50_millis = pct(50);
+  m.p95_millis = pct(95);
+  m.p99_millis = pct(99);
+  return m;
+}
+
+namespace {
+
+ThroughputMetrics RunConcurrent(
+    Database* db, const Workload& workload, size_t num_threads, size_t repeat,
+    const std::function<void(const WorkloadQuery&)>& run_one) {
+  DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
+  DSKS_CHECK_MSG(repeat > 0, "repeat must be positive");
+  // Yielding delay: a blocked "disk read" frees its core, so concurrent
+  // queries overlap I/O the way they would on a real disk.
+  ScopedIoDelay delay(db, /*yielding=*/true);
+  ExecutorConfig config;
+  config.num_threads = num_threads;
+  QueryExecutor exec(config);
+  Timer wall;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const WorkloadQuery& wq : workload.queries) {
+      exec.Submit([&run_one, &wq] { run_one(wq); });
+    }
+  }
+  std::vector<double> samples = exec.Drain();
+  return SummarizeThroughput(num_threads, wall.ElapsedMillis(),
+                             std::move(samples));
+}
+
+}  // namespace
+
+ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
+                                          const Workload& workload,
+                                          size_t num_threads, size_t repeat) {
+  return RunConcurrent(db, workload, num_threads, repeat,
+                       [db](const WorkloadQuery& wq) {
+                         db->RunSkQuery(wq.sk, wq.edge);
+                       });
+}
+
+ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
+                                           const Workload& workload, size_t k,
+                                           double lambda, bool use_com,
+                                           size_t num_threads, size_t repeat) {
+  return RunConcurrent(db, workload, num_threads, repeat,
+                       [db, k, lambda, use_com](const WorkloadQuery& wq) {
+                         DivQuery dq;
+                         dq.sk = wq.sk;
+                         dq.k = k;
+                         dq.lambda = lambda;
+                         db->RunDivQuery(dq, wq.edge, use_com);
+                       });
+}
+
+}  // namespace dsks

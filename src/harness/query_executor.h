@@ -1,0 +1,112 @@
+#ifndef DSKS_HARNESS_QUERY_EXECUTOR_H_
+#define DSKS_HARNESS_QUERY_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "datagen/workload.h"
+#include "harness/database.h"
+
+namespace dsks {
+
+/// Thread-pool settings for QueryExecutor.
+struct ExecutorConfig {
+  /// Worker threads running queries. 1 degenerates to (almost) the
+  /// sequential harness, with one extra thread doing the work.
+  size_t num_threads = 1;
+  /// Bound on queued-but-unstarted tasks; Submit blocks when the queue is
+  /// full so a fast producer cannot outrun the workers unboundedly.
+  size_t queue_capacity = 1024;
+};
+
+/// Aggregate results of a concurrent batch: throughput plus the latency
+/// distribution merged from every worker's per-thread samples.
+struct ThroughputMetrics {
+  size_t num_threads = 0;
+  size_t queries = 0;
+  /// Wall-clock time of the whole batch (submit of the first query to
+  /// drain), which is what queries/sec is computed from.
+  double wall_millis = 0.0;
+  double qps = 0.0;
+  double avg_millis = 0.0;
+  double p50_millis = 0.0;
+  double p95_millis = 0.0;
+  double p99_millis = 0.0;
+};
+
+/// Fixed-size thread pool with a bounded work queue, built for running
+/// many independent read-only queries against one shared Database (whose
+/// storage layer is concurrent-reader-safe — see DESIGN.md "Threading
+/// model"). Each worker times every task it runs and keeps its latency
+/// samples in a private vector; Drain() waits for the queue to empty and
+/// merges the per-thread samples under the pool mutex, so no sample is
+/// ever written and read concurrently.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const ExecutorConfig& config);
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Drains outstanding work, then joins the workers.
+  ~QueryExecutor();
+
+  /// Enqueues one task; blocks while the queue is at capacity. Tasks must
+  /// not touch single-writer state of the shared database (index builds,
+  /// SetCapacity, Clear, counter resets).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then returns all
+  /// per-thread latency samples (milliseconds, unordered). The executor
+  /// stays usable for further Submit calls; samples are consumed.
+  std::vector<double> Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop(size_t worker_id);
+
+  const size_t queue_capacity_;
+
+  std::mutex mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_tasks_ = 0;
+  bool stopping_ = false;
+
+  /// samples_[i] is written by worker i between queue pops (i.e. while it
+  /// owns an active task) and read by Drain only when no task is active.
+  std::vector<std::vector<double>> samples_;
+  std::vector<std::thread> workers_;
+};
+
+/// Computes the latency distribution of `samples` plus queries/sec from
+/// the batch wall time.
+ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
+                                      std::vector<double> samples);
+
+/// Runs `repeat` passes over the workload's SK queries on `num_threads`
+/// workers sharing `db` and reports aggregate throughput. Applies the same
+/// ScopedIoDelay as the sequential harness so numbers are comparable.
+ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
+                                          const Workload& workload,
+                                          size_t num_threads,
+                                          size_t repeat = 1);
+
+/// Concurrent counterpart of RunDivWorkload.
+ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
+                                           const Workload& workload, size_t k,
+                                           double lambda, bool use_com,
+                                           size_t num_threads,
+                                           size_t repeat = 1);
+
+}  // namespace dsks
+
+#endif  // DSKS_HARNESS_QUERY_EXECUTOR_H_

@@ -1,6 +1,7 @@
 #ifndef DSKS_INDEX_OBJECT_INDEX_H_
 #define DSKS_INDEX_OBJECT_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -20,21 +21,33 @@ struct LoadedObject {
 
 /// Per-query counters an index accumulates across LoadObjects calls. The
 /// figures in §5 are built from these plus the buffer-pool/disk I/O stats.
+///
+/// Counters are relaxed atomics so the same index instance can serve
+/// concurrent queries (the counters then aggregate across all in-flight
+/// queries; per-query attribution requires running queries one at a time,
+/// which is what the sequential experiment harness does).
 struct ObjectIndexStats {
   /// LoadObjects invocations (edges probed during network expansion).
-  uint64_t edges_probed = 0;
+  std::atomic<uint64_t> edges_probed{0};
   /// Edges rejected by the in-memory signature test without any I/O.
-  uint64_t edges_skipped_by_signature = 0;
+  std::atomic<uint64_t> edges_skipped_by_signature{0};
   /// Posting entries (or R-tree candidate objects) read from disk pages.
-  uint64_t objects_loaded = 0;
+  std::atomic<uint64_t> objects_loaded{0};
   /// Objects returned (satisfied the full AND keyword constraint).
-  uint64_t objects_returned = 0;
+  std::atomic<uint64_t> objects_returned{0};
   /// Probes that performed I/O but returned no object (§3.3 "false hit").
-  uint64_t false_hits = 0;
+  std::atomic<uint64_t> false_hits{0};
   /// Objects loaded by those false hits (the ξ cost of §3.3).
-  uint64_t false_hit_objects = 0;
+  std::atomic<uint64_t> false_hit_objects{0};
 
-  void Reset() { *this = ObjectIndexStats(); }
+  void Reset() {
+    edges_probed.store(0, std::memory_order_relaxed);
+    edges_skipped_by_signature.store(0, std::memory_order_relaxed);
+    objects_loaded.store(0, std::memory_order_relaxed);
+    objects_returned.store(0, std::memory_order_relaxed);
+    false_hits.store(0, std::memory_order_relaxed);
+    false_hit_objects.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// Interface of the spatio-textual object indexes compared in the paper:

@@ -8,20 +8,41 @@ namespace dsks {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity)
     : disk_(disk), capacity_(capacity) {
-  DSKS_CHECK_MSG(capacity_ > 0, "buffer pool needs at least one frame");
+  DSKS_CHECK_MSG(capacity > 0, "buffer pool needs at least one frame");
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+#ifndef NDEBUG
+  for (const auto& [id, frame] : frames_) {
+    DSKS_DCHECK_MSG(frame.pin_count == 0,
+                    "buffer pool destroyed with pinned pages (pin leak)");
+    (void)id;
+  }
+#endif
+  std::lock_guard<std::mutex> lock(latch_);
+  FlushAllLocked();
+}
 
-BufferPool::Frame* BufferPool::GetFrame(PageId id) {
+BufferPool::Frame* BufferPool::GetFrameLocked(PageId id) {
   auto it = frames_.find(id);
   return it == frames_.end() ? nullptr : &it->second;
 }
 
 char* BufferPool::FetchPage(PageId id) {
-  Frame* frame = GetFrame(id);
-  if (frame != nullptr) {
-    ++stats_.hits;
+  std::unique_lock<std::mutex> lock(latch_);
+  for (;;) {
+    Frame* frame = GetFrameLocked(id);
+    if (frame == nullptr) {
+      break;
+    }
+    if (frame->io_in_progress) {
+      // Another thread is reading this page from disk; wait for it rather
+      // than double-reading. The frame may in principle be evicted between
+      // wake-ups, so re-look it up each time.
+      io_done_.wait(lock);
+      continue;
+    }
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     if (frame->in_lru) {
       lru_.erase(frame->lru_pos);
       frame->in_lru = false;
@@ -29,9 +50,11 @@ char* BufferPool::FetchPage(PageId id) {
     ++frame->pin_count;
     return frame->data.get();
   }
-  ++stats_.misses;
-  if (frames_.size() >= capacity_) {
-    EvictOne();
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
+    // Best effort: when every frame is pinned this fails and the pool
+    // temporarily runs over capacity (UnpinPage trims back down).
+    TryEvictOneLocked();
   }
   Frame& f = frames_[id];
   f.data = std::make_unique<char[]>(kPageSize);
@@ -39,14 +62,24 @@ char* BufferPool::FetchPage(PageId id) {
   f.pin_count = 1;
   f.dirty = false;
   f.in_lru = false;
+  f.io_in_progress = true;
+  // Read outside the latch so concurrent misses on *different* pages
+  // overlap their (simulated) disk latency. The frame is pinned and not in
+  // the LRU, so nothing can evict it meanwhile; unordered_map guarantees
+  // the reference stays valid across other threads' inserts/erases.
+  lock.unlock();
   disk_->ReadPage(id, f.data.get());
+  lock.lock();
+  f.io_in_progress = false;
+  io_done_.notify_all();
   return f.data.get();
 }
 
 char* BufferPool::NewPage(PageId* id) {
   *id = disk_->AllocatePage();
-  if (frames_.size() >= capacity_) {
-    EvictOne();
+  std::lock_guard<std::mutex> lock(latch_);
+  if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
+    TryEvictOneLocked();
   }
   Frame& f = frames_[*id];
   f.data = std::make_unique<char[]>(kPageSize);
@@ -59,7 +92,8 @@ char* BufferPool::NewPage(PageId* id) {
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
-  Frame* frame = GetFrame(id);
+  std::lock_guard<std::mutex> lock(latch_);
+  Frame* frame = GetFrameLocked(id);
   DSKS_CHECK_MSG(frame != nullptr, "unpin of page not in pool");
   DSKS_CHECK_MSG(frame->pin_count > 0, "unpin of unpinned page");
   frame->dirty = frame->dirty || dirty;
@@ -68,11 +102,15 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
     lru_.push_back(id);
     frame->lru_pos = std::prev(lru_.end());
     frame->in_lru = true;
+    // Drain any overflow frames (pin pressure) or a deferred shrink.
+    TrimToCapacityLocked();
   }
 }
 
-void BufferPool::EvictOne() {
-  DSKS_CHECK_MSG(!lru_.empty(), "buffer pool exhausted: all pages pinned");
+bool BufferPool::TryEvictOneLocked() {
+  if (lru_.empty()) {
+    return false;
+  }
   PageId victim = lru_.front();
   lru_.pop_front();
   auto it = frames_.find(victim);
@@ -83,10 +121,17 @@ void BufferPool::EvictOne() {
     disk_->WritePage(victim, f.data.get());
   }
   frames_.erase(it);
-  ++stats_.evictions;
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
-void BufferPool::FlushAll() {
+void BufferPool::TrimToCapacityLocked() {
+  while (frames_.size() > capacity_.load(std::memory_order_relaxed) &&
+         TryEvictOneLocked()) {
+  }
+}
+
+void BufferPool::FlushAllLocked() {
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
       disk_->WritePage(id, frame.data.get());
@@ -95,22 +140,34 @@ void BufferPool::FlushAll() {
   }
 }
 
+void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(latch_);
+  FlushAllLocked();
+}
+
 void BufferPool::SetCapacity(size_t capacity) {
   DSKS_CHECK_MSG(capacity > 0, "buffer pool needs at least one frame");
-  capacity_ = capacity;
-  while (frames_.size() > capacity_) {
-    EvictOne();
-  }
+  std::lock_guard<std::mutex> lock(latch_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  // Evict what we can now; if pinned pages hold the pool above the target,
+  // the rest of the shrink happens in UnpinPage as pins drain.
+  TrimToCapacityLocked();
 }
 
 void BufferPool::Clear() {
-  FlushAll();
+  std::lock_guard<std::mutex> lock(latch_);
+  FlushAllLocked();
   for (auto& [id, frame] : frames_) {
     DSKS_CHECK_MSG(frame.pin_count == 0, "Clear with pinned pages");
     (void)id;
   }
   frames_.clear();
   lru_.clear();
+}
+
+size_t BufferPool::num_frames_in_use() const {
+  std::lock_guard<std::mutex> lock(latch_);
+  return frames_.size();
 }
 
 }  // namespace dsks

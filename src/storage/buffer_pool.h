@@ -1,9 +1,12 @@
 #ifndef DSKS_STORAGE_BUFFER_POOL_H_
 #define DSKS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -15,17 +18,31 @@ namespace dsks {
 /// Cache behaviour counters. A `miss` is a logical page request that had to
 /// go to disk; together with DiskStats::reads it is the I/O metric the
 /// paper's experiments report.
+///
+/// Counters are relaxed atomics so that concurrent readers can account
+/// hits/misses without serializing on the pool latch; the struct is
+/// neither copyable nor a consistent snapshot (individual counters may be
+/// mid-update while other threads run).
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
 
-  void Reset() { hits = misses = evictions = 0; }
+  void Reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+  }
 
-  uint64_t accesses() const { return hits + misses; }
+  uint64_t accesses() const {
+    return hits.load(std::memory_order_relaxed) +
+           misses.load(std::memory_order_relaxed);
+  }
   double hit_rate() const {
     uint64_t a = accesses();
-    return a == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(a);
+    return a == 0 ? 0.0
+                  : static_cast<double>(hits.load(std::memory_order_relaxed)) /
+                        static_cast<double>(a);
   }
 };
 
@@ -34,20 +51,41 @@ struct BufferPoolStats {
 /// dataset size", §5). Pages are pinned while in use; only unpinned frames
 /// are eligible for eviction.
 ///
+/// Thread safety: all public methods are safe to call from multiple threads
+/// concurrently. The page table and LRU list are guarded by one latch;
+/// misses perform their disk read *outside* the latch (the frame is marked
+/// in-flight so concurrent fetchers of the same page wait instead of
+/// double-reading), which keeps parallel query streams from serializing on
+/// simulated I/O. Page *contents* are not latched: concurrent readers of a
+/// page are safe, but writers of the same page must coordinate externally
+/// (every structure in this library writes pages only during single-threaded
+/// build/ingest phases).
+///
+/// Memory pressure: when every frame is pinned, Fetch/New do not fail —
+/// the pool temporarily exceeds `capacity()` with overflow frames and
+/// shrinks back as pins drain (see UnpinPage). The capacity is a target,
+/// not a hard limit; `num_frames_in_use() > capacity()` is possible while
+/// more than `capacity()` pages are pinned at once.
+///
 /// Typical use goes through PageGuard (RAII pin/unpin); direct Fetch/Unpin
 /// calls are available for structures that manage pins across scopes.
 class BufferPool {
  public:
-  /// `capacity` is the number of 4 KiB frames the pool may hold at once.
+  /// `capacity` is the number of 4 KiB frames the pool targets.
   BufferPool(DiskManager* disk, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  /// Flushes dirty frames. Destroying a pool with pinned pages is a caller
+  /// bug (some PageGuard or manual pin outlived the pool); it is asserted
+  /// in debug builds and tolerated in release builds, consistent with
+  /// Clear()'s stricter always-on check.
   ~BufferPool();
 
   /// Returns a pinned pointer to the page contents. The pointer stays valid
-  /// until the matching UnpinPage.
+  /// until the matching UnpinPage. Never fails: under pin pressure the pool
+  /// over-allocates a temporary frame instead of aborting.
   char* FetchPage(PageId id);
 
   /// Allocates a fresh page on disk and returns it pinned; `*id` receives
@@ -55,22 +93,32 @@ class BufferPool {
   char* NewPage(PageId* id);
 
   /// Releases one pin; `dirty` marks the frame for write-back on eviction.
+  /// If the pool is over capacity (overflow frames or a deferred
+  /// SetCapacity shrink), unpinning evicts down toward the target.
   void UnpinPage(PageId id, bool dirty);
 
   /// Writes back every dirty frame (pinned or not) without evicting.
   void FlushAll();
 
   /// Drops all unpinned frames (writing back dirty ones). Used between
-  /// experiment runs to start from a cold cache. Requires no pinned pages.
+  /// experiment runs to start from a cold cache.
+  ///
+  /// Contract: requires that *no* page is pinned; a pinned page here means
+  /// a pin leak that would silently skew subsequent cold-cache
+  /// measurements, so the condition is CHECK-enforced in all build types
+  /// (unlike the destructor, which only asserts in debug builds).
   void Clear();
 
-  /// Changes the frame budget, evicting down if needed. Lets a database be
-  /// built with a large pool and queried with the paper's 2% LRU buffer
-  /// without invalidating pointers held by the index structures.
+  /// Changes the frame budget. Lets a database be built with a large pool
+  /// and queried with the paper's 2% LRU buffer without invalidating
+  /// pointers held by the index structures. Evicts unpinned frames down to
+  /// the new target immediately; if pinned pages keep the pool above the
+  /// target, the remainder of the shrink is deferred and completes as the
+  /// pins drain (no abort).
   void SetCapacity(size_t capacity);
 
-  size_t capacity() const { return capacity_; }
-  size_t num_frames_in_use() const { return frames_.size(); }
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  size_t num_frames_in_use() const;
 
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStats* mutable_stats() { return &stats_; }
@@ -82,18 +130,33 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
+    /// True while the owning fetch reads the page from disk outside the
+    /// latch; concurrent fetchers of the same page wait on io_done_.
+    bool io_in_progress = false;
     /// Position in lru_ when pin_count == 0.
     std::list<PageId>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  /// Evicts one unpinned frame to make room. Fatal if everything is pinned.
-  void EvictOne();
+  /// Evicts the LRU unpinned frame. Returns false when everything is
+  /// pinned. Requires latch_ held.
+  bool TryEvictOneLocked();
 
-  Frame* GetFrame(PageId id);
+  /// Evicts unpinned frames while the pool exceeds capacity_. Requires
+  /// latch_ held.
+  void TrimToCapacityLocked();
+
+  /// Requires latch_ held.
+  Frame* GetFrameLocked(PageId id);
+
+  void FlushAllLocked();
 
   DiskManager* disk_;
-  size_t capacity_;
+  std::atomic<size_t> capacity_;
+
+  mutable std::mutex latch_;
+  /// Signalled when a frame's in-flight disk read completes.
+  std::condition_variable io_done_;
   std::unordered_map<PageId, Frame> frames_;
   /// Unpinned pages, least-recently-used at the front.
   std::list<PageId> lru_;

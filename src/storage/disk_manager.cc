@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/macros.h"
 
@@ -23,24 +24,38 @@ void SpinForMicros(double us) {
 PageId DiskManager::AllocatePage() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
+  std::lock_guard<std::mutex> lock(mutex_);
   pages_.push_back(std::move(page));
-  ++stats_.allocations;
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
+char* DiskManager::PageData(PageId id, const char* op) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DSKS_CHECK_MSG(id < pages_.size(), op);
+  return pages_[id].get();
+}
+
 void DiskManager::ReadPage(PageId id, char* out) {
-  DSKS_CHECK_MSG(id < pages_.size(), "read of unallocated page");
-  if (read_delay_us_ > 0.0) {
-    SpinForMicros(read_delay_us_);
+  const char* src = PageData(id, "read of unallocated page");
+  // Wait and copy outside the mutex so concurrent reads overlap.
+  const double delay = read_delay_us_.load(std::memory_order_relaxed);
+  if (delay > 0.0) {
+    if (read_delay_yields_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(delay));
+    } else {
+      SpinForMicros(delay);
+    }
   }
-  std::memcpy(out, pages_[id].get(), kPageSize);
-  ++stats_.reads;
+  std::memcpy(out, src, kPageSize);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DiskManager::WritePage(PageId id, const char* in) {
-  DSKS_CHECK_MSG(id < pages_.size(), "write of unallocated page");
-  std::memcpy(pages_[id].get(), in, kPageSize);
-  ++stats_.writes;
+  char* dst = PageData(id, "write of unallocated page");
+  std::memcpy(dst, in, kPageSize);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace dsks

@@ -1,8 +1,10 @@
 #ifndef DSKS_STORAGE_DISK_MANAGER_H_
 #define DSKS_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "storage/page.h"
@@ -12,12 +14,20 @@ namespace dsks {
 /// Physical I/O counters for a simulated disk. `reads` is the number the
 /// paper's figures call "# of I/O accesses": every buffer-pool miss costs
 /// exactly one read here.
+///
+/// Counters are relaxed atomics so concurrent readers can account I/O
+/// without a lock; the struct is not copyable and not a consistent
+/// snapshot while other threads run.
 struct DiskStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t allocations = 0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> allocations{0};
 
-  void Reset() { reads = writes = allocations = 0; }
+  void Reset() {
+    reads.store(0, std::memory_order_relaxed);
+    writes.store(0, std::memory_order_relaxed);
+    allocations.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// In-memory simulation of a disk: a flat, growable array of 4 KiB pages
@@ -28,6 +38,14 @@ struct DiskStats {
 /// The simulation deliberately stores page images out-of-line (one heap
 /// block per page) so that a buffer-pool miss performs a real 4 KiB copy,
 /// keeping measured query times sensitive to I/O volume.
+///
+/// Thread safety: AllocatePage/ReadPage/WritePage may be called from many
+/// threads. The page directory is guarded by a mutex; the 4 KiB copy (and
+/// the simulated latency spin) happens outside it, so reads of distinct
+/// pages proceed in parallel. Concurrent accesses to the *same* page are
+/// safe only if at most one of them writes — which the buffer pool
+/// guarantees, since a page resident in the pool is never read from disk
+/// and a page being written back has just left the pool under its latch.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -45,27 +63,55 @@ class DiskManager {
   void WritePage(PageId id, const char* in);
 
   /// Number of pages ever allocated; `size * kPageSize` is the disk size.
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pages_.size();
+  }
 
   /// Total bytes occupied on the simulated disk.
   uint64_t size_bytes() const {
-    return static_cast<uint64_t>(pages_.size()) * kPageSize;
+    return static_cast<uint64_t>(num_pages()) * kPageSize;
   }
 
   const DiskStats& stats() const { return stats_; }
   DiskStats* mutable_stats() { return &stats_; }
 
-  /// Simulated read latency in microseconds (busy wait applied by every
-  /// ReadPage). 0 by default; the experiment harness enables it during
-  /// measured workloads so that response times reflect I/O volume the way
-  /// the paper's disk-resident setup does.
-  void set_read_delay_us(double us) { read_delay_us_ = us; }
-  double read_delay_us() const { return read_delay_us_; }
+  /// Simulated read latency in microseconds, applied by every ReadPage.
+  /// 0 by default; the experiment harness enables it during measured
+  /// workloads so that response times reflect I/O volume the way the
+  /// paper's disk-resident setup does.
+  void set_read_delay_us(double us) {
+    read_delay_us_.store(us, std::memory_order_relaxed);
+  }
+  double read_delay_us() const {
+    return read_delay_us_.load(std::memory_order_relaxed);
+  }
+
+  /// How the simulated latency passes. Spin (default) busy-waits, giving
+  /// precise scheduler-independent per-query timings — right for the
+  /// sequential paper experiments. Sleep blocks the calling thread and
+  /// frees the core, modelling what a real blocking disk read does; the
+  /// concurrent query harness uses it so in-flight "I/O" overlaps instead
+  /// of contending for CPU.
+  void set_read_delay_yields(bool yields) {
+    read_delay_yields_.store(yields, std::memory_order_relaxed);
+  }
+  bool read_delay_yields() const {
+    return read_delay_yields_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Resolves a page id to its (stable) heap block under the mutex.
+  char* PageData(PageId id, const char* op) const;
+
+  mutable std::mutex mutex_;
+  /// The unique_ptr array may reallocate on growth, but the page blocks
+  /// themselves are stable, so a pointer resolved under the mutex stays
+  /// valid for the out-of-lock copy (pages are never freed).
   std::vector<std::unique_ptr<char[]>> pages_;
   DiskStats stats_;
-  double read_delay_us_ = 0.0;
+  std::atomic<double> read_delay_us_{0.0};
+  std::atomic<bool> read_delay_yields_{false};
 };
 
 }  // namespace dsks

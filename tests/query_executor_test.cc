@@ -1,0 +1,141 @@
+// QueryExecutor: thread-pool mechanics (bounded queue, drain, reuse) and
+// end-to-end correctness of concurrent queries against one shared
+// Database — every worker must see exactly the results the sequential
+// harness produces.
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "gtest/gtest.h"
+#include "harness/database.h"
+#include "harness/query_executor.h"
+
+namespace dsks {
+namespace {
+
+DatasetConfig TinyPreset() {
+  DatasetConfig c = ScalePreset(PresetSYN(), 0.03);
+  c.objects.keywords_per_object = 6;
+  return c;
+}
+
+TEST(QueryExecutorTest, RunsEveryTaskExactlyOnce) {
+  ExecutorConfig config;
+  config.num_threads = 4;
+  config.queue_capacity = 8;  // forces Submit to block and back-pressure
+  QueryExecutor exec(config);
+  constexpr size_t kTasks = 500;
+  std::atomic<uint64_t> sum{0};
+  for (size_t i = 0; i < kTasks; ++i) {
+    exec.Submit([&sum, i] { sum.fetch_add(i + 1); });
+  }
+  std::vector<double> samples = exec.Drain();
+  EXPECT_EQ(samples.size(), kTasks);
+  EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+
+  // The executor is reusable after a drain; samples were consumed.
+  exec.Submit([&sum] { sum.fetch_add(1); });
+  samples = exec.Drain();
+  EXPECT_EQ(samples.size(), 1u);
+}
+
+TEST(QueryExecutorTest, SummarizeThroughputPercentiles) {
+  // 100 samples 1..100 ms over a 1 s wall: 100 qps, p50=50, p99=99.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  const ThroughputMetrics m = SummarizeThroughput(4, 1000.0, samples);
+  EXPECT_EQ(m.num_threads, 4u);
+  EXPECT_EQ(m.queries, 100u);
+  EXPECT_DOUBLE_EQ(m.qps, 100.0);
+  EXPECT_DOUBLE_EQ(m.avg_millis, 50.5);
+  EXPECT_DOUBLE_EQ(m.p50_millis, 50.0);
+  EXPECT_DOUBLE_EQ(m.p95_millis, 95.0);
+  EXPECT_DOUBLE_EQ(m.p99_millis, 99.0);
+}
+
+TEST(QueryExecutorTest, ConcurrentSkQueriesMatchSequentialResults) {
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 24;
+  wc.num_keywords = 2;
+  wc.seed = 17;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  // Sequential reference: result multiset per query.
+  std::vector<std::vector<ObjectId>> want(wl.queries.size());
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    for (const SkResult& r :
+         db.RunSkQuery(wl.queries[i].sk, wl.queries[i].edge)) {
+      want[i].push_back(r.id);
+    }
+  }
+
+  // Concurrent run over a cold cache: same queries, 4 threads, 3 rounds.
+  db.PrepareForQueries();
+  constexpr size_t kRounds = 3;
+  ExecutorConfig config;
+  config.num_threads = 4;
+  QueryExecutor exec(config);
+  std::vector<std::vector<ObjectId>> got(wl.queries.size() * kRounds);
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < wl.queries.size(); ++i) {
+      std::vector<ObjectId>* out = &got[round * wl.queries.size() + i];
+      const WorkloadQuery* wq = &wl.queries[i];
+      exec.Submit([&db, wq, out] {
+        for (const SkResult& r : db.RunSkQuery(wq->sk, wq->edge)) {
+          out->push_back(r.id);
+        }
+      });
+    }
+  }
+  const std::vector<double> samples = exec.Drain();
+  EXPECT_EQ(samples.size(), wl.queries.size() * kRounds);
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < wl.queries.size(); ++i) {
+      EXPECT_EQ(got[round * wl.queries.size() + i], want[i])
+          << "query " << i << " round " << round;
+    }
+  }
+}
+
+TEST(QueryExecutorTest, ConcurrentThroughputHelperRuns) {
+  // Keep the harness helper exercised without timing assertions (CI boxes
+  // vary); correctness of the numbers is covered by the summarize test.
+  setenv("DSKS_IO_DELAY_US", "0", /*overwrite=*/1);
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 8;
+  wc.num_keywords = 2;
+  wc.seed = 23;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  const ThroughputMetrics m = RunSkWorkloadConcurrent(&db, wl, 4, 2);
+  EXPECT_EQ(m.num_threads, 4u);
+  EXPECT_EQ(m.queries, wl.queries.size() * 2);
+  EXPECT_GT(m.qps, 0.0);
+  EXPECT_GE(m.p99_millis, m.p50_millis);
+
+  const ThroughputMetrics d =
+      RunDivWorkloadConcurrent(&db, wl, /*k=*/4, /*lambda=*/0.8,
+                               /*use_com=*/true, 2, 1);
+  EXPECT_EQ(d.queries, wl.queries.size());
+  unsetenv("DSKS_IO_DELAY_US");
+}
+
+}  // namespace
+}  // namespace dsks

@@ -178,15 +178,60 @@ TEST(BufferPoolTest, ClearDropsCleanAndDirtyFrames) {
   EXPECT_EQ(out[0], 'c');  // dirty content persisted
 }
 
-TEST(BufferPoolDeathTest, AllPinnedExhaustsThePool) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+// Regression: fetching capacity+1 pages with every frame pinned used to
+// CHECK-fail ("buffer pool exhausted"); the pool now over-allocates
+// temporary frames and trims back as pins drain.
+TEST(BufferPoolTest, AllPinnedOverflowsInsteadOfAborting) {
   DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  const PageId b = disk.AllocatePage();
-  BufferPool pool(&disk, 1);
-  pool.FetchPage(a);  // pinned, never released
-  EXPECT_DEATH(pool.FetchPage(b), "all pages pinned");
-  pool.UnpinPage(a, false);
+  constexpr size_t kCapacity = 2;
+  PageId pages[kCapacity + 1];
+  for (PageId& p : pages) p = disk.AllocatePage();
+  BufferPool pool(&disk, kCapacity);
+
+  char* data[kCapacity + 1];
+  for (size_t i = 0; i <= kCapacity; ++i) {
+    data[i] = pool.FetchPage(pages[i]);
+    ASSERT_NE(data[i], nullptr);
+    data[i][0] = static_cast<char>('a' + i);
+  }
+  // All capacity+1 pages are pinned simultaneously: the pool ran over its
+  // target instead of aborting, and every pointer is usable.
+  EXPECT_EQ(pool.num_frames_in_use(), kCapacity + 1);
+  for (size_t i = 0; i <= kCapacity; ++i) {
+    EXPECT_EQ(data[i][0], static_cast<char>('a' + i));
+    pool.UnpinPage(pages[i], /*dirty=*/true);
+  }
+  // Unpinning drained the overflow back to the capacity target.
+  EXPECT_LE(pool.num_frames_in_use(), kCapacity);
+  // Overflow eviction wrote the dirty overflow frame back.
+  pool.FlushAll();
+  char out[kPageSize];
+  for (size_t i = 0; i <= kCapacity; ++i) {
+    disk.ReadPage(pages[i], out);
+    EXPECT_EQ(out[0], static_cast<char>('a' + i)) << "page " << i;
+  }
+}
+
+// Regression: shrinking below the pinned set used to CHECK-fail; the
+// shrink is now deferred and completes as pins drain.
+TEST(BufferPoolTest, SetCapacityBelowPinnedSetDefersShrink) {
+  DiskManager disk;
+  PageId pages[3];
+  for (PageId& p : pages) p = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+
+  for (PageId p : pages) {
+    pool.FetchPage(p);  // pinned
+  }
+  pool.SetCapacity(1);  // survives: 3 pages are pinned
+  EXPECT_EQ(pool.capacity(), 1u);
+  EXPECT_EQ(pool.num_frames_in_use(), 3u);
+
+  pool.UnpinPage(pages[0], false);
+  EXPECT_EQ(pool.num_frames_in_use(), 2u);  // one evicted, two still pinned
+  pool.UnpinPage(pages[1], false);
+  pool.UnpinPage(pages[2], false);
+  EXPECT_LE(pool.num_frames_in_use(), 1u);
 }
 
 TEST(BufferPoolDeathTest, DoubleUnpinIsFatal) {

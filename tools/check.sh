@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under AddressSanitizer and
+# ThreadSanitizer (cmake -DDSKS_SANITIZE=...). Usage:
+#
+#   tools/check.sh            # both sanitizers
+#   tools/check.sh thread     # just one
+#
+# Build trees go to build-asan/ and build-tsan/ next to build/ (all
+# gitignored).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("${@:-address}")
+if [ "$#" -eq 0 ]; then
+  sanitizers=(address thread)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address) dir=build-asan ;;
+    thread)  dir=build-tsan ;;
+    *)       dir=build-$san ;;
+  esac
+  echo "=== $san sanitizer: configuring $dir ==="
+  cmake -B "$dir" -S . -DDSKS_SANITIZE="$san" > /dev/null
+  cmake --build "$dir" -j"$(nproc)"
+  echo "=== $san sanitizer: running tests ==="
+  # die_after_fork=0: gtest death tests fork; TSan only instruments the
+  # parent side here and the forked child exec()s or exits immediately.
+  (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ctest --output-on-failure -j"$(nproc)")
+  echo "=== $san sanitizer: OK ==="
+done

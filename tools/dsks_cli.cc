@@ -7,9 +7,12 @@
 //   dsks_cli query --data FILE [--index ir|if|sif|sifp|sifg]
 //             --terms T1,T2,... [--object-loc ID] [--delta D]
 //             [--k K] [--mode boolean|knn|ranked|div-seq|div-com]
-//             [--lambda L] [--alpha A]
+//             [--lambda L] [--alpha A] [--threads N] [--repeat R]
 //       Load a dataset, build the index, run one query. The query point
 //       defaults to the location of object --object-loc (default 0).
+//       With --threads N > 1, additionally re-runs the query R times
+//       (default 64 per thread) on an N-thread QueryExecutor sharing the
+//       index and buffer pool, and reports aggregate throughput.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +26,7 @@
 #include "datagen/workload.h"
 #include "graph/serialization.h"
 #include "harness/database.h"
+#include "harness/query_executor.h"
 #include "index/inverted_file.h"
 #include "index/inverted_rtree.h"
 #include "index/sif.h"
@@ -85,7 +89,8 @@ int Usage() {
                "  dsks_cli query --data FILE [--index sif] --terms 1,2,3\n"
                "           [--object-loc ID] [--delta 1500] [--k 10]\n"
                "           [--mode boolean|knn|ranked|div-seq|div-com]\n"
-               "           [--lambda 0.8] [--alpha 0.5]\n");
+               "           [--lambda 0.8] [--alpha 0.5]\n"
+               "           [--threads 4] [--repeat 64]\n");
   return 2;
 }
 
@@ -269,7 +274,56 @@ int CmdQuery(const Args& args) {
     std::printf("%zu objects satisfy the query\n", count);
   }
   std::printf("query time %.1f ms, %lu page reads\n", timer.ElapsedMillis(),
-              static_cast<unsigned long>(disk.stats().reads));
+              static_cast<unsigned long>(disk.stats().reads.load()));
+
+  // Optional concurrent re-run: the storage layer is concurrent-reader
+  // safe, so N workers can hammer the same index and buffer pool.
+  const size_t threads = args.GetSize("threads", 1);
+  if (threads > 1) {
+    const size_t repeat = args.GetSize("repeat", 64);
+    const double alpha = args.GetDouble("alpha", 0.5);
+    const double lambda = args.GetDouble("lambda", 0.8);
+    ExecutorConfig config;
+    config.num_threads = threads;
+    QueryExecutor exec(config);
+    Timer wall;
+    for (size_t i = 0; i < threads * repeat; ++i) {
+      exec.Submit([&graph, &index, &q, &qe, mode, k, alpha, lambda] {
+        if (mode == "knn") {
+          BooleanKnnSearch(&graph, index.get(), q, qe, k);
+        } else if (mode == "ranked") {
+          RankedQuery rq;
+          rq.sk = q;
+          rq.k = k;
+          rq.alpha = alpha;
+          RankedSkSearch(&graph, index.get(), rq, qe);
+        } else if (mode == "div-seq" || mode == "div-com") {
+          DivQuery dq;
+          dq.sk = q;
+          dq.k = k;
+          dq.lambda = lambda;
+          IncrementalSkSearch search(&graph, index.get(), dq.sk, qe);
+          PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max);
+          if (mode == "div-com") {
+            DiversifiedSearchCOM(&search, dq, &oracle);
+          } else {
+            DiversifiedSearchSEQ(&search, dq, &oracle);
+          }
+        } else {
+          IncrementalSkSearch search(&graph, index.get(), q, qe);
+          SkResult r;
+          while (search.Next(&r)) {
+          }
+        }
+      });
+    }
+    const ThroughputMetrics m =
+        SummarizeThroughput(threads, wall.ElapsedMillis(), exec.Drain());
+    std::printf(
+        "concurrent rerun: %zu threads, %zu queries, %.1f qps "
+        "(p50 %.3f ms, p99 %.3f ms)\n",
+        m.num_threads, m.queries, m.qps, m.p50_millis, m.p99_millis);
+  }
   return 0;
 }
 
