@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "datagen/presets.h"
 #include "datagen/workload.h"
@@ -29,6 +30,27 @@ inline size_t QueriesFromEnv(size_t fallback) {
 inline DatasetConfig Scaled(const DatasetConfig& preset) {
   const double scale = ScaleFromEnv();
   return scale == 1.0 ? preset : ScalePreset(preset, scale);
+}
+
+/// Writes accumulated JSON object strings as one JSON array file. The bench
+/// binaries drop these next to wherever they are run from — tools/check.sh
+/// runs them from the repo root so BENCH_*.json land there for scripted
+/// comparison (perf regression gate, EXPERIMENTS.md numbers).
+inline void WriteJsonArrayFile(const std::string& path,
+                               const std::vector<std::string>& objects) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < objects.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", objects[i].c_str(),
+                 i + 1 < objects.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), objects.size());
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

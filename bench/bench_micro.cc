@@ -1,14 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the building blocks: Z-order
 // encoding, Dijkstra, CCAM adjacency loads, B+tree lookups, signature
-// tests, LoadObjects, core-pair maintenance and the full SK search.
+// tests, LoadObjects, core-pair maintenance, the full SK search, the flat
+// hot-path containers and the pairwise distance oracle strategies.
+//
+// Results are written to BENCH_micro.json (google-benchmark JSON format)
+// in the working directory, alongside the usual console table.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/flat_containers.h"
 #include "common/random.h"
 #include "core/core_pairs.h"
+#include "core/distance_oracle.h"
+#include "core/div_search.h"
+#include "core/query_context.h"
 #include "core/sk_search.h"
 #include "datagen/network_generator.h"
 #include "datagen/object_generator.h"
@@ -222,7 +233,188 @@ void BM_CorePairUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_CorePairUpdate)->Arg(50)->Arg(200);
 
+/// The per-query fill-then-probe cycle of hot-path maps: insert `n` keys
+/// into a cleared-but-warm map, probe them all, clear. Paired with
+/// BM_UnorderedMapCycle below to show what the flat map buys.
+void BM_FlatHashMapCycle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(9);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.Uniform(1u << 30);
+  }
+  FlatHashMap<uint64_t, double> map;
+  for (auto _ : state) {
+    map.clear();
+    for (uint64_t k : keys) {
+      map.try_emplace(k, 1.0);
+    }
+    double sum = 0.0;
+    for (uint64_t k : keys) {
+      sum += *map.find(k);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FlatHashMapCycle)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_UnorderedMapCycle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(9);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.Uniform(1u << 30);
+  }
+  std::unordered_map<uint64_t, double> map;
+  for (auto _ : state) {
+    map.clear();
+    for (uint64_t k : keys) {
+      map.try_emplace(k, 1.0);
+    }
+    double sum = 0.0;
+    for (uint64_t k : keys) {
+      sum += map.find(k)->second;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_UnorderedMapCycle)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Sparse per-query use of a num_nodes-sized tentative-distance array:
+/// touch 256 of 65536 slots, then Reset(). The O(1) epoch reset is what
+/// makes this shape affordable compared to refilling a dense vector.
+void BM_EpochArrayCycle(benchmark::State& state) {
+  const size_t n = 65536;
+  EpochArray<double> arr;
+  arr.EnsureSize(n);
+  Random rng(10);
+  std::vector<uint32_t> idx(256);
+  for (auto& i : idx) {
+    i = static_cast<uint32_t>(rng.Uniform(n));
+  }
+  for (auto _ : state) {
+    arr.Reset();
+    for (uint32_t i : idx) {
+      arr.Set(i, 1.5);
+    }
+    double sum = 0.0;
+    for (uint32_t i : idx) {
+      const double* v = arr.Find(i);
+      if (v != nullptr) {
+        sum += *v;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_EpochArrayCycle);
+
+/// Same sparse cycle through a dense vector that must be refilled per
+/// query — the cost EpochArray::Reset avoids.
+void BM_DenseVectorRefillCycle(benchmark::State& state) {
+  const size_t n = 65536;
+  std::vector<double> arr(n);
+  Random rng(10);
+  std::vector<uint32_t> idx(256);
+  for (auto& i : idx) {
+    i = static_cast<uint32_t>(rng.Uniform(n));
+  }
+  for (auto _ : state) {
+    std::fill(arr.begin(), arr.end(), -1.0);
+    for (uint32_t i : idx) {
+      arr[i] = 1.5;
+    }
+    double sum = 0.0;
+    for (uint32_t i : idx) {
+      sum += arr[i];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DenseVectorRefillCycle);
+
+/// Full diversified COM query through the pairwise oracle, comparing the
+/// shared-expansion strategy (range(1) == 0) against per-object Dijkstra
+/// (range(1) == 1) at k in {5, 10, 20}. Counters expose the per-object
+/// field expansions — the quantity the shared strategy exists to shrink —
+/// and the certified-pair ratio.
+void BM_DivComOracle(benchmark::State& state) {
+  World& w = TheWorld();
+  const size_t k = static_cast<size_t>(state.range(0));
+  const OracleStrategy strategy = state.range(1) == 0
+                                      ? OracleStrategy::kSharedExpansion
+                                      : OracleStrategy::kPerObjectDijkstra;
+  TermStats stats(*w.objects, 2000);
+  WorkloadConfig wc;
+  wc.num_queries = 32;
+  wc.num_keywords = 3;
+  wc.seed = 11;
+  const Workload wl = GenerateWorkload(*w.objects, stats, wc);
+  QueryContext ctx;
+  uint64_t fields = 0;
+  uint64_t pairs = 0;
+  uint64_t shared_exact = 0;
+  uint64_t queries = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkloadQuery& wq = wl.queries[i++ % wl.queries.size()];
+    DivQuery dq;
+    dq.sk = wq.sk;
+    dq.k = k;
+    dq.lambda = 0.8;
+    IncrementalSkSearch search(w.graph.get(), w.index.get(), dq.sk, wq.edge,
+                               &ctx);
+    PairwiseDistanceOracle oracle(w.graph.get(), 2.0 * dq.sk.delta_max,
+                                  strategy, &ctx);
+    oracle.SetQueryEdge(wq.edge);
+    const DivSearchOutput out = DiversifiedSearchCOM(&search, dq, &oracle);
+    benchmark::DoNotOptimize(out.objective);
+    fields += oracle.stats().fields_computed;
+    pairs += oracle.stats().pairs_evaluated;
+    shared_exact += oracle.stats().pairs_shared_exact;
+    ++queries;
+  }
+  const double q = queries > 0 ? static_cast<double>(queries) : 1.0;
+  state.counters["fields_per_query"] = static_cast<double>(fields) / q;
+  state.counters["pairs_per_query"] = static_cast<double>(pairs) / q;
+  state.counters["shared_exact_per_query"] =
+      static_cast<double>(shared_exact) / q;
+}
+BENCHMARK(BM_DivComOracle)
+    ->ArgNames({"k", "per_object"})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({20, 0})
+    ->Args({20, 1});
+
 }  // namespace
 }  // namespace dsks
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default the JSON artifact to BENCH_micro.json in the working directory
+  // (tools/check.sh runs from the repo root, so it lands next to
+  // BENCH_throughput.json); an explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

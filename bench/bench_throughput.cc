@@ -47,14 +47,24 @@ std::vector<size_t> ThreadCountsFromEnv() {
   return counts.empty() ? std::vector<size_t>{1} : counts;
 }
 
+/// Accumulates every measurement for the BENCH_throughput.json artifact.
+std::vector<std::string>& JsonRecords() {
+  static std::vector<std::string> records;
+  return records;
+}
+
 void EmitJson(const char* workload, const ThroughputMetrics& m,
               double speedup) {
-  std::printf(
-      "JSON {\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
-      "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f}\n",
+      "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f}",
       workload, m.num_threads, m.queries, m.wall_millis, m.qps, m.avg_millis,
       m.p50_millis, m.p95_millis, m.p99_millis, speedup);
+  std::printf("JSON %s\n", buf);
+  JsonRecords().push_back(buf);
 }
 
 void RunSeries(const char* workload, Database* db, const Workload& wl,
@@ -110,6 +120,8 @@ int main() {
 
   RunSeries("sk", &db, wl, thread_counts, repeat, /*div=*/false);
   RunSeries("div-com", &db, wl, thread_counts, repeat, /*div=*/true);
+
+  WriteJsonArrayFile("BENCH_throughput.json", JsonRecords());
 
   std::printf(
       "\nExpected: qps grows with threads (misses overlap their simulated\n"

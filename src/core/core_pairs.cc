@@ -46,7 +46,8 @@ void CorePairSet::InsertSorted(const ScoredPair& sp) {
 }
 
 void CorePairSet::OnArrival(ObjectId o, const std::vector<ObjectId>& actives,
-                            const ThetaById& theta) {
+                            const ThetaById& theta,
+                            const ThetaById* theta_ub) {
   DSKS_CHECK_MSG(full(), "OnArrival before the first k objects initialized CP");
   ObjectId cur = o;
   // The while loop repeats at most k/2 times (§4.2 correctness argument);
@@ -61,6 +62,13 @@ void CorePairSet::OnArrival(ObjectId o, const std::vector<ObjectId>& actives,
     ObjectId best_partner = kInvalidObjectId;
     for (ObjectId x : actives) {
       if (x == cur) {
+        continue;
+      }
+      // If even the upper bound is strictly below θ_T then the exact θ is
+      // too, and sp.Better(theta_t) below would fail on the θ comparison
+      // alone — skip the exact evaluation. Ties still evaluate (they can
+      // win Better's id tie-break).
+      if (theta_ub != nullptr && (*theta_ub)(cur, x) < theta_t.theta) {
         continue;
       }
       const ScoredPair sp = ScoredPair::Make(theta(cur, x), cur, x);

@@ -30,9 +30,13 @@ class CorePairSet {
 
   /// Algorithm 5. `o` is the arriving object; `actives` are the ids of all
   /// non-pruned objects seen so far (excluding `o` is not required — it is
-  /// skipped); `theta` evaluates diversification distances.
+  /// skipped); `theta` evaluates diversification distances. `theta_ub`,
+  /// when given, must satisfy theta_ub(u,v) >= theta(u,v); candidates whose
+  /// bound is *strictly* below θ_T are skipped without an exact evaluation
+  /// (they would fail the Better(θ_T) test anyway), leaving the maintained
+  /// pairs bit-identical.
   void OnArrival(ObjectId o, const std::vector<ObjectId>& actives,
-                 const ThetaById& theta);
+                 const ThetaById& theta, const ThetaById* theta_ub = nullptr);
 
   /// Current core pairs, Better-first; θ_T is pairs().back().
   const std::vector<ScoredPair>& pairs() const { return pairs_; }

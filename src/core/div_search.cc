@@ -1,8 +1,8 @@
 #include "core/div_search.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "common/flat_containers.h"
 #include "common/macros.h"
 #include "core/core_pairs.h"
 #include "core/diversify.h"
@@ -15,6 +15,16 @@ ThetaFn MakeThetaFn(const Objective* objective,
                     PairwiseDistanceOracle* oracle) {
   return [objective, oracle](const SkResult& a, const SkResult& b) {
     return objective->Theta(a.dist, b.dist, oracle->Distance(a, b));
+  };
+}
+
+/// θ is monotone increasing in the pairwise distance, so feeding it the
+/// oracle's cheap distance upper bound yields an upper bound on θ — without
+/// ever triggering a Dijkstra expansion.
+ThetaFn MakeThetaUbFn(const Objective* objective,
+                      const PairwiseDistanceOracle* oracle) {
+  return [objective, oracle](const SkResult& a, const SkResult& b) {
+    return objective->Theta(a.dist, b.dist, oracle->DistanceUpperBound(a, b));
   };
 }
 
@@ -38,6 +48,14 @@ void AddOddExtra(const std::vector<SkResult>& pool,
   if (best != nullptr) {
     selected->push_back(*best);
   }
+}
+
+void FillOracleStats(const PairwiseDistanceOracle& oracle,
+                     DivSearchStats* stats) {
+  stats->distance_fields = oracle.fields_computed();
+  stats->oracle_pairs = oracle.stats().pairs_evaluated;
+  stats->oracle_pairs_shared = oracle.stats().pairs_shared_exact;
+  stats->oracle_shared_expansions = oracle.stats().shared_expansions;
 }
 
 }  // namespace
@@ -68,6 +86,7 @@ DivSearchOutput DiversifiedSearchSEQ(IncrementalSkSearch* search,
                                      PairwiseDistanceOracle* oracle) {
   const Objective objective(query.lambda, query.sk.delta_max);
   const ThetaFn theta = MakeThetaFn(&objective, oracle);
+  const ThetaFn theta_ub = MakeThetaUbFn(&objective, oracle);
 
   DivSearchOutput out;
   std::vector<SkResult> candidates;
@@ -77,10 +96,11 @@ DivSearchOutput DiversifiedSearchSEQ(IncrementalSkSearch* search,
   }
   out.stats.candidates = candidates.size();
 
-  GreedyDivResult greedy = GreedyDiversify(candidates, query.k, theta);
+  GreedyDivResult greedy =
+      GreedyDiversify(candidates, query.k, theta, &theta_ub);
   out.selected = std::move(greedy.selected);
   out.objective = EvaluateObjective(objective, oracle, out.selected);
-  out.stats.distance_fields = oracle->fields_computed();
+  FillOracleStats(*oracle, &out.stats);
   return out;
 }
 
@@ -89,6 +109,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
                                      PairwiseDistanceOracle* oracle) {
   const Objective objective(query.lambda, query.sk.delta_max);
   const ThetaFn theta = MakeThetaFn(&objective, oracle);
+  const ThetaFn theta_ub = MakeThetaUbFn(&objective, oracle);
   DivSearchOutput out;
 
   // Phase 1: the first k arrivals initialize CP and θ_T with the plain
@@ -105,28 +126,37 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     search->Terminate();
     out.selected = {first[0]};
     out.stats.early_terminated = true;
-    out.stats.distance_fields = oracle->fields_computed();
+    FillOracleStats(*oracle, &out.stats);
     return out;
   }
   if (first.size() < query.k) {
     // Fewer candidates than requested: everything is the answer.
     out.selected = first;
     out.objective = EvaluateObjective(objective, oracle, out.selected);
-    out.stats.distance_fields = oracle->fields_computed();
+    FillOracleStats(*oracle, &out.stats);
     return out;
   }
 
-  std::unordered_map<ObjectId, SkResult> actives;
+  FlatHashMap<ObjectId, SkResult> actives;
   std::vector<ObjectId> active_ids;
-  std::unordered_map<ObjectId, double> max_pair_theta;
+  FlatHashMap<ObjectId, double> max_pair_theta;
   for (const SkResult& r : first) {
-    actives.emplace(r.id, r);
+    actives.try_emplace(r.id, r);
     active_ids.push_back(r.id);
-    max_pair_theta.emplace(r.id, 0.0);
+    max_pair_theta.try_emplace(r.id, 0.0);
   }
+  // max_pair_theta is tracked with θ *upper bounds*, not exact values.
+  // It is only ever compared against θ_T to decide removals, and an
+  // inflated maximum can only delay a removal, never cause one — the
+  // active set stays a superset of the exact-tracking run. Extra-kept
+  // objects cannot change the outcome: OnArrival compares exact θ against
+  // θ_T, and an object whose every seen pair was below θ_T when it would
+  // have been removed stays below the (monotone) threshold forever, so it
+  // never enters the core; the odd-k filler picks the closest active,
+  // which the superset preserves. See DESIGN.md.
   for (size_t i = 0; i < first.size(); ++i) {
     for (size_t j = i + 1; j < first.size(); ++j) {
-      const double th = theta(first[i], first[j]);
+      const double th = theta_ub(first[i], first[j]);
       max_pair_theta[first[i].id] = std::max(max_pair_theta[first[i].id], th);
       max_pair_theta[first[j].id] = std::max(max_pair_theta[first[j].id], th);
     }
@@ -134,32 +164,41 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
 
   CorePairSet cp(query.k / 2);
   {
-    GreedyDivResult greedy = GreedyDiversify(first, query.k, theta);
+    GreedyDivResult greedy = GreedyDiversify(first, query.k, theta, &theta_ub);
     cp.Init(std::move(greedy.pairs));
   }
 
   const CorePairSet::ThetaById theta_by_id = [&](ObjectId x, ObjectId y) {
-    auto ix = actives.find(x);
-    auto iy = actives.find(y);
-    DSKS_CHECK(ix != actives.end() && iy != actives.end());
-    return theta(ix->second, iy->second);
+    const SkResult* ix = actives.find(x);
+    const SkResult* iy = actives.find(y);
+    DSKS_CHECK(ix != nullptr && iy != nullptr);
+    return theta(*ix, *iy);
+  };
+  const CorePairSet::ThetaById theta_ub_by_id = [&](ObjectId x, ObjectId y) {
+    const SkResult* ix = actives.find(x);
+    const SkResult* iy = actives.find(y);
+    DSKS_CHECK(ix != nullptr && iy != nullptr);
+    return theta_ub(*ix, *iy);
   };
 
   // Phase 2: incremental consumption with diversity pruning.
   while (cp.full() && search->Next(&res)) {
     ++out.stats.candidates;
     oracle->EnsureField(res);
+    // Upper bounds again (see the phase-1 comment): no exact pairwise
+    // distances are computed just to maintain the removal bookkeeping.
+    double res_max = 0.0;
     for (ObjectId id : active_ids) {
-      const double th = theta(res, actives.at(id));
-      auto& mx = max_pair_theta[id];
+      const double th = theta_ub(res, actives.at(id));
+      double& mx = max_pair_theta.at(id);
       mx = std::max(mx, th);
-      auto& mo = max_pair_theta[res.id];
-      mo = std::max(mo, th);
+      res_max = std::max(res_max, th);
     }
-    actives.emplace(res.id, res);
+    max_pair_theta.try_emplace(res.id, res_max);
+    actives.try_emplace(res.id, res);
     active_ids.push_back(res.id);
 
-    cp.OnArrival(res.id, active_ids, theta_by_id);
+    cp.OnArrival(res.id, active_ids, theta_by_id, &theta_ub_by_id);
 
     const double gamma = res.dist;
     const double theta_t = cp.threshold().theta;
@@ -212,7 +251,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     AddOddExtra(pool, &out.selected);
   }
   out.objective = EvaluateObjective(objective, oracle, out.selected);
-  out.stats.distance_fields = oracle->fields_computed();
+  FillOracleStats(*oracle, &out.stats);
   return out;
 }
 

@@ -21,8 +21,16 @@ struct DivSearchStats {
   /// True when the diversity bound terminated the network expansion before
   /// the SK search was exhausted.
   bool early_terminated = false;
-  /// Pairwise distance fields computed by the oracle.
+  /// Pairwise distance fields computed by the oracle (per-object bounded
+  /// Dijkstra expansions — eager under kPerObjectDijkstra, fallback-only
+  /// under kSharedExpansion).
   uint64_t distance_fields = 0;
+  /// Distance() evaluations with distinct endpoints.
+  uint64_t oracle_pairs = 0;
+  /// Of those, pairs answered exactly from the shared expansion.
+  uint64_t oracle_pairs_shared = 0;
+  /// Shared expansions run by the oracle (0 or 1).
+  uint64_t oracle_shared_expansions = 0;
 };
 
 struct DivSearchOutput {

@@ -24,7 +24,8 @@ bool ScoredPair::Better(const ScoredPair& other) const {
 }
 
 GreedyDivResult GreedyDiversify(const std::vector<SkResult>& candidates,
-                                size_t k, const ThetaFn& theta) {
+                                size_t k, const ThetaFn& theta,
+                                const ThetaFn* theta_ub) {
   GreedyDivResult result;
   const size_t n = candidates.size();
   if (n <= k) {
@@ -44,6 +45,14 @@ GreedyDivResult GreedyDiversify(const std::vector<SkResult>& candidates,
       if (used[i]) continue;
       for (size_t j = i + 1; j < n; ++j) {
         if (used[j]) continue;
+        // A pair whose θ upper bound is strictly below the incumbent can
+        // never win this round (Better() prefers larger θ first), so the
+        // exact evaluation — possibly a Dijkstra — is skipped. Ties must
+        // still evaluate: they can win on the id tie-break.
+        if (found && theta_ub != nullptr &&
+            (*theta_ub)(candidates[i], candidates[j]) < best.theta) {
+          continue;
+        }
         const ScoredPair sp =
             ScoredPair::Make(theta(candidates[i], candidates[j]),
                              candidates[i].id, candidates[j].id);

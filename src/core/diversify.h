@@ -42,8 +42,15 @@ struct GreedyDivResult {
 /// Algorithm 1: repeatedly pick the remaining pair with the largest
 /// diversification distance; each object joins at most one pair. A
 /// 2-approximation of max f(S) [Gollapudi & Sharma].
+///
+/// `theta_ub`, when given, must satisfy theta_ub(u,v) >= theta(u,v) for
+/// every pair. Pairs whose upper bound is *strictly* below the current
+/// round's best are skipped without evaluating θ exactly — ties still
+/// evaluate, so the chosen pairs (including tie-breaks) are identical to
+/// the unbounded run.
 GreedyDivResult GreedyDiversify(const std::vector<SkResult>& candidates,
-                                size_t k, const ThetaFn& theta);
+                                size_t k, const ThetaFn& theta,
+                                const ThetaFn* theta_ub = nullptr);
 
 /// Exhaustive optimum of f(S) over all k-subsets, for the approximation
 /// tests; exponential, use only on tiny instances.

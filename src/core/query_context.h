@@ -1,0 +1,102 @@
+#ifndef DSKS_CORE_QUERY_CONTEXT_H_
+#define DSKS_CORE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat_containers.h"
+#include "graph/types.h"
+#include "index/object_index.h"
+
+namespace dsks {
+
+/// Per-object search state of the incremental SK search (Algorithm 3):
+/// the best known distance plus the object's edge placement, enough to
+/// re-derive its network location without reloading the edge.
+struct SkObjectState {
+  double best = 0.0;
+  bool emitted = false;
+  EdgeId edge = kInvalidEdgeId;
+  NodeId n1 = kInvalidNodeId;
+  NodeId n2 = kInvalidNodeId;
+  double w1 = 0.0;
+  double edge_weight = 0.0;
+};
+
+/// One processed edge: weight plus the matching objects loaded from the
+/// index. Slots live in a pool so the object vectors keep their capacity
+/// across queries.
+struct LoadedEdgeSlot {
+  double weight = 0.0;
+  std::vector<LoadedObject> objects;
+};
+
+/// Scratch for one IncrementalSkSearch execution. Everything here is
+/// reset-not-freed between queries: epoch arrays invalidate in O(1), flat
+/// maps and heaps clear without releasing their backing storage, and the
+/// edge pool recycles its per-edge object vectors.
+struct SkSearchScratch {
+  EpochArray<double> tentative;  // node -> best tentative distance
+  EpochArray<double> settled;    // node -> final distance
+  ReusableMinHeap<std::pair<double, uint32_t>> node_heap;
+  ReusableMinHeap<std::pair<double, uint32_t>> object_heap;
+  FlatHashMap<EdgeId, uint32_t> edge_slot;  // edge -> index into edge_pool
+  std::vector<LoadedEdgeSlot> edge_pool;    // [0, edge_pool_used) are live
+  size_t edge_pool_used = 0;
+  FlatHashMap<ObjectId, SkObjectState> object_state;
+  std::vector<AdjacentEdge> adjacency;  // GetAdjacency output buffer
+};
+
+/// Scratch for one PairwiseDistanceOracle. Holds the shared-expansion
+/// shortest-path-tree state (distances, parent edges, settle order and
+/// subtree intervals) plus a pool of per-object fallback distance fields.
+struct OracleScratch {
+  // Shared expansion from the query location.
+  EpochArray<double> shared_dist;       // node -> settled distance from q
+  EpochArray<double> shared_tentative;  // node -> tentative during the pass
+  EpochArray<EdgeId> pending_edge;      // best relaxing edge while tentative
+  EpochArray<NodeId> pending_parent;    // best relaxing parent node
+  EpochArray<EdgeId> parent_edge;       // edge that settled the node
+  EpochArray<uint32_t> local_index;     // node -> index into settle order
+  std::vector<NodeId> order;            // nodes in settle order
+  std::vector<uint32_t> parent_local;   // parent's local index (or UINT32_MAX)
+  std::vector<uint32_t> tin, tout;      // subtree (Euler) intervals per local
+  std::vector<uint32_t> child_head;     // children CSR offsets (size n+1)
+  std::vector<uint32_t> child_cursor;   // CSR fill cursors
+  std::vector<uint32_t> child_list;     // children CSR payload
+  std::vector<std::pair<uint32_t, uint32_t>> dfs_stack;
+
+  ReusableMinHeap<std::pair<double, uint32_t>> heap;  // shared pass + fields
+  EpochArray<double> field_tentative;   // tentative map for fallback fields
+  std::vector<AdjacentEdge> adjacency;  // GetAdjacency output buffer
+
+  // Per-object fallback fields, pooled so their slot arrays survive drops.
+  std::vector<FlatHashMap<NodeId, double>> field_pool;
+  std::vector<uint32_t> free_fields;  // indices of unused pool entries
+  FlatHashMap<ObjectId, uint32_t> field_index;  // object -> pool index
+
+  // Memoized pair distances, keyed by (canonical id << 32 | other id).
+  // Distances are exact and independent of field lifetimes, so entries
+  // survive DropField and are only cleared between queries.
+  FlatHashMap<uint64_t, double> pair_cache;
+};
+
+/// Reusable per-thread query scratch. One QueryContext serves one query at
+/// a time (one SK search plus one distance oracle — the diversified search
+/// uses both concurrently); QueryExecutor owns one per worker thread, the
+/// CLI and sequential harness own one per loop. Consumers that get no
+/// context allocate a private one, which still beats per-query
+/// unordered_maps but misses the cross-query reuse.
+struct QueryContext {
+  SkSearchScratch sk_search;
+  OracleScratch oracle;
+
+  // Debug-build guards against two live consumers sharing one section.
+  bool sk_search_in_use = false;
+  bool oracle_in_use = false;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_CORE_QUERY_CONTEXT_H_

@@ -10,7 +10,8 @@ namespace dsks {
 IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
                                          ObjectIndex* index,
                                          const SkQuery& query,
-                                         const QueryEdgeInfo& query_edge)
+                                         const QueryEdgeInfo& query_edge,
+                                         QueryContext* ctx)
     : graph_(graph),
       index_(index),
       delta_max_(query.delta_max),
@@ -21,6 +22,31 @@ IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
   DSKS_CHECK_MSG(query_edge.n1 < query_edge.n2,
                  "query edge endpoints must be (reference, far) ordered");
 
+  if (ctx == nullptr) {
+    owned_ctx_ = std::make_unique<QueryContext>();
+    ctx = owned_ctx_.get();
+  }
+  ctx_ = ctx;
+  s_ = &ctx_->sk_search;
+  DSKS_DCHECK_MSG(!ctx_->sk_search_in_use,
+                  "QueryContext serves one SK search at a time");
+  ctx_->sk_search_in_use = true;
+
+  // Reset-not-free: epoch bumps and clears that keep all capacity from the
+  // previous query on this context.
+  s_->tentative.EnsureSize(graph_->num_nodes());
+  s_->settled.EnsureSize(graph_->num_nodes());
+  s_->tentative.Reset();
+  s_->settled.Reset();
+  s_->node_heap.clear();
+  s_->object_heap.clear();
+  s_->edge_slot.clear();
+  s_->edge_pool_used = 0;
+  s_->object_state.clear();
+  if (s_->adjacency.capacity() == 0) {
+    s_->adjacency.reserve(16);
+  }
+
   // Seed Dijkstra with the two endpoints of the query's edge.
   RelaxNode(query_edge.n1, query_edge.w1);
   RelaxNode(query_edge.n2, query_edge.weight - query_edge.w1);
@@ -28,56 +54,77 @@ IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
   // Objects on the query's own edge are reachable directly along the edge
   // (δ(q,p) = w(q,p) when both lie on the same edge, §2.1); paths through
   // the endpoints are applied when those endpoints settle.
-  index_->LoadObjects(query_edge.edge, terms_, &load_scratch_);
-  LoadedEdge& le = loaded_edges_[query_edge.edge];
+  const uint32_t slot = AllocEdgeSlot();
+  LoadedEdgeSlot& le = s_->edge_pool[slot];
   le.weight = query_edge.weight;
-  le.objects = load_scratch_;
+  index_->LoadObjects(query_edge.edge, terms_, &le.objects);
+  s_->edge_slot.try_emplace(query_edge.edge, slot);
   for (const LoadedObject& o : le.objects) {
     UpdateObject(o, query_edge.edge, query_edge.n1, query_edge.n2,
                  query_edge.weight, std::abs(o.w1 - query_edge.w1));
   }
 }
 
+IncrementalSkSearch::~IncrementalSkSearch() {
+  ctx_->sk_search_in_use = false;
+}
+
+uint32_t IncrementalSkSearch::AllocEdgeSlot() {
+  if (s_->edge_pool_used == s_->edge_pool.size()) {
+    s_->edge_pool.emplace_back();
+  }
+  LoadedEdgeSlot& slot = s_->edge_pool[s_->edge_pool_used];
+  slot.objects.clear();  // keeps the vector's capacity
+  return static_cast<uint32_t>(s_->edge_pool_used++);
+}
+
 void IncrementalSkSearch::RelaxNode(NodeId v, double dist) {
-  if (dist > delta_max_ || settled_.count(v) != 0) {
+  if (dist > delta_max_ || s_->settled.Contains(v)) {
     return;
   }
-  auto it = tentative_.find(v);
-  if (it == tentative_.end() || dist < it->second) {
-    tentative_[v] = dist;
-    node_heap_.emplace(dist, v);
+  const double* t = s_->tentative.Find(v);
+  if (t == nullptr || dist < *t) {
+    s_->tentative.Set(v, dist);
+    s_->node_heap.push({dist, v});
   }
 }
 
 void IncrementalSkSearch::UpdateObject(const LoadedObject& o, EdgeId e,
                                        NodeId n1, NodeId n2, double w,
                                        double dist) {
-  auto [it, inserted] = object_state_.try_emplace(o.id);
-  ObjectState& st = it->second;
+  auto [st, inserted] = s_->object_state.try_emplace(o.id);
   if (inserted) {
-    st.best = dist;
-    st.edge = e;
-    st.n1 = n1;
-    st.n2 = n2;
-    st.w1 = o.w1;
-    st.edge_weight = w;
-    object_heap_.emplace(dist, o.id);
+    st->best = dist;
+    st->edge = e;
+    st->n1 = n1;
+    st->n2 = n2;
+    st->w1 = o.w1;
+    st->edge_weight = w;
+    s_->object_heap.push({dist, o.id});
     return;
   }
-  if (dist < st.best) {
-    DSKS_CHECK_MSG(!st.emitted, "emitted object distance improved");
-    st.best = dist;
-    object_heap_.emplace(dist, o.id);
+  if (dist < st->best) {
+    DSKS_CHECK_MSG(!st->emitted, "emitted object distance improved");
+    st->best = dist;
+    s_->object_heap.push({dist, o.id});
   }
 }
 
 void IncrementalSkSearch::ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb,
                                       double d) {
-  auto it = loaded_edges_.find(e);
-  if (it == loaded_edges_.end()) {
+  const uint32_t* found = s_->edge_slot.find(e);
+  uint32_t slot;
+  if (found == nullptr) {
     ++stats_.edges_processed;
-    index_->LoadObjects(e, terms_, &load_scratch_);
-    it = loaded_edges_.emplace(e, LoadedEdge{w, load_scratch_}).first;
+    slot = AllocEdgeSlot();
+    LoadedEdgeSlot& le = s_->edge_pool[slot];
+    le.weight = w;
+    // The index loads straight into the pooled vector — no intermediate
+    // scratch copy.
+    index_->LoadObjects(e, terms_, &le.objects);
+    s_->edge_slot.try_emplace(e, slot);
+  } else {
+    slot = *found;
   }
   // v was just settled at distance d; the cost from v to an object at
   // offset w1 (from the reference node n1 = min endpoint id) is w1 if v is
@@ -85,22 +132,23 @@ void IncrementalSkSearch::ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb,
   const bool v_is_n1 = v < nb;
   const NodeId n1 = std::min(v, nb);
   const NodeId n2 = std::max(v, nb);
-  for (const LoadedObject& o : it->second.objects) {
+  const std::vector<LoadedObject>& objects = s_->edge_pool[slot].objects;
+  for (const LoadedObject& o : objects) {
     const double via_v = d + (v_is_n1 ? o.w1 : w - o.w1);
     UpdateObject(o, e, n1, n2, w, via_v);
   }
 }
 
 double IncrementalSkSearch::NodeLowerBound() {
-  while (!node_heap_.empty()) {
-    const auto& [d, v] = node_heap_.top();
-    if (settled_.count(v) != 0) {
-      node_heap_.pop();
+  while (!s_->node_heap.empty()) {
+    const auto& [d, v] = s_->node_heap.top();
+    if (s_->settled.Contains(v)) {
+      s_->node_heap.pop();
       continue;
     }
-    auto it = tentative_.find(v);
-    if (it == tentative_.end() || it->second != d) {
-      node_heap_.pop();  // superseded entry
+    const double* t = s_->tentative.Find(v);
+    if (t == nullptr || *t != d) {
+      s_->node_heap.pop();  // superseded entry
       continue;
     }
     if (d > delta_max_) {
@@ -118,14 +166,14 @@ bool IncrementalSkSearch::ExpandOneNode() {
   if (expansion_done_) {
     return false;
   }
-  const NodeId v = node_heap_.top().second;
-  node_heap_.pop();
-  settled_.emplace(v, d);
+  const NodeId v = s_->node_heap.top().second;
+  s_->node_heap.pop();
+  s_->settled.Set(v, d);
   ++stats_.nodes_settled;
 
-  graph_->GetAdjacency(v, &adjacency_scratch_);
-  for (const AdjacentEdge& adj : adjacency_scratch_) {
-    if (settled_.count(adj.neighbor) == 0) {
+  graph_->GetAdjacency(v, &s_->adjacency);
+  for (const AdjacentEdge& adj : s_->adjacency) {
+    if (!s_->settled.Contains(adj.neighbor)) {
       RelaxNode(adj.neighbor, d + adj.weight);
     }
     ProcessEdge(adj.edge, adj.weight, v, adj.neighbor, d);
@@ -142,28 +190,29 @@ bool IncrementalSkSearch::Next(SkResult* out) {
         expansion_done_ ? kInfDistance : NodeLowerBound();
 
     // Emit the closest finalized object, if any.
-    while (!object_heap_.empty()) {
-      const auto [d, id] = object_heap_.top();
-      ObjectState& st = object_state_[id];
-      if (st.emitted || d != st.best) {
-        object_heap_.pop();  // stale or duplicate entry
+    while (!s_->object_heap.empty()) {
+      const auto [d, id] = s_->object_heap.top();
+      SkObjectState* st = s_->object_state.find(id);
+      DSKS_DCHECK(st != nullptr);
+      if (st->emitted || d != st->best) {
+        s_->object_heap.pop();  // stale or duplicate entry
         continue;
       }
       if (d > delta_t) {
         break;  // might still improve through an unsettled node
       }
-      object_heap_.pop();
-      st.emitted = true;
+      s_->object_heap.pop();
+      st->emitted = true;
       if (d > delta_max_) {
         continue;  // final but outside the search range
       }
       ++stats_.objects_emitted;
       out->id = id;
-      out->edge = st.edge;
-      out->n1 = st.n1;
-      out->n2 = st.n2;
-      out->w1 = st.w1;
-      out->edge_weight = st.edge_weight;
+      out->edge = st->edge;
+      out->n1 = st->n1;
+      out->n2 = st->n2;
+      out->w1 = st->w1;
+      out->edge_weight = st->edge_weight;
       out->dist = d;
       return true;
     }

@@ -2,12 +2,11 @@
 #define DSKS_CORE_SK_SEARCH_H_
 
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "core/query.h"
+#include "core/query_context.h"
 #include "graph/ccam.h"
 #include "graph/types.h"
 #include "index/object_index.h"
@@ -40,6 +39,11 @@ struct QueryEdgeInfo {
 /// All graph traversal goes through the CCAM file and all object loading
 /// through the index, so every page touched is accounted in the buffer
 /// pool / disk statistics.
+///
+/// All mutable search state lives in a QueryContext's SkSearchScratch.
+/// Pass a long-lived context (one per thread) and steady-state searches do
+/// near-zero heap allocation; with no context the search allocates a
+/// private one for its lifetime.
 class IncrementalSkSearch {
  public:
   struct Stats {
@@ -49,7 +53,12 @@ class IncrementalSkSearch {
   };
 
   IncrementalSkSearch(const CcamGraph* graph, ObjectIndex* index,
-                      const SkQuery& query, const QueryEdgeInfo& query_edge);
+                      const SkQuery& query, const QueryEdgeInfo& query_edge,
+                      QueryContext* ctx = nullptr);
+  ~IncrementalSkSearch();
+
+  IncrementalSkSearch(const IncrementalSkSearch&) = delete;
+  IncrementalSkSearch& operator=(const IncrementalSkSearch&) = delete;
 
   /// Produces the next object in non-decreasing δ(q, o), with
   /// δ(q, o) <= δmax. Returns false when the search is exhausted (or was
@@ -63,21 +72,6 @@ class IncrementalSkSearch {
   const Stats& stats() const { return stats_; }
 
  private:
-  struct ObjectState {
-    double best = 0.0;
-    bool emitted = false;
-    EdgeId edge = kInvalidEdgeId;
-    NodeId n1 = kInvalidNodeId;
-    NodeId n2 = kInvalidNodeId;
-    double w1 = 0.0;
-    double edge_weight = 0.0;
-  };
-
-  struct LoadedEdge {
-    double weight = 0.0;
-    std::vector<LoadedObject> objects;
-  };
-
   void RelaxNode(NodeId v, double dist);
 
   /// Applies distance `dist` to object `o` on edge `e` = (`n1`, `n2`)
@@ -89,6 +83,9 @@ class IncrementalSkSearch {
   /// through endpoint `v`, just settled at distance `d` (`nb` is the other
   /// endpoint).
   void ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb, double d);
+
+  /// Grabs a recycled edge slot from the scratch pool.
+  uint32_t AllocEdgeSlot();
 
   /// Drops settled/stale node-heap entries; returns the fresh top key
   /// (the δT lower bound) or infinity when expansion is finished.
@@ -103,19 +100,9 @@ class IncrementalSkSearch {
   const double delta_max_;
   std::vector<TermId> terms_;
 
-  using HeapEntry = std::pair<double, uint32_t>;
-  using MinHeap =
-      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-
-  MinHeap node_heap_;
-  std::unordered_map<NodeId, double> tentative_;
-  std::unordered_map<NodeId, double> settled_;
-  std::unordered_map<EdgeId, LoadedEdge> loaded_edges_;
-  std::unordered_map<ObjectId, ObjectState> object_state_;
-  MinHeap object_heap_;
-
-  std::vector<AdjacentEdge> adjacency_scratch_;
-  std::vector<LoadedObject> load_scratch_;
+  std::unique_ptr<QueryContext> owned_ctx_;  // only when no ctx was passed
+  QueryContext* ctx_;
+  SkSearchScratch* s_;  // = &ctx_->sk_search
 
   bool expansion_done_ = false;
   bool terminated_ = false;

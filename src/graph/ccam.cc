@@ -138,6 +138,7 @@ CcamFile CcamFileBuilder::Build(const RoadNetwork& net, DiskManager* disk,
   DSKS_CHECK_MSG(net.finalized(), "network must be finalized");
   CcamFile file;
   file.node_page_.assign(net.num_nodes(), kInvalidPageId);
+  file.node_offset_.assign(net.num_nodes(), 0);
   if (net.num_nodes() == 0) {
     return file;
   }
@@ -173,6 +174,7 @@ CcamFile CcamFileBuilder::Build(const RoadNetwork& net, DiskManager* disk,
     const PageId id = disk->AllocatePage();
     for (NodeId v : group) {
       file.node_page_[v] = id;
+      file.node_offset_[v] = static_cast<uint16_t>(pos);
       const auto neighbors = net.Neighbors(v);
       AppendRaw(page, &pos, static_cast<uint32_t>(v));
       AppendRaw(page, &pos, static_cast<uint16_t>(neighbors.size()));
@@ -209,25 +211,20 @@ void CcamGraph::GetAdjacency(NodeId id, std::vector<AdjacentEdge>* out) const {
   DSKS_CHECK_MSG(pid != kInvalidPageId, "node has no CCAM page");
   PageGuard guard(pool_, pid);
   const char* data = guard.data();
-  size_t pos = 0;
-  const auto num_records = ReadRaw<uint16_t>(data, &pos);
-  for (uint16_t r = 0; r < num_records; ++r) {
-    const auto node = ReadRaw<uint32_t>(data, &pos);
-    const auto degree = ReadRaw<uint16_t>(data, &pos);
-    if (node == id) {
-      out->reserve(degree);
-      for (uint16_t i = 0; i < degree; ++i) {
-        AdjacentEdge adj;
-        adj.neighbor = ReadRaw<uint32_t>(data, &pos);
-        adj.edge = ReadRaw<uint32_t>(data, &pos);
-        adj.weight = ReadRaw<double>(data, &pos);
-        out->push_back(adj);
-      }
-      return;
-    }
-    pos += degree * kNeighborSize;
-  }
-  DSKS_CHECK_MSG(false, "node record missing from its CCAM page");
+  // The page directory stores the record's offset, so no scan over the
+  // page's other records is needed; the neighbor entries are packed in
+  // AdjacentEdge's exact layout and bulk-copied.
+  static_assert(sizeof(AdjacentEdge) == kNeighborSize &&
+                    offsetof(AdjacentEdge, neighbor) == 0 &&
+                    offsetof(AdjacentEdge, edge) == sizeof(uint32_t) &&
+                    offsetof(AdjacentEdge, weight) == 2 * sizeof(uint32_t),
+                "on-page neighbor entries mirror AdjacentEdge");
+  size_t pos = file_->OffsetOfNode(id);
+  const auto node = ReadRaw<uint32_t>(data, &pos);
+  DSKS_CHECK_MSG(node == id, "node record missing from its CCAM page");
+  const auto degree = ReadRaw<uint16_t>(data, &pos);
+  out->resize(degree);
+  std::memcpy(out->data(), data + pos, size_t{degree} * kNeighborSize);
 }
 
 }  // namespace dsks

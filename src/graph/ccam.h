@@ -34,6 +34,9 @@ class CcamFile {
   /// Page holding node `id`'s adjacency list.
   PageId PageOfNode(NodeId id) const { return node_page_[id]; }
 
+  /// Byte offset of node `id`'s record within its page.
+  uint16_t OffsetOfNode(NodeId id) const { return node_offset_[id]; }
+
   size_t num_pages() const { return num_pages_; }
   size_t num_nodes() const { return node_page_.size(); }
   uint64_t size_bytes() const { return uint64_t{num_pages_} * kPageSize; }
@@ -44,6 +47,11 @@ class CcamFile {
   /// node id -> page containing its adjacency record. The directory is an
   /// in-memory array (4 bytes/node), the usual arrangement for CCAM.
   std::vector<PageId> node_page_;
+  /// node id -> byte offset of its record in that page, recorded at build
+  /// time next to the page directory so that a lookup needs no scan over
+  /// the page's other records (the page itself is still fetched through
+  /// the buffer pool — the I/O cost model is unchanged).
+  std::vector<uint16_t> node_offset_;
   size_t num_pages_ = 0;
 };
 

@@ -39,17 +39,19 @@ std::vector<double> DijkstraFromNode(const RoadNetwork& net, NodeId source) {
   return dist;
 }
 
-std::unordered_map<NodeId, double> BoundedDijkstraFromLocation(
+FlatHashMap<NodeId, double> BoundedDijkstraFromLocation(
     const RoadNetwork& net, const NetworkLocation& from, double radius) {
   DSKS_CHECK(from.edge < net.num_edges());
   const Edge& e = net.edge(from.edge);
-  std::unordered_map<NodeId, double> dist;
-  std::unordered_map<NodeId, double> settled;
+  FlatHashMap<NodeId, double> dist;
+  FlatHashMap<NodeId, double> settled;
+  dist.reserve(64);
+  settled.reserve(64);
   MinHeap heap;
 
   auto relax = [&](NodeId v, double d) {
-    auto it = dist.find(v);
-    if (it == dist.end() || d < it->second) {
+    const double* it = dist.find(v);
+    if (it == nullptr || d < *it) {
       dist[v] = d;
       heap.emplace(d, v);
     }
@@ -63,14 +65,13 @@ std::unordered_map<NodeId, double> BoundedDijkstraFromLocation(
     if (d > radius) {
       break;
     }
-    auto it = settled.find(v);
-    if (it != settled.end()) {
+    if (settled.contains(v)) {
       continue;
     }
-    settled.emplace(v, d);
+    settled.try_emplace(v, d);
     for (const AdjacentEdge& adj : net.Neighbors(v)) {
       const double nd = d + adj.weight;
-      if (nd <= radius && !settled.count(adj.neighbor)) {
+      if (nd <= radius && !settled.contains(adj.neighbor)) {
         relax(adj.neighbor, nd);
       }
     }
@@ -83,16 +84,16 @@ namespace {
 /// Distance from a source whose node distances are in `node_dist` to a
 /// target location, applying Equation 1 plus the same-edge direct path.
 double CombineToLocation(const RoadNetwork& net,
-                         const std::unordered_map<NodeId, double>& node_dist,
+                         const FlatHashMap<NodeId, double>& node_dist,
                          const NetworkLocation& src,
                          const NetworkLocation& dst) {
   const Edge& e = net.edge(dst.edge);
   double best = kInfDistance;
-  if (auto it = node_dist.find(e.n1); it != node_dist.end()) {
-    best = std::min(best, it->second + net.WeightFromN1(dst.edge, dst.offset));
+  if (const double* it = node_dist.find(e.n1)) {
+    best = std::min(best, *it + net.WeightFromN1(dst.edge, dst.offset));
   }
-  if (auto it = node_dist.find(e.n2); it != node_dist.end()) {
-    best = std::min(best, it->second + net.WeightFromN2(dst.edge, dst.offset));
+  if (const double* it = node_dist.find(e.n2)) {
+    best = std::min(best, *it + net.WeightFromN2(dst.edge, dst.offset));
   }
   if (src.edge == dst.edge) {
     const double direct = std::abs(net.WeightFromN1(dst.edge, dst.offset) -

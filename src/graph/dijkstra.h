@@ -2,9 +2,9 @@
 #define DSKS_GRAPH_DIJKSTRA_H_
 
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_containers.h"
 #include "graph/road_network.h"
 #include "graph/types.h"
 
@@ -27,7 +27,7 @@ std::vector<double> DijkstraFromNode(const RoadNetwork& net, NodeId source);
 /// Dijkstra from an arbitrary network location, expanding only nodes with
 /// distance <= radius. Returns the node -> distance map (only settled nodes
 /// within the radius appear).
-std::unordered_map<NodeId, double> BoundedDijkstraFromLocation(
+FlatHashMap<NodeId, double> BoundedDijkstraFromLocation(
     const RoadNetwork& net, const NetworkLocation& from, double radius);
 
 /// Network distance (cost of the least costly path, §2.1) between two

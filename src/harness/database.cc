@@ -114,8 +114,10 @@ void Database::ResetCounters() {
 uint64_t Database::IoCount() const { return disk_.stats().reads; }
 
 std::vector<SkResult> Database::RunSkQuery(const SkQuery& query,
-                                           const QueryEdgeInfo& edge) {
-  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query, edge);
+                                           const QueryEdgeInfo& edge,
+                                           QueryContext* ctx) {
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query, edge,
+                             ctx);
   std::vector<SkResult> results;
   SkResult r;
   while (search.Next(&r)) {
@@ -136,11 +138,14 @@ std::vector<RankedResult> Database::RunRankedQuery(const RankedQuery& query,
 }
 
 DivSearchOutput Database::RunDivQuery(const DivQuery& query,
-                                      const QueryEdgeInfo& edge,
-                                      bool use_com) {
-  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query.sk, edge);
-  PairwiseDistanceOracle oracle(ccam_graph_.get(),
-                                2.0 * query.sk.delta_max);
+                                      const QueryEdgeInfo& edge, bool use_com,
+                                      QueryContext* ctx,
+                                      OracleStrategy strategy) {
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query.sk, edge,
+                             ctx);
+  PairwiseDistanceOracle oracle(ccam_graph_.get(), 2.0 * query.sk.delta_max,
+                                strategy, ctx);
+  oracle.SetQueryEdge(edge);
   return use_com ? DiversifiedSearchCOM(&search, query, &oracle)
                  : DiversifiedSearchSEQ(&search, query, &oracle);
 }

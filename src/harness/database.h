@@ -72,13 +72,19 @@ class Database {
   /// Physical reads since the last ResetCounters (the paper's "# of I/O").
   uint64_t IoCount() const;
 
-  /// Runs Algorithm 3 to exhaustion. Returns the result objects.
+  /// Runs Algorithm 3 to exhaustion. Returns the result objects. Pass a
+  /// long-lived per-thread QueryContext to amortize scratch allocations
+  /// across queries (nullptr: the search allocates a private one).
   std::vector<SkResult> RunSkQuery(const SkQuery& query,
-                                   const QueryEdgeInfo& edge);
+                                   const QueryEdgeInfo& edge,
+                                   QueryContext* ctx = nullptr);
 
-  /// Runs a diversified query with SEQ or COM.
-  DivSearchOutput RunDivQuery(const DivQuery& query, const QueryEdgeInfo& edge,
-                              bool use_com);
+  /// Runs a diversified query with SEQ or COM. `strategy` selects the
+  /// pairwise-distance scheme (shared expansion by default).
+  DivSearchOutput RunDivQuery(
+      const DivQuery& query, const QueryEdgeInfo& edge, bool use_com,
+      QueryContext* ctx = nullptr,
+      OracleStrategy strategy = OracleStrategy::kSharedExpansion);
 
   /// Boolean k-nearest-neighbour SK query (all keywords, k closest).
   std::vector<SkResult> RunKnnQuery(const SkQuery& query,

@@ -40,12 +40,13 @@ SkWorkloadMetrics RunSkWorkload(Database* db, const Workload& workload) {
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
   SkWorkloadMetrics m;
   ScopedIoDelay delay(db);
+  QueryContext ctx;  // reused across the whole workload
   std::vector<double> samples;
   samples.reserve(workload.queries.size());
   for (const WorkloadQuery& wq : workload.queries) {
     db->ResetCounters();
     Timer timer;
-    const std::vector<SkResult> results = db->RunSkQuery(wq.sk, wq.edge);
+    const std::vector<SkResult> results = db->RunSkQuery(wq.sk, wq.edge, &ctx);
     samples.push_back(timer.ElapsedMillis());
     m.avg_millis += samples.back();
     m.avg_io += static_cast<double>(db->IoCount());
@@ -73,6 +74,7 @@ DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
   DivWorkloadMetrics m;
   ScopedIoDelay delay(db);
+  QueryContext ctx;  // reused across the whole workload
   std::vector<double> samples;
   samples.reserve(workload.queries.size());
   for (const WorkloadQuery& wq : workload.queries) {
@@ -82,7 +84,7 @@ DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
     dq.lambda = lambda;
     db->ResetCounters();
     Timer timer;
-    const DivSearchOutput out = db->RunDivQuery(dq, wq.edge, use_com);
+    const DivSearchOutput out = db->RunDivQuery(dq, wq.edge, use_com, &ctx);
     samples.push_back(timer.ElapsedMillis());
     m.avg_millis += samples.back();
     m.avg_io += static_cast<double>(db->IoCount());
@@ -90,6 +92,7 @@ DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
     m.avg_objective += out.objective;
     m.avg_pruned += static_cast<double>(out.stats.pruned_objects);
     m.early_termination_rate += out.stats.early_terminated ? 1.0 : 0.0;
+    m.avg_distance_fields += static_cast<double>(out.stats.distance_fields);
   }
   const auto n = static_cast<double>(workload.queries.size());
   m.avg_millis /= n;
@@ -98,6 +101,7 @@ DivWorkloadMetrics RunDivWorkload(Database* db, const Workload& workload,
   m.avg_objective /= n;
   m.avg_pruned /= n;
   m.early_termination_rate /= n;
+  m.avg_distance_fields /= n;
   m.p95_millis = Percentile95(std::move(samples));
   return m;
 }

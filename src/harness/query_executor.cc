@@ -14,6 +14,10 @@ QueryExecutor::QueryExecutor(const ExecutorConfig& config)
   DSKS_CHECK_MSG(config.num_threads > 0, "executor needs at least one thread");
   DSKS_CHECK_MSG(config.queue_capacity > 0, "queue capacity must be positive");
   samples_.resize(config.num_threads);
+  contexts_.reserve(config.num_threads);
+  for (size_t i = 0; i < config.num_threads; ++i) {
+    contexts_.push_back(std::make_unique<QueryContext>());
+  }
   workers_.reserve(config.num_threads);
   for (size_t i = 0; i < config.num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -32,6 +36,12 @@ QueryExecutor::~QueryExecutor() {
 }
 
 void QueryExecutor::Submit(std::function<void()> task) {
+  SubmitWithContext(
+      [task = std::move(task)](QueryContext* /*ctx*/) { task(); });
+}
+
+void QueryExecutor::SubmitWithContext(
+    std::function<void(QueryContext*)> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_not_full_.wait(lock,
@@ -55,8 +65,9 @@ std::vector<double> QueryExecutor::Drain() {
 }
 
 void QueryExecutor::WorkerLoop(size_t worker_id) {
+  QueryContext* ctx = contexts_[worker_id].get();
   for (;;) {
-    std::function<void()> task;
+    std::function<void(QueryContext*)> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(lock,
@@ -70,7 +81,7 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
     }
     queue_not_full_.notify_one();
     Timer timer;
-    task();
+    task(ctx);
     const double millis = timer.ElapsedMillis();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -116,7 +127,7 @@ namespace {
 
 ThroughputMetrics RunConcurrent(
     Database* db, const Workload& workload, size_t num_threads, size_t repeat,
-    const std::function<void(const WorkloadQuery&)>& run_one) {
+    const std::function<void(const WorkloadQuery&, QueryContext*)>& run_one) {
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
   DSKS_CHECK_MSG(repeat > 0, "repeat must be positive");
   // Yielding delay: a blocked "disk read" frees its core, so concurrent
@@ -128,7 +139,8 @@ ThroughputMetrics RunConcurrent(
   Timer wall;
   for (size_t r = 0; r < repeat; ++r) {
     for (const WorkloadQuery& wq : workload.queries) {
-      exec.Submit([&run_one, &wq] { run_one(wq); });
+      exec.SubmitWithContext(
+          [&run_one, &wq](QueryContext* ctx) { run_one(wq, ctx); });
     }
   }
   std::vector<double> samples = exec.Drain();
@@ -142,8 +154,8 @@ ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
                                           const Workload& workload,
                                           size_t num_threads, size_t repeat) {
   return RunConcurrent(db, workload, num_threads, repeat,
-                       [db](const WorkloadQuery& wq) {
-                         db->RunSkQuery(wq.sk, wq.edge);
+                       [db](const WorkloadQuery& wq, QueryContext* ctx) {
+                         db->RunSkQuery(wq.sk, wq.edge, ctx);
                        });
 }
 
@@ -151,14 +163,15 @@ ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
                                            const Workload& workload, size_t k,
                                            double lambda, bool use_com,
                                            size_t num_threads, size_t repeat) {
-  return RunConcurrent(db, workload, num_threads, repeat,
-                       [db, k, lambda, use_com](const WorkloadQuery& wq) {
-                         DivQuery dq;
-                         dq.sk = wq.sk;
-                         dq.k = k;
-                         dq.lambda = lambda;
-                         db->RunDivQuery(dq, wq.edge, use_com);
-                       });
+  return RunConcurrent(
+      db, workload, num_threads, repeat,
+      [db, k, lambda, use_com](const WorkloadQuery& wq, QueryContext* ctx) {
+        DivQuery dq;
+        dq.sk = wq.sk;
+        dq.k = k;
+        dq.lambda = lambda;
+        db->RunDivQuery(dq, wq.edge, use_com, ctx);
+      });
 }
 
 }  // namespace dsks

@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/query_context.h"
 #include "datagen/workload.h"
 #include "harness/database.h"
 
@@ -46,6 +48,10 @@ struct ThroughputMetrics {
 /// samples in a private vector; Drain() waits for the queue to empty and
 /// merges the per-thread samples under the pool mutex, so no sample is
 /// ever written and read concurrently.
+///
+/// Every worker owns a QueryContext, handed to tasks submitted with
+/// SubmitWithContext — steady-state queries then reuse the worker's scratch
+/// instead of allocating per query.
 class QueryExecutor {
  public:
   explicit QueryExecutor(const ExecutorConfig& config);
@@ -60,6 +66,10 @@ class QueryExecutor {
   /// not touch single-writer state of the shared database (index builds,
   /// SetCapacity, Clear, counter resets).
   void Submit(std::function<void()> task);
+
+  /// Like Submit, but the task receives the executing worker's private
+  /// QueryContext.
+  void SubmitWithContext(std::function<void(QueryContext*)> task);
 
   /// Blocks until every submitted task has finished, then returns all
   /// per-thread latency samples (milliseconds, unordered). The executor
@@ -77,13 +87,15 @@ class QueryExecutor {
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void(QueryContext*)>> queue_;
   size_t active_tasks_ = 0;
   bool stopping_ = false;
 
   /// samples_[i] is written by worker i between queue pops (i.e. while it
   /// owns an active task) and read by Drain only when no task is active.
   std::vector<std::vector<double>> samples_;
+  /// contexts_[i] is touched only by worker i.
+  std::vector<std::unique_ptr<QueryContext>> contexts_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,233 @@
+#include "common/flat_containers.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace dsks {
+namespace {
+
+TEST(FlatHashMapTest, EmptyMapBehaviour) {
+  FlatHashMap<uint32_t, double> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_EQ(map.count(7), 0u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatHashMapTest, InsertFindOverwrite) {
+  FlatHashMap<uint32_t, double> map;
+  auto [v1, inserted1] = map.try_emplace(42, 1.5);
+  EXPECT_TRUE(inserted1);
+  EXPECT_DOUBLE_EQ(*v1, 1.5);
+  // Second try_emplace of the same key does not overwrite.
+  auto [v2, inserted2] = map.try_emplace(42, 9.9);
+  EXPECT_FALSE(inserted2);
+  EXPECT_DOUBLE_EQ(*v2, 1.5);
+  EXPECT_EQ(map.size(), 1u);
+  // operator[] / insert_or_assign do overwrite.
+  map[42] = 2.5;
+  EXPECT_DOUBLE_EQ(map.at(42), 2.5);
+  map.insert_or_assign(42, 3.5);
+  EXPECT_DOUBLE_EQ(map.at(42), 3.5);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowthKeepsAllEntries) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  const uint32_t n = 10000;
+  for (uint32_t k = 0; k < n; ++k) {
+    map.try_emplace(k * 3 + 1, k);
+  }
+  EXPECT_EQ(map.size(), n);
+  EXPECT_GE(map.capacity(), n);
+  for (uint32_t k = 0; k < n; ++k) {
+    const uint32_t* v = map.find(k * 3 + 1);
+    ASSERT_NE(v, nullptr) << "key " << k * 3 + 1;
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(map.find(0), nullptr);  // never inserted
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacity) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  for (uint32_t k = 0; k < 1000; ++k) {
+    map.try_emplace(k, k);
+  }
+  const size_t cap = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.find(1), nullptr);
+  // Refilling the same keys must not grow.
+  for (uint32_t k = 0; k < 1000; ++k) {
+    map.try_emplace(k, k + 1);
+  }
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.at(999), 1000u);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehash) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  map.reserve(1000);
+  const size_t cap = map.capacity();
+  EXPECT_GE(cap * 3 / 4, 1000u);
+  for (uint32_t k = 0; k < 1000; ++k) {
+    map.try_emplace(k, k);
+  }
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+/// Randomized erase/insert cross-checked against std::unordered_map — this
+/// is what validates the backward-shift deletion under long probe chains.
+TEST(FlatHashMapTest, RandomizedOperationsMatchUnorderedMap) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    FlatHashMap<uint64_t, uint64_t> flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    Random rng(seed);
+    for (int op = 0; op < 20000; ++op) {
+      // Small key universe forces collisions, reinsertion after erase, and
+      // probe chains that wrap the slot array.
+      const uint64_t key = rng.Uniform(512);
+      const uint64_t kind = rng.Uniform(10);
+      if (kind < 6) {
+        const uint64_t value = rng.Uniform(1u << 20);
+        flat.insert_or_assign(key, value);
+        ref[key] = value;
+      } else if (kind < 9) {
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+      } else {
+        const uint64_t* got = flat.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got != nullptr, it != ref.end());
+        if (got != nullptr) {
+          EXPECT_EQ(*got, it->second);
+        }
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full sweep at the end: every key agrees in both directions.
+    for (const auto& [k, v] : ref) {
+      const uint64_t* got = flat.find(k);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, v);
+    }
+    size_t seen = 0;
+    for (const auto& [k, v] : flat) {
+      ASSERT_TRUE(ref.count(k));
+      EXPECT_EQ(ref.at(k), v);
+      ++seen;
+    }
+    EXPECT_EQ(seen, ref.size());
+  }
+}
+
+/// Iteration yields each entry exactly once and the *set* of entries is
+/// independent of insertion order (the order itself is unspecified).
+TEST(FlatHashMapTest, IterationSetIndependentOfInsertionOrder) {
+  std::vector<uint32_t> keys;
+  for (uint32_t k = 0; k < 200; ++k) {
+    keys.push_back(k * 7 + 3);
+  }
+  FlatHashMap<uint32_t, uint32_t> forward;
+  for (uint32_t k : keys) {
+    forward.try_emplace(k, k * 2);
+  }
+  FlatHashMap<uint32_t, uint32_t> backward;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    backward.try_emplace(*it, *it * 2);
+  }
+  std::set<std::pair<uint32_t, uint32_t>> a;
+  std::set<std::pair<uint32_t, uint32_t>> b;
+  for (const auto& kv : forward) a.insert({kv.first, kv.second});
+  for (const auto& kv : backward) b.insert({kv.first, kv.second});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), keys.size());
+}
+
+TEST(EpochArrayTest, ResetMakesEverySlotUnset) {
+  EpochArray<double> arr;
+  arr.EnsureSize(64);
+  arr.Set(3, 1.25);
+  arr.Set(63, 2.5);
+  EXPECT_TRUE(arr.Contains(3));
+  EXPECT_DOUBLE_EQ(arr.Get(3), 1.25);
+  ASSERT_NE(arr.Find(63), nullptr);
+  EXPECT_DOUBLE_EQ(*arr.Find(63), 2.5);
+  arr.Reset();
+  // Stale-epoch reads: everything written before the reset is unset.
+  EXPECT_FALSE(arr.Contains(3));
+  EXPECT_FALSE(arr.Contains(63));
+  EXPECT_EQ(arr.Find(3), nullptr);
+  // A fresh write after the reset is visible and stale values don't leak.
+  arr.Set(3, 9.0);
+  EXPECT_DOUBLE_EQ(arr.Get(3), 9.0);
+  EXPECT_FALSE(arr.Contains(63));
+}
+
+TEST(EpochArrayTest, OutOfRangeContainsIsFalse) {
+  EpochArray<int> arr;
+  arr.EnsureSize(8);
+  EXPECT_FALSE(arr.Contains(8));
+  EXPECT_FALSE(arr.Contains(1u << 30));
+  EXPECT_EQ(arr.Find(8), nullptr);
+}
+
+TEST(EpochArrayTest, GrowthMidEpochPreservesLiveEntries) {
+  EpochArray<int> arr;
+  arr.EnsureSize(4);
+  arr.Set(1, 11);
+  arr.EnsureSize(1024);  // grow while an epoch is live
+  EXPECT_TRUE(arr.Contains(1));
+  EXPECT_EQ(arr.Get(1), 11);
+  EXPECT_FALSE(arr.Contains(1000));  // new slots start unset
+  arr.Set(1000, 7);
+  EXPECT_EQ(arr.Get(1000), 7);
+}
+
+TEST(EpochArrayTest, ManyResetsNeverResurrectStaleValues) {
+  EpochArray<int> arr;
+  arr.EnsureSize(16);
+  for (int round = 0; round < 1000; ++round) {
+    const size_t slot = static_cast<size_t>(round) % 16;
+    EXPECT_FALSE(arr.Contains(slot)) << "round " << round;
+    arr.Set(slot, round);
+    EXPECT_EQ(arr.Get(slot), round);
+    arr.Reset();
+  }
+}
+
+TEST(ReusableMinHeapTest, PopsInSortedOrderAndClearKeepsCapacity) {
+  ReusableMinHeap<std::pair<double, uint32_t>> heap;
+  Random rng(77);
+  std::vector<std::pair<double, uint32_t>> items;
+  for (uint32_t i = 0; i < 500; ++i) {
+    // Duplicate distances exercise the id tie-break of pair ordering.
+    items.push_back({static_cast<double>(rng.Uniform(50)), i});
+  }
+  for (const auto& it : items) {
+    heap.push(it);
+  }
+  EXPECT_EQ(heap.size(), items.size());
+  std::sort(items.begin(), items.end());
+  for (const auto& want : items) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top(), want);
+    heap.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+  heap.clear();
+  heap.push({1.0, 1});
+  EXPECT_EQ(heap.top(), (std::pair<double, uint32_t>{1.0, 1}));
+}
+
+}  // namespace
+}  // namespace dsks

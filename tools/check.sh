@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Builds and runs the tier-1 test suite under AddressSanitizer and
-# ThreadSanitizer (cmake -DDSKS_SANITIZE=...). Usage:
+# ThreadSanitizer (cmake -DDSKS_SANITIZE=...), then a Release perf smoke
+# that fails if bench_throughput's single-thread qps dropped more than 25%
+# below the committed bench/baseline_throughput.json. Usage:
 #
-#   tools/check.sh            # both sanitizers
-#   tools/check.sh thread     # just one
+#   tools/check.sh            # both sanitizers + perf smoke
+#   tools/check.sh thread     # just one sanitizer (skips the perf smoke)
 #
-# Build trees go to build-asan/ and build-tsan/ next to build/ (all
-# gitignored).
+# DSKS_SKIP_PERF=1 skips the perf smoke. Build trees go to build-asan/,
+# build-tsan/ and build-perf/ next to build/ (all gitignored).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,3 +33,21 @@ for san in "${sanitizers[@]}"; do
   (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ctest --output-on-failure -j"$(nproc)")
   echo "=== $san sanitizer: OK ==="
 done
+
+# Perf smoke: only in the default full run, and skippable for machines
+# where a Release build or stable timing is unavailable.
+if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
+  echo "=== perf smoke: building build-perf (Release) ==="
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-perf -j"$(nproc)" --target bench_throughput
+  echo "=== perf smoke: bench_throughput, 3 runs, best counts ==="
+  : > build-perf/perf_smoke.jsonl
+  for _ in 1 2 3; do
+    (cd build-perf && DSKS_IO_DELAY_US=0 DSKS_BENCH_QUERIES=100 \
+        DSKS_BENCH_THREADS=1 ./bench/bench_throughput) |
+      sed -n 's/^JSON //p' >> build-perf/perf_smoke.jsonl
+  done
+  python3 tools/perf_gate.py bench/baseline_throughput.json \
+    build-perf/perf_smoke.jsonl
+  echo "=== perf smoke: OK ==="
+fi

@@ -246,8 +246,11 @@ int CmdQuery(const Args& args) {
     dq.sk = q;
     dq.k = k;
     dq.lambda = args.GetDouble("lambda", 0.8);
-    IncrementalSkSearch search(&graph, index.get(), dq.sk, qe);
-    PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max);
+    QueryContext ctx;
+    IncrementalSkSearch search(&graph, index.get(), dq.sk, qe, &ctx);
+    PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max,
+                                  OracleStrategy::kSharedExpansion, &ctx);
+    oracle.SetQueryEdge(qe);
     const DivSearchOutput out = mode == "div-com"
                                     ? DiversifiedSearchCOM(&search, dq, &oracle)
                                     : DiversifiedSearchSEQ(&search, dq,
@@ -288,7 +291,8 @@ int CmdQuery(const Args& args) {
     QueryExecutor exec(config);
     Timer wall;
     for (size_t i = 0; i < threads * repeat; ++i) {
-      exec.Submit([&graph, &index, &q, &qe, mode, k, alpha, lambda] {
+      exec.SubmitWithContext([&graph, &index, &q, &qe, mode, k, alpha,
+                              lambda](QueryContext* ctx) {
         if (mode == "knn") {
           BooleanKnnSearch(&graph, index.get(), q, qe, k);
         } else if (mode == "ranked") {
@@ -302,15 +306,17 @@ int CmdQuery(const Args& args) {
           dq.sk = q;
           dq.k = k;
           dq.lambda = lambda;
-          IncrementalSkSearch search(&graph, index.get(), dq.sk, qe);
-          PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max);
+          IncrementalSkSearch search(&graph, index.get(), dq.sk, qe, ctx);
+          PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max,
+                                        OracleStrategy::kSharedExpansion, ctx);
+          oracle.SetQueryEdge(qe);
           if (mode == "div-com") {
             DiversifiedSearchCOM(&search, dq, &oracle);
           } else {
             DiversifiedSearchSEQ(&search, dq, &oracle);
           }
         } else {
-          IncrementalSkSearch search(&graph, index.get(), q, qe);
+          IncrementalSkSearch search(&graph, index.get(), q, qe, ctx);
           SkResult r;
           while (search.Next(&r)) {
           }

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compares bench_throughput output against the committed
+baseline and exits non-zero when single-thread qps regressed by more than
+the allowed fraction (default 25%).
+
+Usage: perf_gate.py <baseline.json> <smoke.jsonl>
+
+<smoke.jsonl> holds one bench_throughput JSON record per line (the "JSON "
+prefix already stripped), possibly from several repeated runs; the gate
+scores each workload by its best run so that scheduler noise on small
+machines cannot fail the check by itself.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.75  # fail when qps < TOLERANCE * baseline
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        baseline = json.load(f)["qps"]
+    best: dict[str, float] = {}
+    with open(sys.argv[2], encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("threads") != 1:
+                continue
+            wl = rec["workload"]
+            best[wl] = max(best.get(wl, 0.0), rec["qps"])
+
+    failed = False
+    for wl, base_qps in baseline.items():
+        got = best.get(wl)
+        if got is None:
+            print(f"perf gate: no threads=1 measurement for workload '{wl}'")
+            failed = True
+            continue
+        floor = TOLERANCE * base_qps
+        verdict = "OK" if got >= floor else "FAIL"
+        print(
+            f"perf gate: {wl}: {got:.1f} qps vs baseline {base_qps:.1f} "
+            f"(floor {floor:.1f}) -> {verdict}"
+        )
+        if got < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
