@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace dsks {
 
@@ -57,6 +58,7 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
   if (const uint32_t* idx = o_->field_index.find(a.id)) {
     return o_->field_pool[*idx];
   }
+  obs::ScopedSpan span(ctx_->trace, obs::Phase::kOracleFieldDijkstra);
   ++stats_.fields_computed;
   uint32_t idx;
   if (!o_->free_fields.empty()) {
@@ -104,6 +106,7 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
 }
 
 void PairwiseDistanceOracle::BuildSharedField() {
+  obs::ScopedSpan span(ctx_->trace, obs::Phase::kOracleSharedExpansion);
   const size_t n = graph_->num_nodes();
   o_->shared_dist.EnsureSize(n);
   o_->shared_tentative.EnsureSize(n);

@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "core/core_pairs.h"
 #include "core/diversify.h"
+#include "obs/trace.h"
 
 namespace dsks {
 
@@ -96,10 +97,16 @@ DivSearchOutput DiversifiedSearchSEQ(IncrementalSkSearch* search,
   }
   out.stats.candidates = candidates.size();
 
-  GreedyDivResult greedy =
-      GreedyDiversify(candidates, query.k, theta, &theta_ub);
-  out.selected = std::move(greedy.selected);
-  out.objective = EvaluateObjective(objective, oracle, out.selected);
+  {
+    // The greedy itself calls into the oracle, whose Dijkstra phases nest
+    // as children and keep their own time/I/O out of this span's exclusive
+    // share.
+    obs::ScopedSpan span(search->trace(), obs::Phase::kGreedySelection);
+    GreedyDivResult greedy =
+        GreedyDiversify(candidates, query.k, theta, &theta_ub);
+    out.selected = std::move(greedy.selected);
+    out.objective = EvaluateObjective(objective, oracle, out.selected);
+  }
   FillOracleStats(*oracle, &out.stats);
   return out;
 }
@@ -164,6 +171,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
 
   CorePairSet cp(query.k / 2);
   {
+    obs::ScopedSpan span(search->trace(), obs::Phase::kGreedySelection);
     GreedyDivResult greedy = GreedyDiversify(first, query.k, theta, &theta_ub);
     cp.Init(std::move(greedy.pairs));
   }
@@ -198,7 +206,10 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     actives.try_emplace(res.id, res);
     active_ids.push_back(res.id);
 
-    cp.OnArrival(res.id, active_ids, theta_by_id, &theta_ub_by_id);
+    {
+      obs::ScopedSpan span(search->trace(), obs::Phase::kGreedySelection);
+      cp.OnArrival(res.id, active_ids, theta_by_id, &theta_ub_by_id);
+    }
 
     const double gamma = res.dist;
     const double theta_t = cp.threshold().theta;
@@ -235,22 +246,25 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
 
   // Assemble the answer: the core objects, plus the closest non-core
   // active when k is odd.
-  for (ObjectId id : cp.CoreObjects()) {
-    out.selected.push_back(actives.at(id));
-  }
-  if (query.k % 2 == 1) {
-    std::vector<SkResult> pool;
-    pool.reserve(actives.size());
-    for (const auto& [id, r] : actives) {
-      pool.push_back(r);
+  {
+    obs::ScopedSpan span(search->trace(), obs::Phase::kGreedySelection);
+    for (ObjectId id : cp.CoreObjects()) {
+      out.selected.push_back(actives.at(id));
     }
-    std::sort(pool.begin(), pool.end(), [](const SkResult& a,
-                                           const SkResult& b) {
-      return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
-    });
-    AddOddExtra(pool, &out.selected);
+    if (query.k % 2 == 1) {
+      std::vector<SkResult> pool;
+      pool.reserve(actives.size());
+      for (const auto& [id, r] : actives) {
+        pool.push_back(r);
+      }
+      std::sort(pool.begin(), pool.end(), [](const SkResult& a,
+                                             const SkResult& b) {
+        return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+      });
+      AddOddExtra(pool, &out.selected);
+    }
+    out.objective = EvaluateObjective(objective, oracle, out.selected);
   }
-  out.objective = EvaluateObjective(objective, oracle, out.selected);
   FillOracleStats(*oracle, &out.stats);
   return out;
 }

@@ -11,6 +11,10 @@
 
 namespace dsks {
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 /// Per-object search state of the incremental SK search (Algorithm 3):
 /// the best known distance plus the object's edge placement, enough to
 /// re-derive its network location without reloading the edge.
@@ -91,6 +95,12 @@ struct OracleScratch {
 struct QueryContext {
   SkSearchScratch sk_search;
   OracleScratch oracle;
+
+  /// Optional per-query trace sink. Null (the default) means tracing is
+  /// off and every span hook reduces to a pointer null test; when set, the
+  /// search phases record spans into it. The pointer is borrowed — the
+  /// trace must outlive the query that uses this context.
+  obs::QueryTrace* trace = nullptr;
 
   // Debug-build guards against two live consumers sharing one section.
   bool sk_search_in_use = false;

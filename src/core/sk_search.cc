@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace dsks {
 
@@ -57,7 +58,10 @@ IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
   const uint32_t slot = AllocEdgeSlot();
   LoadedEdgeSlot& le = s_->edge_pool[slot];
   le.weight = query_edge.weight;
-  index_->LoadObjects(query_edge.edge, terms_, &le.objects);
+  {
+    obs::ScopedSpan span(ctx_->trace, obs::Phase::kKeywordLookup);
+    index_->LoadObjects(query_edge.edge, terms_, &le.objects);
+  }
   s_->edge_slot.try_emplace(query_edge.edge, slot);
   for (const LoadedObject& o : le.objects) {
     UpdateObject(o, query_edge.edge, query_edge.n1, query_edge.n2,
@@ -121,7 +125,10 @@ void IncrementalSkSearch::ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb,
     le.weight = w;
     // The index loads straight into the pooled vector — no intermediate
     // scratch copy.
-    index_->LoadObjects(e, terms_, &le.objects);
+    {
+      obs::ScopedSpan span(ctx_->trace, obs::Phase::kKeywordLookup);
+      index_->LoadObjects(e, terms_, &le.objects);
+    }
     s_->edge_slot.try_emplace(e, slot);
   } else {
     slot = *found;
@@ -166,6 +173,7 @@ bool IncrementalSkSearch::ExpandOneNode() {
   if (expansion_done_) {
     return false;
   }
+  obs::ScopedSpan span(ctx_->trace, obs::Phase::kNetworkExpansion);
   const NodeId v = s_->node_heap.top().second;
   s_->node_heap.pop();
   s_->settled.Set(v, d);

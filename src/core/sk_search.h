@@ -71,6 +71,11 @@ class IncrementalSkSearch {
 
   const Stats& stats() const { return stats_; }
 
+  /// The query's trace sink (null when tracing is off). Exposed so callers
+  /// driving the search (e.g. the diversified search) can record their own
+  /// phases into the same trace.
+  obs::QueryTrace* trace() const { return ctx_->trace; }
+
  private:
   void RelaxNode(NodeId v, double dist);
 

@@ -11,6 +11,8 @@
 #include "index/inverted_rtree.h"
 #include "index/sif.h"
 #include "index/sif_group.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dsks {
 
@@ -113,9 +115,24 @@ void Database::ResetCounters() {
 
 uint64_t Database::IoCount() const { return disk_.stats().reads; }
 
+void Database::BindMetrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix) const {
+  pool_->BindMetrics(registry, prefix + ".pool");
+  disk_.BindMetrics(registry, prefix + ".disk");
+}
+
+void Database::UnbindMetrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) const {
+  registry->UnbindSourcesWithPrefix(prefix + ".");
+}
+
 std::vector<SkResult> Database::RunSkQuery(const SkQuery& query,
                                            const QueryEdgeInfo& edge,
                                            QueryContext* ctx) {
+  // Root span: the search constructor already does keyword I/O, so the
+  // span must open before it.
+  obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
+                       obs::Phase::kQuery);
   IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query, edge,
                              ctx);
   std::vector<SkResult> results;
@@ -141,6 +158,8 @@ DivSearchOutput Database::RunDivQuery(const DivQuery& query,
                                       const QueryEdgeInfo& edge, bool use_com,
                                       QueryContext* ctx,
                                       OracleStrategy strategy) {
+  obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
+                       obs::Phase::kQuery);
   IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query.sk, edge,
                              ctx);
   PairwiseDistanceOracle oracle(ccam_graph_.get(), 2.0 * query.sk.delta_max,

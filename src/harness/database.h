@@ -72,6 +72,14 @@ class Database {
   /// Physical reads since the last ResetCounters (the paper's "# of I/O").
   uint64_t IoCount() const;
 
+  /// Exposes the pool and disk counters as live sources under
+  /// "<prefix>.pool.*" and "<prefix>.disk.*". The Database must outlive
+  /// the binding; UnbindMetrics (or destroying the registry) releases it.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "db") const;
+  void UnbindMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix = "db") const;
+
   /// Runs Algorithm 3 to exhaustion. Returns the result objects. Pass a
   /// long-lived per-thread QueryContext to amortize scratch allocations
   /// across queries (nullptr: the search allocates a private one).

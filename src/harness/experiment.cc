@@ -7,20 +7,16 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace dsks {
 
 namespace {
 
-/// 95th percentile of a sample set (nearest-rank definition).
+/// 95th percentile of a sample set (shared nearest-rank definition).
 double Percentile95(std::vector<double> samples) {
-  if (samples.empty()) {
-    return 0.0;
-  }
   std::sort(samples.begin(), samples.end());
-  const size_t rank =
-      (samples.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
-  return samples[std::min(samples.size(), rank) - 1];
+  return obs::NearestRankPercentile(samples, 95);
 }
 
 }  // namespace

@@ -10,12 +10,14 @@
 namespace dsks {
 
 QueryExecutor::QueryExecutor(const ExecutorConfig& config)
-    : queue_capacity_(config.queue_capacity) {
+    : queue_capacity_(config.queue_capacity), metrics_(config.metrics) {
   DSKS_CHECK_MSG(config.num_threads > 0, "executor needs at least one thread");
   DSKS_CHECK_MSG(config.queue_capacity > 0, "queue capacity must be positive");
   samples_.resize(config.num_threads);
+  hists_.reserve(config.num_threads);
   contexts_.reserve(config.num_threads);
   for (size_t i = 0; i < config.num_threads; ++i) {
+    hists_.push_back(std::make_unique<obs::Histogram>());
     contexts_.push_back(std::make_unique<QueryContext>());
   }
   workers_.reserve(config.num_threads);
@@ -51,17 +53,28 @@ void QueryExecutor::SubmitWithContext(
   queue_not_empty_.notify_one();
 }
 
-std::vector<double> QueryExecutor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
-  // Workers are either blocked on queue_not_empty_ or about to block; the
-  // mutex hand-off orders their sample writes before these reads.
-  std::vector<double> merged;
-  for (std::vector<double>& s : samples_) {
-    merged.insert(merged.end(), s.begin(), s.end());
-    s.clear();
+QueryExecutor::DrainResult QueryExecutor::Drain() {
+  DrainResult result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock,
+                   [this] { return queue_.empty() && active_tasks_ == 0; });
+    // Workers are either blocked on queue_not_empty_ or about to block; the
+    // mutex hand-off orders their sample writes before these reads.
+    for (std::vector<double>& s : samples_) {
+      result.samples.insert(result.samples.end(), s.begin(), s.end());
+      s.clear();
+    }
+    for (const std::unique_ptr<obs::Histogram>& h : hists_) {
+      result.latency.MergeFrom(h->Snapshot());
+      h->Reset();
+    }
   }
-  return merged;
+  if (metrics_ != nullptr && result.latency.count > 0) {
+    metrics_->histogram("executor.query_ms").MergeFrom(result.latency);
+    metrics_->counter("executor.queries").Add(result.latency.count);
+  }
+  return result;
 }
 
 void QueryExecutor::WorkerLoop(size_t worker_id) {
@@ -83,6 +96,7 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
     Timer timer;
     task(ctx);
     const double millis = timer.ElapsedMillis();
+    hists_[worker_id]->Record(millis);
     {
       std::lock_guard<std::mutex> lock(mu_);
       samples_[worker_id].push_back(millis);
@@ -112,14 +126,10 @@ ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
   }
   m.avg_millis = sum / static_cast<double>(samples.size());
   std::sort(samples.begin(), samples.end());
-  // Nearest-rank percentiles, matching the sequential harness's p95.
-  auto pct = [&samples](size_t p) {
-    const size_t rank = (samples.size() * p + 99) / 100;  // ceil(p% * n)
-    return samples[std::min(samples.size(), std::max<size_t>(rank, 1)) - 1];
-  };
-  m.p50_millis = pct(50);
-  m.p95_millis = pct(95);
-  m.p99_millis = pct(99);
+  // Shared nearest-rank definition, matching the sequential harness's p95.
+  m.p50_millis = obs::NearestRankPercentile(samples, 50);
+  m.p95_millis = obs::NearestRankPercentile(samples, 95);
+  m.p99_millis = obs::NearestRankPercentile(samples, 99);
   return m;
 }
 
@@ -143,9 +153,11 @@ ThroughputMetrics RunConcurrent(
           [&run_one, &wq](QueryContext* ctx) { run_one(wq, ctx); });
     }
   }
-  std::vector<double> samples = exec.Drain();
-  return SummarizeThroughput(num_threads, wall.ElapsedMillis(),
-                             std::move(samples));
+  QueryExecutor::DrainResult drained = exec.Drain();
+  ThroughputMetrics m = SummarizeThroughput(num_threads, wall.ElapsedMillis(),
+                                            std::move(drained.samples));
+  m.histogram = drained.latency;
+  return m;
 }
 
 }  // namespace

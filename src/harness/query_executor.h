@@ -13,6 +13,7 @@
 #include "core/query_context.h"
 #include "datagen/workload.h"
 #include "harness/database.h"
+#include "obs/metrics.h"
 
 namespace dsks {
 
@@ -24,6 +25,9 @@ struct ExecutorConfig {
   /// Bound on queued-but-unstarted tasks; Submit blocks when the queue is
   /// full so a fast producer cannot outrun the workers unboundedly.
   size_t queue_capacity = 1024;
+  /// Registry each Drain publishes into ("executor.query_ms" histogram,
+  /// "executor.queries" counter). Null disables publication.
+  obs::MetricsRegistry* metrics = &obs::GlobalMetrics();
 };
 
 /// Aggregate results of a concurrent batch: throughput plus the latency
@@ -39,6 +43,9 @@ struct ThroughputMetrics {
   double p50_millis = 0.0;
   double p95_millis = 0.0;
   double p99_millis = 0.0;
+  /// Merge of the per-worker latency histograms for the batch; lets benches
+  /// report the full distribution without keeping every raw sample.
+  obs::HistogramSnapshot histogram;
 };
 
 /// Fixed-size thread pool with a bounded work queue, built for running
@@ -71,10 +78,19 @@ class QueryExecutor {
   /// QueryContext.
   void SubmitWithContext(std::function<void(QueryContext*)> task);
 
-  /// Blocks until every submitted task has finished, then returns all
-  /// per-thread latency samples (milliseconds, unordered). The executor
-  /// stays usable for further Submit calls; samples are consumed.
-  std::vector<double> Drain();
+  /// What one Drain hands back: every per-thread latency sample plus the
+  /// merge of the per-worker histograms over the same tasks (so
+  /// latency.count == samples.size() always).
+  struct DrainResult {
+    std::vector<double> samples;  // milliseconds, unordered
+    obs::HistogramSnapshot latency;
+  };
+
+  /// Blocks until every submitted task has finished, then returns the
+  /// consumed samples/histogram and publishes the batch into the
+  /// configured metrics registry. The executor stays usable for further
+  /// Submit calls.
+  DrainResult Drain();
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -94,9 +110,14 @@ class QueryExecutor {
   /// samples_[i] is written by worker i between queue pops (i.e. while it
   /// owns an active task) and read by Drain only when no task is active.
   std::vector<std::vector<double>> samples_;
+  /// hists_[i] records the same latencies as samples_[i]; Histogram is
+  /// internally lock-free, and the active_tasks_ hand-off orders worker
+  /// records before Drain's snapshot.
+  std::vector<std::unique_ptr<obs::Histogram>> hists_;
   /// contexts_[i] is touched only by worker i.
   std::vector<std::unique_ptr<QueryContext>> contexts_;
   std::vector<std::thread> workers_;
+  obs::MetricsRegistry* metrics_;
 };
 
 /// Computes the latency distribution of `samples` plus queries/sec from

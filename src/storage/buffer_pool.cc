@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace dsks {
 
@@ -168,6 +169,21 @@ void BufferPool::Clear() {
 size_t BufferPool::num_frames_in_use() const {
   std::lock_guard<std::mutex> lock(latch_);
   return frames_.size();
+}
+
+void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
+                             const std::string& prefix) const {
+  auto counter = [](const std::atomic<uint64_t>* c) {
+    return [c] { return c->load(std::memory_order_relaxed); };
+  };
+  registry->BindSource(prefix + ".hits", counter(&stats_.hits));
+  registry->BindSource(prefix + ".misses", counter(&stats_.misses));
+  registry->BindSource(prefix + ".evictions", counter(&stats_.evictions));
+  registry->BindSource(prefix + ".capacity_frames",
+                       [this] { return static_cast<uint64_t>(capacity()); });
+  registry->BindSource(prefix + ".frames_in_use", [this] {
+    return static_cast<uint64_t>(num_frames_in_use());
+  });
 }
 
 }  // namespace dsks

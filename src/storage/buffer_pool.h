@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -15,14 +16,34 @@
 
 namespace dsks {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Plain single-read copy of BufferPoolStats: every counter is loaded
+/// exactly once, so derived quantities (accesses, hit rate) cannot tear
+/// across counters that other threads are still advancing.
+struct BufferPoolStatsSnapshot {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses());
+  }
+};
+
 /// Cache behaviour counters. A `miss` is a logical page request that had to
 /// go to disk; together with DiskStats::reads it is the I/O metric the
 /// paper's experiments report.
 ///
 /// Counters are relaxed atomics so that concurrent readers can account
-/// hits/misses without serializing on the pool latch; the struct is
-/// neither copyable nor a consistent snapshot (individual counters may be
-/// mid-update while other threads run).
+/// hits/misses without serializing on the pool latch; the struct is not
+/// copyable — consumers that need a consistent view take Snapshot() once
+/// instead of reading the live counters field by field.
 struct BufferPoolStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
@@ -34,16 +55,16 @@ struct BufferPoolStats {
     evictions.store(0, std::memory_order_relaxed);
   }
 
-  uint64_t accesses() const {
-    return hits.load(std::memory_order_relaxed) +
-           misses.load(std::memory_order_relaxed);
+  BufferPoolStatsSnapshot Snapshot() const {
+    BufferPoolStatsSnapshot s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    return s;
   }
-  double hit_rate() const {
-    uint64_t a = accesses();
-    return a == 0 ? 0.0
-                  : static_cast<double>(hits.load(std::memory_order_relaxed)) /
-                        static_cast<double>(a);
-  }
+
+  uint64_t accesses() const { return Snapshot().accesses(); }
+  double hit_rate() const { return Snapshot().hit_rate(); }
 };
 
 /// Fixed-capacity LRU buffer pool over a DiskManager, mirroring the paper's
@@ -122,6 +143,19 @@ class BufferPool {
 
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStats* mutable_stats() { return &stats_; }
+  /// One coherent read of all counters (see BufferPoolStatsSnapshot).
+  BufferPoolStatsSnapshot stats_snapshot() const { return stats_.Snapshot(); }
+  /// Zeroes the counters; used between bench phases so each phase's
+  /// snapshot is a pure delta.
+  void ResetStats() { stats_.Reset(); }
+
+  /// Exposes the pool's counters (plus capacity / frames-in-use gauges) as
+  /// live sources named "<prefix>.hits" etc. The pool must outlive the
+  /// binding; call registry->UnbindSourcesWithPrefix(prefix) before
+  /// destroying the pool (Database does this for its own pool).
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix) const;
+
   DiskManager* disk() { return disk_; }
 
  private:

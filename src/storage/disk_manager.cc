@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace dsks {
 
@@ -56,6 +57,18 @@ void DiskManager::WritePage(PageId id, const char* in) {
   char* dst = PageData(id, "write of unallocated page");
   std::memcpy(dst, in, kPageSize);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DiskManager::BindMetrics(obs::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  auto counter = [](const std::atomic<uint64_t>* c) {
+    return [c] { return c->load(std::memory_order_relaxed); };
+  };
+  registry->BindSource(prefix + ".reads", counter(&stats_.reads));
+  registry->BindSource(prefix + ".writes", counter(&stats_.writes));
+  registry->BindSource(prefix + ".allocations", counter(&stats_.allocations));
+  registry->BindSource(prefix + ".pages",
+                       [this] { return static_cast<uint64_t>(num_pages()); });
 }
 
 }  // namespace dsks

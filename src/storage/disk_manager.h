@@ -5,19 +5,32 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "storage/page.h"
 
 namespace dsks {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Plain single-read copy of DiskStats (see BufferPoolStatsSnapshot for
+/// the rationale).
+struct DiskStatsSnapshot {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
 /// Physical I/O counters for a simulated disk. `reads` is the number the
 /// paper's figures call "# of I/O accesses": every buffer-pool miss costs
 /// exactly one read here.
 ///
 /// Counters are relaxed atomics so concurrent readers can account I/O
-/// without a lock; the struct is not copyable and not a consistent
-/// snapshot while other threads run.
+/// without a lock; the struct is not copyable — take Snapshot() for a
+/// coherent multi-counter view.
 struct DiskStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
@@ -27,6 +40,14 @@ struct DiskStats {
     reads.store(0, std::memory_order_relaxed);
     writes.store(0, std::memory_order_relaxed);
     allocations.store(0, std::memory_order_relaxed);
+  }
+
+  DiskStatsSnapshot Snapshot() const {
+    DiskStatsSnapshot s;
+    s.reads = reads.load(std::memory_order_relaxed);
+    s.writes = writes.load(std::memory_order_relaxed);
+    s.allocations = allocations.load(std::memory_order_relaxed);
+    return s;
   }
 };
 
@@ -75,6 +96,16 @@ class DiskManager {
 
   const DiskStats& stats() const { return stats_; }
   DiskStats* mutable_stats() { return &stats_; }
+  /// One coherent read of all counters.
+  DiskStatsSnapshot stats_snapshot() const { return stats_.Snapshot(); }
+  /// Zeroes the counters between measured phases.
+  void ResetStats() { stats_.Reset(); }
+
+  /// Exposes reads/writes/allocations/pages as live sources named
+  /// "<prefix>.reads" etc.; same lifetime contract as
+  /// BufferPool::BindMetrics.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix) const;
 
   /// Simulated read latency in microseconds, applied by every ReadPage.
   /// 0 by default; the experiment harness enables it during measured

@@ -1,0 +1,375 @@
+// Observability subsystem: nearest-rank percentiles, the latency
+// histogram (bucketing, merge semantics), the metrics registry, and the
+// per-query phase trace with I/O attribution against a real buffer pool
+// and a real Database.
+#include <string>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "gtest/gtest.h"
+#include "harness/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace dsks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NearestRankPercentile
+
+TEST(PercentileTest, ExactRanksOnKnownSets) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) {
+    sorted.push_back(static_cast<double>(i));
+  }
+  // ceil semantics: p99 of 100 samples is rank 99 (index 98), NOT the max.
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 99), 99.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 50), 50.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 95), 95.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 100), 100.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 1), 1.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(sorted, 0), 1.0);
+}
+
+TEST(PercentileTest, SmallSampleBoundaries) {
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile({}, 95), 0.0);
+
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 0), 7.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 50), 7.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(one, 100), 7.0);
+
+  // n = 10: p95 -> rank ceil(9.5) = 10 (the max); p50 -> rank 5; p99 ->
+  // rank 10; p10 -> rank 1.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) {
+    ten.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(ten, 95), 10.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(ten, 99), 10.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(ten, 50), 5.0);
+  EXPECT_DOUBLE_EQ(obs::NearestRankPercentile(ten, 10), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketBoundsAreMonotonicAndIndexInverts) {
+  double prev = 0.0;
+  for (size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    const double ub = obs::Histogram::BucketUpperBound(i);
+    EXPECT_GT(ub, prev);
+    prev = ub;
+    // A value exactly at the bound maps into that bucket.
+    EXPECT_EQ(obs::Histogram::BucketIndex(ub), i);
+  }
+  // Out-of-range values clamp.
+  EXPECT_EQ(obs::Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(prev * 10.0),
+            obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, RecordAndSnapshotSummary) {
+  obs::Histogram h;
+  EXPECT_EQ(h.Snapshot().min, 0.0);  // empty maps the +inf sentinel to 0
+
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(10.0);
+  const obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 13.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_NEAR(s.avg(), 13.0 / 3.0, 1e-12);
+
+  // Bucketed percentile: at most one bucket width (25%) above the true
+  // value, and clamped to the observed max.
+  const double p50 = s.Percentile(50);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 2.0 * 1.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 10.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Snapshot().min, 0.0);
+}
+
+TEST(HistogramTest, MergedPerWorkerEqualsPooled) {
+  // The same value stream split over three "worker" histograms and merged
+  // must be bucket-for-bucket identical to one pooled recorder.
+  obs::Histogram pooled;
+  obs::Histogram workers[3];
+  for (int i = 0; i < 300; ++i) {
+    const double ms = 0.01 * static_cast<double>(i + 1);
+    pooled.Record(ms);
+    workers[i % 3].Record(ms);
+  }
+  obs::HistogramSnapshot merged;
+  for (const obs::Histogram& w : workers) {
+    merged.MergeFrom(w.Snapshot());
+  }
+  const obs::HistogramSnapshot want = pooled.Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_DOUBLE_EQ(merged.min, want.min);
+  EXPECT_DOUBLE_EQ(merged.max, want.max);
+  EXPECT_NEAR(merged.sum, want.sum, 1e-9);
+  EXPECT_EQ(merged.buckets, want.buckets);
+  for (int pct : {50, 95, 99, 100}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(pct), want.Percentile(pct)) << pct;
+  }
+
+  // Histogram::MergeFrom (used when Drain folds a batch into the
+  // registry) matches the snapshot-level merge.
+  obs::Histogram folded;
+  for (const obs::Histogram& w : workers) {
+    folded.MergeFrom(w.Snapshot());
+  }
+  EXPECT_EQ(folded.Snapshot().buckets, want.buckets);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, NamedMetricsAreStableIdentities) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("queries");
+  a.Add(3);
+  EXPECT_EQ(&reg.counter("queries"), &a);  // resolve-once contract
+  EXPECT_EQ(reg.counter("queries").value(), 3u);
+  reg.gauge("pool.frames").Set(42.0);
+  reg.histogram("latency").Record(1.5);
+
+  reg.ResetOwned();
+  EXPECT_EQ(reg.counter("queries").value(), 0u);
+  EXPECT_EQ(reg.gauge("pool.frames").value(), 0.0);
+  EXPECT_EQ(reg.histogram("latency").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, SourcesBindAndUnbindByPrefix) {
+  obs::MetricsRegistry reg;
+  uint64_t live = 7;
+  reg.BindSource("db.pool.hits", [&live] { return live; });
+  reg.BindSource("db.disk.reads", [] { return uint64_t{11}; });
+  reg.BindSource("other.thing", [] { return uint64_t{1}; });
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"db.pool.hits\":7"), std::string::npos) << json;
+  live = 9;  // live callback: next dump sees the new value
+  json = reg.ToJson();
+  EXPECT_NE(json.find("\"db.pool.hits\":9"), std::string::npos) << json;
+
+  reg.UnbindSourcesWithPrefix("db.");
+  json = reg.ToJson();
+  EXPECT_EQ(json.find("db.pool.hits"), std::string::npos) << json;
+  EXPECT_EQ(json.find("db.disk.reads"), std::string::npos) << json;
+  EXPECT_NE(json.find("other.thing"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  obs::MetricsRegistry reg;
+  reg.counter("executor.queries").Add(5);
+  reg.histogram("executor.query_ms").Record(2.0);
+  const std::string prom = reg.ToPrometheus();
+  // Names sanitized ('.' -> '_') and prefixed.
+  EXPECT_NE(prom.find("# TYPE dsks_executor_queries counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("dsks_executor_queries 5"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE dsks_executor_query_ms summary"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("dsks_executor_query_ms{quantile=\"0.99\"}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("dsks_executor_query_ms_count 1"), std::string::npos)
+      << prom;
+}
+
+TEST(MetricsRegistryTest, StorageBindMetricsExposesLiveCounters) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  obs::MetricsRegistry reg;
+  pool.BindMetrics(&reg, "db.pool");
+  disk.BindMetrics(&reg, "db.disk");
+
+  const PageId p = disk.AllocatePage();
+  pool.FetchPage(p);
+  pool.UnpinPage(p, false);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"db.pool.misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"db.disk.reads\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"db.disk.pages\":1"), std::string::npos) << json;
+
+  reg.UnbindSourcesWithPrefix("db.");
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace
+
+TEST(QueryTraceTest, SpanNestingAndExactIoDeltas) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  obs::QueryTrace trace;
+  trace.BindIoSources(&pool.stats(), &disk.stats());
+
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    PageId id;
+    pool.NewPage(&id);
+    pool.UnpinPage(id, true);
+    pages.push_back(id);
+  }
+  pool.Clear();  // cold cache: the traced fetches below all miss first
+
+  const uint32_t root = trace.OpenSpan(obs::Phase::kQuery);
+  {
+    // Child A: two misses.
+    obs::ScopedSpan a(&trace, obs::Phase::kKeywordLookup);
+    pool.FetchPage(pages[0]);
+    pool.UnpinPage(pages[0], false);
+    pool.FetchPage(pages[1]);
+    pool.UnpinPage(pages[1], false);
+  }
+  {
+    // Child B: one hit, nothing from disk.
+    obs::ScopedSpan b(&trace, obs::Phase::kNetworkExpansion);
+    pool.FetchPage(pages[0]);
+    pool.UnpinPage(pages[0], false);
+  }
+  // Root-exclusive: one miss outside any child span.
+  pool.FetchPage(pages[2]);
+  pool.UnpinPage(pages[2], false);
+  trace.CloseSpan(root);
+  ASSERT_EQ(trace.open_depth(), 0u);
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  const obs::TraceSpan& rs = trace.spans()[0];
+  const obs::TraceSpan& as = trace.spans()[1];
+  const obs::TraceSpan& bs = trace.spans()[2];
+  EXPECT_EQ(as.parent, 0u);
+  EXPECT_EQ(bs.parent, 0u);
+  EXPECT_EQ(as.depth, 1u);
+
+  EXPECT_EQ(as.inclusive_io.pool_misses, 2u);
+  EXPECT_EQ(as.inclusive_io.disk_reads, 2u);
+  EXPECT_EQ(bs.inclusive_io.pool_hits, 1u);
+  EXPECT_EQ(bs.inclusive_io.disk_reads, 0u);
+  EXPECT_EQ(rs.inclusive_io.pool_misses, 3u);
+  EXPECT_EQ(rs.exclusive_io().pool_misses, 1u);
+  EXPECT_EQ(rs.exclusive_io().disk_reads, 1u);
+
+  // Telescoping identity: per-phase exclusive totals sum exactly to the
+  // root's inclusive totals, for time and I/O alike.
+  int64_t phase_ns = 0;
+  obs::IoCounters phase_io;
+  for (const auto& t : trace.AggregateByPhase()) {
+    phase_ns += t.exclusive_ns;
+    phase_io += t.io;
+  }
+  EXPECT_EQ(phase_ns, rs.inclusive_ns);
+  EXPECT_EQ(phase_io, rs.inclusive_io);
+
+  // Rendering smoke: both forms mention every recorded phase.
+  const std::string text = trace.ToText();
+  const std::string json = trace.ToJson();
+  for (const char* phase : {"query", "keyword_lookup", "network_expansion"}) {
+    EXPECT_NE(text.find(phase), std::string::npos) << text;
+    EXPECT_NE(json.find(phase), std::string::npos) << json;
+  }
+
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(QueryTraceTest, AggregateTreeMergesSiblingsOfSamePhase) {
+  obs::QueryTrace trace;  // no I/O sources: deltas stay zero, timing works
+  const uint32_t root = trace.OpenSpan(obs::Phase::kQuery);
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan s(&trace, obs::Phase::kNetworkExpansion);
+    obs::ScopedSpan nested(&trace, obs::Phase::kKeywordLookup);
+  }
+  trace.CloseSpan(root);
+
+  const auto nodes = trace.AggregateTree();
+  // 11 raw spans fold into 3 tree nodes: query -> expansion -> lookup.
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0].phase, obs::Phase::kQuery);
+  EXPECT_EQ(nodes[0].count, 1u);
+  EXPECT_EQ(nodes[1].phase, obs::Phase::kNetworkExpansion);
+  EXPECT_EQ(nodes[1].count, 5u);
+  EXPECT_EQ(nodes[1].parent, 0u);
+  EXPECT_EQ(nodes[2].phase, obs::Phase::kKeywordLookup);
+  EXPECT_EQ(nodes[2].count, 5u);
+  EXPECT_EQ(nodes[2].parent, 1u);
+}
+
+TEST(QueryTraceTest, TracedDivQueryBalancesAgainstRootTotals) {
+  DatasetConfig cfg = ScalePreset(PresetSYN(), 0.03);
+  cfg.objects.keywords_per_object = 6;
+  Database db(cfg);
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 4;
+  wc.num_keywords = 2;
+  wc.seed = 31;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  obs::QueryTrace trace;
+  trace.BindIoSources(&db.pool()->stats(), &db.disk()->stats());
+  QueryContext ctx;
+  ctx.trace = &trace;
+
+  db.ResetCounters();
+  for (const WorkloadQuery& wq : wl.queries) {
+    DivQuery dq;
+    dq.sk = wq.sk;
+    dq.k = 6;
+    dq.lambda = 0.8;
+    db.RunDivQuery(dq, wq.edge, /*use_com=*/true, &ctx);
+  }
+  ASSERT_EQ(trace.open_depth(), 0u);
+
+  // Single-threaded, so attribution is exact: every phase's exclusive
+  // time/I/O sums to the inclusive totals of the kQuery roots, and the
+  // root spans' disk reads equal the database's own I/O counter.
+  int64_t root_ns = 0;
+  obs::IoCounters root_io;
+  size_t roots = 0;
+  for (const obs::TraceSpan& s : trace.spans()) {
+    if (s.parent == obs::TraceSpan::kNoParent) {
+      EXPECT_EQ(s.phase, obs::Phase::kQuery);
+      root_ns += s.inclusive_ns;
+      root_io += s.inclusive_io;
+      ++roots;
+    }
+  }
+  EXPECT_EQ(roots, wl.queries.size());
+
+  const auto totals = trace.AggregateByPhase();
+  int64_t phase_ns = 0;
+  obs::IoCounters phase_io;
+  for (const auto& t : totals) {
+    phase_ns += t.exclusive_ns;
+    phase_io += t.io;
+  }
+  EXPECT_EQ(phase_ns, root_ns);
+  EXPECT_EQ(phase_io, root_io);
+  EXPECT_EQ(root_io.disk_reads, db.IoCount());
+
+  // The traced run exercised the real phases.
+  using P = obs::Phase;
+  EXPECT_GT(totals[static_cast<size_t>(P::kKeywordLookup)].spans, 0u);
+  EXPECT_GT(totals[static_cast<size_t>(P::kNetworkExpansion)].spans, 0u);
+  EXPECT_GT(totals[static_cast<size_t>(P::kGreedySelection)].spans, 0u);
+}
+
+}  // namespace
+}  // namespace dsks

@@ -12,6 +12,8 @@
 #include "gtest/gtest.h"
 #include "harness/database.h"
 #include "harness/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dsks {
 namespace {
@@ -32,14 +34,31 @@ TEST(QueryExecutorTest, RunsEveryTaskExactlyOnce) {
   for (size_t i = 0; i < kTasks; ++i) {
     exec.Submit([&sum, i] { sum.fetch_add(i + 1); });
   }
-  std::vector<double> samples = exec.Drain();
-  EXPECT_EQ(samples.size(), kTasks);
+  QueryExecutor::DrainResult res = exec.Drain();
+  EXPECT_EQ(res.samples.size(), kTasks);
   EXPECT_EQ(sum.load(), kTasks * (kTasks + 1) / 2);
+  // The merged histogram covers exactly the drained samples.
+  EXPECT_EQ(res.latency.count, kTasks);
 
   // The executor is reusable after a drain; samples were consumed.
   exec.Submit([&sum] { sum.fetch_add(1); });
-  samples = exec.Drain();
-  EXPECT_EQ(samples.size(), 1u);
+  res = exec.Drain();
+  EXPECT_EQ(res.samples.size(), 1u);
+  EXPECT_EQ(res.latency.count, 1u);
+}
+
+TEST(QueryExecutorTest, DrainPublishesIntoRegistry) {
+  obs::MetricsRegistry registry;
+  ExecutorConfig config;
+  config.num_threads = 3;
+  config.metrics = &registry;
+  QueryExecutor exec(config);
+  for (int i = 0; i < 20; ++i) {
+    exec.Submit([] {});
+  }
+  exec.Drain();
+  EXPECT_EQ(registry.counter("executor.queries").value(), 20u);
+  EXPECT_EQ(registry.histogram("executor.query_ms").count(), 20u);
 }
 
 TEST(QueryExecutorTest, SummarizeThroughputPercentiles) {
@@ -98,8 +117,8 @@ TEST(QueryExecutorTest, ConcurrentSkQueriesMatchSequentialResults) {
       });
     }
   }
-  const std::vector<double> samples = exec.Drain();
-  EXPECT_EQ(samples.size(), wl.queries.size() * kRounds);
+  const QueryExecutor::DrainResult res = exec.Drain();
+  EXPECT_EQ(res.samples.size(), wl.queries.size() * kRounds);
   for (size_t round = 0; round < kRounds; ++round) {
     for (size_t i = 0; i < wl.queries.size(); ++i) {
       EXPECT_EQ(got[round * wl.queries.size() + i], want[i])
@@ -135,6 +154,63 @@ TEST(QueryExecutorTest, ConcurrentThroughputHelperRuns) {
                                /*use_com=*/true, 2, 1);
   EXPECT_EQ(d.queries, wl.queries.size());
   unsetenv("DSKS_IO_DELAY_US");
+}
+
+TEST(QueryExecutorTest, ConcurrentTracedQueriesNestAndBalance) {
+  // One QueryTrace per task (a trace serves one query at a time); the
+  // shared pool/disk counters race across workers, but the telescoping
+  // identity — sum of every span's exclusive share equals the root's
+  // inclusive total — holds per trace regardless, for time and I/O alike.
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 16;
+  wc.num_keywords = 2;
+  wc.seed = 29;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  ExecutorConfig config;
+  config.num_threads = 4;
+  config.metrics = nullptr;
+  QueryExecutor exec(config);
+  std::vector<obs::QueryTrace> traces(wl.queries.size());
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    obs::QueryTrace* trace = &traces[i];
+    trace->BindIoSources(&db.pool()->stats(), &db.disk()->stats());
+    const WorkloadQuery* wq = &wl.queries[i];
+    exec.SubmitWithContext([&db, wq, trace](QueryContext* ctx) {
+      ctx->trace = trace;
+      DivQuery dq;
+      dq.sk = wq->sk;
+      dq.k = 4;
+      dq.lambda = 0.8;
+      db.RunDivQuery(dq, wq->edge, /*use_com=*/true, ctx);
+      ctx->trace = nullptr;
+    });
+  }
+  exec.Drain();
+
+  for (const obs::QueryTrace& trace : traces) {
+    ASSERT_EQ(trace.open_depth(), 0u);
+    ASSERT_FALSE(trace.spans().empty());
+    const obs::TraceSpan& root = trace.spans().front();
+    EXPECT_EQ(root.phase, obs::Phase::kQuery);
+    EXPECT_EQ(root.parent, obs::TraceSpan::kNoParent);
+
+    int64_t exclusive_ns = 0;
+    obs::IoCounters exclusive_io;
+    for (const obs::TraceSpan& s : trace.spans()) {
+      EXPECT_GE(s.inclusive_ns, s.child_ns);
+      exclusive_ns += s.exclusive_ns();
+      exclusive_io += s.exclusive_io();
+    }
+    EXPECT_EQ(exclusive_ns, root.inclusive_ns);
+    EXPECT_EQ(exclusive_io, root.inclusive_io);
+  }
 }
 
 }  // namespace

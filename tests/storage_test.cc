@@ -68,6 +68,39 @@ TEST(BufferPoolTest, HitAndMissAccounting) {
   EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.5);
 }
 
+TEST(BufferPoolTest, StatsSnapshotAndReset) {
+  DiskManager disk;
+  const PageId p = disk.AllocatePage();
+  BufferPool pool(&disk, 4);
+  pool.FetchPage(p);
+  pool.UnpinPage(p, false);
+  pool.FetchPage(p);
+  pool.UnpinPage(p, false);
+
+  // One plain-struct read of all counters together.
+  const BufferPoolStatsSnapshot s = pool.stats_snapshot();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.accesses(), 2u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+
+  const DiskStatsSnapshot d = disk.stats_snapshot();
+  EXPECT_EQ(d.reads, 1u);
+  EXPECT_EQ(d.allocations, 1u);
+
+  // Reset zeroes the counters so the next phase measures a pure delta.
+  pool.ResetStats();
+  disk.ResetStats();
+  EXPECT_EQ(pool.stats_snapshot().accesses(), 0u);
+  EXPECT_DOUBLE_EQ(pool.stats_snapshot().hit_rate(), 0.0);
+  EXPECT_EQ(disk.stats_snapshot().reads, 0u);
+  pool.FetchPage(p);
+  pool.UnpinPage(p, false);
+  EXPECT_EQ(pool.stats_snapshot().hits, 1u);
+  EXPECT_EQ(pool.stats_snapshot().misses, 0u);
+}
+
 TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
   DiskManager disk;
   PageId pages[3];

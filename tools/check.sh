@@ -39,7 +39,7 @@ done
 if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
   echo "=== perf smoke: building build-perf (Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build build-perf -j"$(nproc)" --target bench_throughput
+  cmake --build build-perf -j"$(nproc)" --target bench_throughput --target dsks_cli
   echo "=== perf smoke: bench_throughput, 3 runs, best counts ==="
   : > build-perf/perf_smoke.jsonl
   for _ in 1 2 3; do
@@ -50,4 +50,15 @@ if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
   python3 tools/perf_gate.py bench/baseline_throughput.json \
     build-perf/perf_smoke.jsonl
   echo "=== perf smoke: OK ==="
+
+  # Observability smoke: the bench artifact must match the schema
+  # (including the merged-histogram fields and a per-phase profile), and
+  # the metrics endpoint must expose the executor histogram plus live
+  # pool/disk sources.
+  echo "=== obs smoke: validating BENCH_throughput.json + dsks_cli metrics ==="
+  python3 tools/perf_gate.py validate-bench build-perf/BENCH_throughput.json
+  ./build-perf/tools/dsks_cli metrics --queries 32 --threads 2 \
+    > build-perf/metrics_smoke.json
+  python3 tools/perf_gate.py validate-metrics build-perf/metrics_smoke.json
+  echo "=== obs smoke: OK ==="
 fi

@@ -8,11 +8,19 @@
 //             --terms T1,T2,... [--object-loc ID] [--delta D]
 //             [--k K] [--mode boolean|knn|ranked|div-seq|div-com]
 //             [--lambda L] [--alpha A] [--threads N] [--repeat R]
+//             [--trace [json]]
 //       Load a dataset, build the index, run one query. The query point
 //       defaults to the location of object --object-loc (default 0).
 //       With --threads N > 1, additionally re-runs the query R times
 //       (default 64 per thread) on an N-thread QueryExecutor sharing the
 //       index and buffer pool, and reports aggregate throughput.
+//       --trace records per-phase spans with buffer-pool/disk deltas and
+//       prints the span tree (or JSON with `--trace json`).
+//   dsks_cli metrics [--scale F] [--index sif] [--queries N] [--threads N]
+//             [--format json|prom]
+//       Build a synthetic database, run a small concurrent workload, and
+//       dump the metrics registry (storage counters bound as live sources
+//       plus the executor's latency histogram).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,24 +49,33 @@
 #include "datagen/network_generator.h"
 #include "datagen/object_generator.h"
 #include "index/query_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dsks {
 namespace {
 
-/// Minimal --flag value parser: flags precede their single value.
+/// Minimal --flag value parser: flags precede their single value. A flag
+/// followed by another flag (or by nothing) is boolean — present with an
+/// empty value — so `--trace` and `--trace json` both work.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 0; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
-        values_[argv[i] + 2] = argv[i + 1];
-        ++i;
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          values_[argv[i] + 2] = argv[i + 1];
+          ++i;
+        } else {
+          values_[argv[i] + 2] = "";
+        }
       } else {
         positional_.emplace_back(argv[i]);
       }
     }
   }
 
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
@@ -90,7 +107,9 @@ int Usage() {
                "           [--object-loc ID] [--delta 1500] [--k 10]\n"
                "           [--mode boolean|knn|ranked|div-seq|div-com]\n"
                "           [--lambda 0.8] [--alpha 0.5]\n"
-               "           [--threads 4] [--repeat 64]\n");
+               "           [--threads 4] [--repeat 64] [--trace [json]]\n"
+               "  dsks_cli metrics [--scale 0.03] [--index sif]\n"
+               "           [--queries 32] [--threads 2] [--format json|prom]\n");
   return 2;
 }
 
@@ -225,7 +244,25 @@ int CmdQuery(const Args& args) {
   const std::string mode = args.Get("mode", "boolean");
   const size_t k = args.GetSize("k", 10);
 
+  // --trace: per-phase spans with pool/disk counter deltas. knn/ranked run
+  // through search paths without a QueryContext, so only their end-to-end
+  // root span is recorded; boolean and div modes get the full phase tree.
+  const bool traced = args.Has("trace");
+  obs::QueryTrace trace;
+  obs::QueryTrace* trace_ptr = nullptr;
+  if (traced) {
+    trace.BindIoSources(&pool.stats(), &disk.stats());
+    trace_ptr = &trace;
+  }
+  QueryContext cli_ctx;
+  cli_ctx.trace = trace_ptr;
+
+  const uint64_t reads_before = disk.stats().reads.load();
   Timer timer;
+  uint32_t root_span = 0;
+  if (trace_ptr != nullptr) {
+    root_span = trace.OpenSpan(obs::Phase::kQuery);
+  }
   if (mode == "knn") {
     const auto res = BooleanKnnSearch(&graph, index.get(), q, qe, k);
     for (const auto& r : res) {
@@ -246,10 +283,9 @@ int CmdQuery(const Args& args) {
     dq.sk = q;
     dq.k = k;
     dq.lambda = args.GetDouble("lambda", 0.8);
-    QueryContext ctx;
-    IncrementalSkSearch search(&graph, index.get(), dq.sk, qe, &ctx);
+    IncrementalSkSearch search(&graph, index.get(), dq.sk, qe, &cli_ctx);
     PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max,
-                                  OracleStrategy::kSharedExpansion, &ctx);
+                                  OracleStrategy::kSharedExpansion, &cli_ctx);
     oracle.SetQueryEdge(qe);
     const DivSearchOutput out = mode == "div-com"
                                     ? DiversifiedSearchCOM(&search, dq, &oracle)
@@ -262,7 +298,7 @@ int CmdQuery(const Args& args) {
       std::printf("  object %u  dist %.1f\n", r.id, r.dist);
     }
   } else {
-    IncrementalSkSearch search(&graph, index.get(), q, qe);
+    IncrementalSkSearch search(&graph, index.get(), q, qe, &cli_ctx);
     SkResult r;
     size_t count = 0;
     while (search.Next(&r)) {
@@ -276,8 +312,37 @@ int CmdQuery(const Args& args) {
     }
     std::printf("%zu objects satisfy the query\n", count);
   }
-  std::printf("query time %.1f ms, %lu page reads\n", timer.ElapsedMillis(),
-              static_cast<unsigned long>(disk.stats().reads.load()));
+  if (trace_ptr != nullptr) {
+    trace.CloseSpan(root_span);
+  }
+  const double query_millis = timer.ElapsedMillis();
+  const uint64_t query_reads = disk.stats().reads.load() - reads_before;
+  std::printf("query time %.1f ms, %lu page reads\n", query_millis,
+              static_cast<unsigned long>(query_reads));
+  if (traced) {
+    if (args.Get("trace", "") == "json") {
+      std::printf("%s\n", trace.ToJson().c_str());
+    } else {
+      std::printf("%s", trace.ToText().c_str());
+    }
+    // Per-phase exclusive totals telescope exactly to the root span; the
+    // remaining gap is only root-vs-wall (timer/printf overhead outside
+    // the span), reported so drift is visible.
+    const obs::TraceSpan& rs = trace.spans()[root_span];
+    int64_t phase_ns = 0;
+    uint64_t phase_reads = 0;
+    for (const auto& t : trace.AggregateByPhase()) {
+      phase_ns += t.exclusive_ns;
+      phase_reads += t.io.disk_reads;
+    }
+    std::printf(
+        "trace check: phases %.3f ms / root %.3f ms / wall %.3f ms, "
+        "phase reads %llu / query reads %llu\n",
+        static_cast<double>(phase_ns) / 1e6,
+        static_cast<double>(rs.inclusive_ns) / 1e6, query_millis,
+        static_cast<unsigned long long>(phase_reads),
+        static_cast<unsigned long long>(query_reads));
+  }
 
   // Optional concurrent re-run: the storage layer is concurrent-reader
   // safe, so N workers can hammer the same index and buffer pool.
@@ -323,13 +388,67 @@ int CmdQuery(const Args& args) {
         }
       });
     }
-    const ThroughputMetrics m =
-        SummarizeThroughput(threads, wall.ElapsedMillis(), exec.Drain());
+    QueryExecutor::DrainResult drained = exec.Drain();
+    const ThroughputMetrics m = SummarizeThroughput(
+        threads, wall.ElapsedMillis(), std::move(drained.samples));
     std::printf(
         "concurrent rerun: %zu threads, %zu queries, %.1f qps "
         "(p50 %.3f ms, p99 %.3f ms)\n",
         m.num_threads, m.queries, m.qps, m.p50_millis, m.p99_millis);
   }
+  return 0;
+}
+
+int CmdMetrics(const Args& args) {
+  // Self-contained: a synthetic database plus a short concurrent workload,
+  // so there is traffic behind every exposed counter.
+  const double scale = args.GetDouble("scale", 0.03);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+  IndexOptions opts;
+  const std::string index_name = args.Get("index", "sif");
+  if (index_name == "ir") {
+    opts.kind = IndexKind::kIR;
+  } else if (index_name == "if") {
+    opts.kind = IndexKind::kIF;
+  } else if (index_name == "sifp") {
+    opts.kind = IndexKind::kSIFP;
+  } else if (index_name == "sifg") {
+    opts.kind = IndexKind::kSIFG;
+  } else {
+    opts.kind = IndexKind::kSIF;
+  }
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  db.BindMetrics(&registry, "db");
+
+  WorkloadConfig wc;
+  wc.num_queries = args.GetSize("queries", 32);
+  wc.num_keywords = 2;
+  wc.seed = 7;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+  ExecutorConfig config;
+  config.num_threads = args.GetSize("threads", 2);
+  config.metrics = &registry;
+  {
+    QueryExecutor exec(config);
+    for (const WorkloadQuery& wq : wl.queries) {
+      const WorkloadQuery* q = &wq;
+      exec.SubmitWithContext([&db, q](QueryContext* ctx) {
+        db.RunSkQuery(q->sk, q->edge, ctx);
+      });
+    }
+    exec.Drain();
+  }
+
+  const std::string format = args.Get("format", "json");
+  if (format == "prom" || format == "prometheus") {
+    std::printf("%s", registry.ToPrometheus().c_str());
+  } else {
+    std::printf("%s\n", registry.ToJson().c_str());
+  }
+  db.UnbindMetrics(&registry, "db");
   return 0;
 }
 
@@ -347,6 +466,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "query") {
     return CmdQuery(args);
+  }
+  if (cmd == "metrics") {
+    return CmdMetrics(args);
   }
   return Usage();
 }

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Perf smoke gate: compares bench_throughput output against the committed
-baseline and exits non-zero when single-thread qps regressed by more than
-the allowed fraction (default 25%).
+"""Perf smoke gate and bench/metrics JSON validation.
 
-Usage: perf_gate.py <baseline.json> <smoke.jsonl>
+Usage:
+  perf_gate.py <baseline.json> <smoke.jsonl>
+      Compare bench_throughput output against the committed baseline; exit
+      non-zero when single-thread qps regressed by more than the allowed
+      fraction (default 25%). <smoke.jsonl> holds one bench_throughput JSON
+      record per line (the "JSON " prefix already stripped), possibly from
+      several repeated runs; the gate scores each workload by its best run
+      so that scheduler noise on small machines cannot fail the check.
 
-<smoke.jsonl> holds one bench_throughput JSON record per line (the "JSON "
-prefix already stripped), possibly from several repeated runs; the gate
-scores each workload by its best run so that scheduler noise on small
-machines cannot fail the check by itself.
+  perf_gate.py validate-bench <BENCH_throughput.json>
+      Validate the bench artifact (a JSON array): every measurement record
+      must carry the full latency block including the merged-histogram
+      fields, and at least one per-phase profile record must be present.
+
+  perf_gate.py validate-metrics <metrics.json>
+      Validate `dsks_cli metrics` output: all four registry sections, the
+      executor's pooled latency histogram, and live db.pool.* / db.disk.*
+      sources must be present.
 """
 
 import json
@@ -16,15 +26,170 @@ import sys
 
 TOLERANCE = 0.75  # fail when qps < TOLERANCE * baseline
 
+# --- tiny schema validator ---------------------------------------------------
+# Supported keys: "type" ("object"|"array"|"number"|"integer"|"string"),
+# "required" (dict of name -> sub-schema for objects), "items" (sub-schema
+# applied to every array element / every object value), "min" (numbers).
+# Deliberately hand-rolled: the container has no jsonschema package.
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
+
+def validate(value, schema, path="$"):
+    """Returns a list of error strings (empty when valid)."""
+    errors = []
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(value, dict):
+            return [f"{path}: expected object, got {type(value).__name__}"]
+        for name, sub in schema.get("required", {}).items():
+            if name not in value:
+                errors.append(f"{path}: missing required key '{name}'")
+            else:
+                errors += validate(value[name], sub, f"{path}.{name}")
+        if "items" in schema:
+            for name, item in value.items():
+                errors += validate(item, schema["items"], f"{path}.{name}")
+    elif t == "array":
+        if not isinstance(value, list):
+            return [f"{path}: expected array, got {type(value).__name__}"]
+        for i, item in enumerate(value):
+            errors += validate(item, schema.get("items", {}), f"{path}[{i}]")
+    elif t == "number":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return [f"{path}: expected number, got {type(value).__name__}"]
+        if "min" in schema and value < schema["min"]:
+            errors.append(f"{path}: {value} below minimum {schema['min']}")
+    elif t == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            return [f"{path}: expected integer, got {type(value).__name__}"]
+        if "min" in schema and value < schema["min"]:
+            errors.append(f"{path}: {value} below minimum {schema['min']}")
+    elif t == "string":
+        if not isinstance(value, str):
+            return [f"{path}: expected string, got {type(value).__name__}"]
+    return errors
+
+
+NUM = {"type": "number", "min": 0}
+
+MEASUREMENT_SCHEMA = {
+    "type": "object",
+    "required": {
+        "bench": {"type": "string"},
+        "workload": {"type": "string"},
+        "threads": {"type": "integer", "min": 1},
+        "queries": {"type": "integer", "min": 1},
+        "wall_ms": NUM,
+        "qps": NUM,
+        "avg_ms": NUM,
+        "p50_ms": NUM,
+        "p95_ms": NUM,
+        "p99_ms": NUM,
+        "speedup": NUM,
+        # merged per-worker histogram fields (bucket upper bounds)
+        "hist_count": {"type": "integer", "min": 1},
+        "hist_p50_ms": NUM,
+        "hist_p99_ms": NUM,
+    },
+}
+
+PHASE_PROFILE_SCHEMA = {
+    "type": "object",
+    "required": {
+        "bench": {"type": "string"},
+        "workload": {"type": "string"},
+        "queries": {"type": "integer", "min": 1},
+        "phase_profile": {
+            "type": "object",
+            "items": {
+                "type": "object",
+                "required": {
+                    "spans": {"type": "integer", "min": 1},
+                    "ms": NUM,
+                    "pool_hits": {"type": "integer", "min": 0},
+                    "pool_misses": {"type": "integer", "min": 0},
+                    "disk_reads": {"type": "integer", "min": 0},
+                },
+            },
+        },
+    },
+}
+
+HISTOGRAM_SCHEMA = {
+    "type": "object",
+    "required": {
+        "count": {"type": "integer", "min": 0},
+        "sum_ms": NUM,
+        "min_ms": NUM,
+        "max_ms": NUM,
+        "avg_ms": NUM,
+        "p50_ms": NUM,
+        "p95_ms": NUM,
+        "p99_ms": NUM,
+    },
+}
+
+METRICS_SCHEMA = {
+    "type": "object",
+    "required": {
+        "counters": {"type": "object", "items": {"type": "integer", "min": 0}},
+        "gauges": {"type": "object", "items": {"type": "number"}},
+        "sources": {"type": "object", "items": {"type": "integer", "min": 0}},
+        "histograms": {"type": "object", "items": HISTOGRAM_SCHEMA},
+    },
+}
+
+
+def report(label, errors):
+    if errors:
+        for e in errors:
+            print(f"{label}: {e}")
+        return 1
+    print(f"{label}: OK")
+    return 0
+
+
+def validate_bench(path) -> int:
+    with open(path, encoding="utf-8") as f:
+        records = json.load(f)
+    errors = validate(records, {"type": "array"}, "$")
+    if errors:
+        return report(f"validate-bench {path}", errors)
+    profiles = 0
+    for i, rec in enumerate(records):
+        if isinstance(rec, dict) and "phase_profile" in rec:
+            profiles += 1
+            errors += validate(rec, PHASE_PROFILE_SCHEMA, f"$[{i}]")
+            # the root phase must be present so phase shares have a total
+            if "query" not in rec.get("phase_profile", {}):
+                errors.append(f"$[{i}].phase_profile: missing 'query' root phase")
+        else:
+            errors += validate(rec, MEASUREMENT_SCHEMA, f"$[{i}]")
+    if profiles == 0:
+        errors.append("$: no phase_profile record found")
+    return report(f"validate-bench {path} ({len(records)} records)", errors)
+
+
+def validate_metrics(path) -> int:
+    with open(path, encoding="utf-8") as f:
+        metrics = json.load(f)
+    errors = validate(metrics, METRICS_SCHEMA, "$")
+    if not errors:
+        sources = metrics["sources"]
+        for prefix in ("db.pool.", "db.disk."):
+            if not any(k.startswith(prefix) for k in sources):
+                errors.append(f"$.sources: no key with prefix '{prefix}'")
+        if "executor.query_ms" not in metrics["histograms"]:
+            errors.append("$.histograms: missing 'executor.query_ms'")
+        if "executor.queries" not in metrics["counters"]:
+            errors.append("$.counters: missing 'executor.queries'")
+    return report(f"validate-metrics {path}", errors)
+
+
+def perf_gate(baseline_path, smoke_path) -> int:
+    with open(baseline_path, encoding="utf-8") as f:
         baseline = json.load(f)["qps"]
     best: dict[str, float] = {}
-    with open(sys.argv[2], encoding="utf-8") as f:
+    with open(smoke_path, encoding="utf-8") as f:
         for line in f:
             line = line.strip()
             if not line:
@@ -51,6 +216,17 @@ def main() -> int:
         if got < floor:
             failed = True
     return 1 if failed else 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "validate-bench":
+        return validate_bench(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "validate-metrics":
+        return validate_metrics(sys.argv[2])
+    if len(sys.argv) == 3:
+        return perf_gate(sys.argv[1], sys.argv[2])
+    print(__doc__, file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":
