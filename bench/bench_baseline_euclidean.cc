@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/macros.h"
 #include "common/timer.h"
 #include "core/euclidean_baseline.h"
 #include "core/sk_search.h"
@@ -66,8 +67,11 @@ int main() {
       Timer timer;
       for (const WorkloadQuery& wq : wl.queries) {
         EuclideanBaselineStats stats;
-        EuclideanFilterRefine(&db.ccam_graph(), db.network(), index, wq.sk,
-                              wq.edge, &stats);
+        std::vector<SkResult> results;
+        const Status s =
+            EuclideanFilterRefine(&db.ccam_graph(), db.network(), index,
+                                  wq.sk, wq.edge, &results, &stats);
+        DSKS_CHECK_MSG(s.ok(), "fault-free baseline must not fail");
         candidates += static_cast<double>(stats.euclidean_candidates);
       }
       fr_ms = timer.ElapsedMillis() / static_cast<double>(wl.queries.size());

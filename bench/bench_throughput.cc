@@ -62,15 +62,17 @@ void EmitJson(const char* workload, const ThroughputMetrics& m,
               double speedup) {
   // hist_* come from the merged per-worker histograms (bucketed, so upper
   // bounds); the exact sample percentiles stay the primary numbers.
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
       "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f,"
+      "\"errors\":%llu,\"error_rate\":%.6f,"
       "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f}",
       workload, m.num_threads, m.queries, m.wall_millis, m.qps, m.avg_millis,
       m.p50_millis, m.p95_millis, m.p99_millis, speedup,
+      static_cast<unsigned long long>(m.errors), m.error_rate,
       static_cast<unsigned long long>(m.histogram.count),
       m.histogram.Percentile(50), m.histogram.Percentile(99));
   std::printf("JSON %s\n", buf);

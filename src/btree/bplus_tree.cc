@@ -324,54 +324,67 @@ void BPlusTree::Insert(Key key, Value value) {
   root_ = new_root;
 }
 
-PageId BPlusTree::FindLeaf(Key key) const {
+Status BPlusTree::FindLeaf(Key key, PageId* leaf) const {
   PageId node = root_;
-  while (true) {
-    PageGuard guard(pool_, node);
+  // A healthy tree over 2^32 pages is < 64 levels deep; anything deeper
+  // means a corrupted internal node formed a cycle.
+  for (int depth = 0; depth < 64; ++depth) {
+    PageGuard guard;
+    DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, node, &guard));
     const char* p = guard.data();
     if (IsLeaf(p)) {
-      return node;
+      *leaf = node;
+      return Status::Ok();
     }
     node = Child(p, InternalChildIndex(p, key));
   }
+  return Status::Corruption("B+tree descent exceeded maximum depth");
 }
 
-std::optional<BPlusTree::Value> BPlusTree::Get(Key key) const {
-  PageGuard guard(pool_, FindLeaf(key));
+Status BPlusTree::Get(Key key, std::optional<Value>* result) const {
+  result->reset();
+  PageId leaf = kInvalidPageId;
+  DSKS_RETURN_IF_ERROR(FindLeaf(key, &leaf));
+  PageGuard guard;
+  DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, leaf, &guard));
   const char* p = guard.data();
   const size_t idx = LeafLowerBound(p, key);
   if (idx < Count(p) && LeafKey(p, idx) == key) {
-    return LeafValue(p, idx);
+    *result = LeafValue(p, idx);
   }
-  return std::nullopt;
+  return Status::Ok();
 }
 
-void BPlusTree::RangeScan(Key lo, Key hi,
-                          const std::function<bool(Key, Value)>& visit) const {
-  PageId leaf = FindLeaf(lo);
+Status BPlusTree::RangeScan(
+    Key lo, Key hi, const std::function<bool(Key, Value)>& visit) const {
+  PageId leaf = kInvalidPageId;
+  DSKS_RETURN_IF_ERROR(FindLeaf(lo, &leaf));
   while (leaf != kInvalidPageId) {
-    PageGuard guard(pool_, leaf);
+    PageGuard guard;
+    DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, leaf, &guard));
     const char* p = guard.data();
     const size_t n = Count(p);
     for (size_t i = LeafLowerBound(p, lo); i < n; ++i) {
       const Key k = LeafKey(p, i);
       if (k > hi) {
-        return;
+        return Status::Ok();
       }
       if (!visit(k, LeafValue(p, i))) {
-        return;
+        return Status::Ok();
       }
     }
     leaf = Next(p);
   }
+  return Status::Ok();
 }
 
 uint64_t BPlusTree::CountEntries() const {
   uint64_t total = 0;
-  RangeScan(0, UINT64_MAX, [&total](Key, Value) {
+  const Status s = RangeScan(0, UINT64_MAX, [&total](Key, Value) {
     ++total;
     return true;
   });
+  DSKS_CHECK_MSG(s.ok(), "CountEntries on a faulty disk");
   return total;
 }
 

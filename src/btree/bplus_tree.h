@@ -7,6 +7,7 @@
 #include <span>
 #include <utility>
 
+#include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 
@@ -43,13 +44,24 @@ class BPlusTree {
   /// Inserts or overwrites. May change root().
   void Insert(Key key, Value value);
 
-  /// Point lookup.
-  std::optional<Value> Get(Key key) const;
+  /// Point lookup. `*result` is nullopt when the key is absent; a non-OK
+  /// status (disk error during the descent) leaves `*result` nullopt.
+  Status Get(Key key, std::optional<Value>* result) const;
+
+  /// Point lookup for fault-free-by-contract callers (build paths, tests);
+  /// CHECK-fails on a disk error.
+  std::optional<Value> Get(Key key) const {
+    std::optional<Value> result;
+    const Status s = Get(key, &result);
+    DSKS_CHECK_MSG(s.ok(), "BPlusTree::Get on a faulty disk");
+    return result;
+  }
 
   /// Visits all entries with lo <= key <= hi in key order. The visitor
-  /// returns false to stop early.
-  void RangeScan(Key lo, Key hi,
-                 const std::function<bool(Key, Value)>& visit) const;
+  /// returns false to stop early (that is not an error). Disk errors
+  /// during the scan are returned; entries already visited stand.
+  Status RangeScan(Key lo, Key hi,
+                   const std::function<bool(Key, Value)>& visit) const;
 
   /// Number of entries (O(leaves) scan; for stats and tests).
   uint64_t CountEntries() const;
@@ -75,8 +87,10 @@ class BPlusTree {
   std::optional<SplitResult> InsertRecursive(PageId node, Key key,
                                              Value value);
 
-  /// Descends to the leaf that would contain `key`.
-  PageId FindLeaf(Key key) const;
+  /// Descends to the leaf that would contain `key`. Reports a cyclic or
+  /// over-deep descent (corrupted internal node) as Corruption instead of
+  /// looping forever.
+  Status FindLeaf(Key key, PageId* leaf) const;
 
   uint64_t CountPagesRecursive(PageId node) const;
 

@@ -1,0 +1,23 @@
+#ifndef DSKS_COMMON_CRC32C_H_
+#define DSKS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsks {
+namespace crc32c {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78) of
+/// `data[0, n)`. This is the polynomial used by iSCSI, ext4 and RocksDB
+/// page checksums; hardware-accelerated via SSE4.2 when the CPU supports
+/// it, with a slicing-by-8 table fallback elsewhere. The two paths produce
+/// identical values, so checksums are portable across machines.
+uint32_t Value(const void* data, size_t n);
+
+/// Extends `init_crc` (a previous Value/Extend result) over more bytes.
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n);
+
+}  // namespace crc32c
+}  // namespace dsks
+
+#endif  // DSKS_COMMON_CRC32C_H_

@@ -2,31 +2,34 @@
 
 namespace dsks {
 
-std::string Status::ToString() const {
-  const char* name = "UNKNOWN";
-  switch (code_) {
+const char* Status::CodeName(Code code) {
+  switch (code) {
     case Code::kOk:
       return "OK";
     case Code::kNotFound:
-      name = "NOT_FOUND";
-      break;
+      return "NOT_FOUND";
     case Code::kInvalidArgument:
-      name = "INVALID_ARGUMENT";
-      break;
+      return "INVALID_ARGUMENT";
     case Code::kCorruption:
-      name = "CORRUPTION";
-      break;
+      return "CORRUPTION";
     case Code::kResourceExhausted:
-      name = "RESOURCE_EXHAUSTED";
-      break;
+      return "RESOURCE_EXHAUSTED";
     case Code::kOutOfRange:
-      name = "OUT_OF_RANGE";
-      break;
+      return "OUT_OF_RANGE";
+    case Code::kIOError:
+      return "IO_ERROR";
   }
-  std::string result(name);
-  if (!message_.empty()) {
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(code_name());
+  if (!message().empty()) {
     result += ": ";
-    result += message_;
+    result += message();
   }
   return result;
 }

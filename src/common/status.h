@@ -1,14 +1,22 @@
 #ifndef DSKS_COMMON_STATUS_H_
 #define DSKS_COMMON_STATUS_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 
 namespace dsks {
 
 /// Lightweight operation result, RocksDB-style. Functions that can fail on
-/// bad input or resource exhaustion return a Status; programming errors are
-/// caught by CHECK macros instead.
+/// bad input, I/O faults, corruption, or resource exhaustion return a
+/// Status; programming errors are caught by CHECK macros instead (see
+/// DESIGN.md "Error handling" for the contract).
+///
+/// OK is represented by a null rep pointer, so the fault-free fast path —
+/// the overwhelmingly common case on hot read paths like the buffer pool's
+/// per-page fetch — costs one register store to construct, one null test
+/// to destroy, and a pointer move to return. Errors allocate.
 class Status {
  public:
   enum class Code {
@@ -18,9 +26,22 @@ class Status {
     kCorruption,
     kResourceExhausted,
     kOutOfRange,
+    kIOError,
   };
+  /// Number of codes, for per-code counter arrays indexed by Code.
+  static constexpr size_t kNumCodes = 7;
 
-  Status() : code_(Code::kOk) {}
+  Status() = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
 
   static Status Ok() { return Status(); }
   static Status NotFound(std::string msg) {
@@ -38,25 +59,54 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
 
-  bool ok() const { return code_ == Code::kOk; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsCorruption() const { return code_ == Code::kCorruption; }
-  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code() == Code::kResourceExhausted;
+  }
+  bool IsOutOfRange() const { return code() == Code::kOutOfRange; }
+  bool IsIOError() const { return code() == Code::kIOError; }
 
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// Stable upper-snake-case name of a code ("OK", "IO_ERROR", ...), used
+  /// as the {code} label of error counters and in ToString().
+  static const char* CodeName(Code code);
+  const char* code_name() const { return CodeName(code()); }
 
   /// Human-readable "<CODE>: <message>" string for logs and errors.
   std::string ToString() const;
 
  private:
-  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+  struct Rep {
+    Code code;
+    std::string message;
+  };
 
-  Code code_;
-  std::string message_;
+  Status(Code code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null means OK
 };
+
+/// Propagates a non-OK Status to the caller.
+#define DSKS_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::dsks::Status _dsks_status = (expr);    \
+    if (!_dsks_status.ok()) {                \
+      return _dsks_status;                   \
+    }                                        \
+  } while (0)
 
 }  // namespace dsks
 

@@ -95,7 +95,12 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
       continue;
     }
     field.try_emplace(v, d);
-    graph_->GetAdjacency(v, &o_->adjacency);
+    if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {
+      if (status_.ok()) {
+        status_ = s;
+      }
+      break;  // partial field: distances fall back to the radius cap
+    }
     for (const AdjacentEdge& adj : o_->adjacency) {
       if (!field.contains(adj.neighbor)) {
         relax(adj.neighbor, d + adj.weight);
@@ -159,7 +164,12 @@ void PairwiseDistanceOracle::BuildSharedField() {
     o_->parent_local.push_back(parent == kInvalidNodeId
                                    ? UINT32_MAX
                                    : o_->local_index.Get(parent));
-    graph_->GetAdjacency(v, &o_->adjacency);
+    if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {
+      if (status_.ok()) {
+        status_ = s;
+      }
+      break;  // partial shared field: fewer pairs certify, none wrongly
+    }
     for (const AdjacentEdge& adj : o_->adjacency) {
       if (!o_->shared_dist.Contains(adj.neighbor)) {
         relax(adj.neighbor, d + adj.weight, adj.edge, v);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/flat_containers.h"
+#include "common/status.h"
 #include "core/query.h"
 #include "core/query_context.h"
 #include "core/sk_search.h"
@@ -98,6 +99,11 @@ class PairwiseDistanceOracle {
   /// Frees the field of a pruned object (its pool slot is recycled).
   void DropField(ObjectId id);
 
+  /// First storage error hit by any expansion (OK while healthy). On error
+  /// expansions stop early, so Distance() degrades to its radius-capped
+  /// upper bound; callers must check this before trusting the objective.
+  const Status& status() const { return status_; }
+
   uint64_t fields_computed() const { return stats_.fields_computed; }
   size_t cached_fields() const { return o_->field_index.size(); }
   const OracleStats& stats() const { return stats_; }
@@ -136,6 +142,7 @@ class PairwiseDistanceOracle {
   bool has_query_edge_ = false;
   bool shared_ready_ = false;
 
+  Status status_;
   OracleStats stats_;
 };
 

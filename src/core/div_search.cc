@@ -59,6 +59,16 @@ void FillOracleStats(const PairwiseDistanceOracle& oracle,
   stats->oracle_shared_expansions = oracle.stats().shared_expansions;
 }
 
+/// The search's error (it stops the candidate stream) takes precedence
+/// over the oracle's (it only degrades pairwise distances).
+Status MergeStatus(const IncrementalSkSearch& search,
+                   const PairwiseDistanceOracle& oracle) {
+  if (!search.status().ok()) {
+    return search.status();
+  }
+  return oracle.status();
+}
+
 }  // namespace
 
 double EvaluateObjective(const Objective& objective,
@@ -107,6 +117,7 @@ DivSearchOutput DiversifiedSearchSEQ(IncrementalSkSearch* search,
     out.selected = std::move(greedy.selected);
     out.objective = EvaluateObjective(objective, oracle, out.selected);
   }
+  out.status = MergeStatus(*search, *oracle);
   FillOracleStats(*oracle, &out.stats);
   return out;
 }
@@ -133,6 +144,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     search->Terminate();
     out.selected = {first[0]};
     out.stats.early_terminated = true;
+    out.status = MergeStatus(*search, *oracle);
     FillOracleStats(*oracle, &out.stats);
     return out;
   }
@@ -140,6 +152,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     // Fewer candidates than requested: everything is the answer.
     out.selected = first;
     out.objective = EvaluateObjective(objective, oracle, out.selected);
+    out.status = MergeStatus(*search, *oracle);
     FillOracleStats(*oracle, &out.stats);
     return out;
   }
@@ -265,6 +278,7 @@ DivSearchOutput DiversifiedSearchCOM(IncrementalSkSearch* search,
     }
     out.objective = EvaluateObjective(objective, oracle, out.selected);
   }
+  out.status = MergeStatus(*search, *oracle);
   FillOracleStats(*oracle, &out.stats);
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/distance_oracle.h"
 #include "core/objective.h"
 #include "core/query.h"
@@ -38,6 +39,10 @@ struct DivSearchOutput {
   std::vector<SkResult> selected;
   /// f(S) of the selection (0 when |S| < 2).
   double objective = 0.0;
+  /// First storage error hit by the SK search or the distance oracle.
+  /// When non-OK the selection reflects only the work done before the
+  /// error; `stats` still accounts that partial work.
+  Status status;
   DivSearchStats stats;
 };
 

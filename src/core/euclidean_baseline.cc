@@ -9,22 +9,26 @@
 
 namespace dsks {
 
-std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
-                                            const RoadNetwork& net,
-                                            InvertedRTreeIndex* index,
-                                            const SkQuery& query,
-                                            const QueryEdgeInfo& query_edge,
-                                            EuclideanBaselineStats* stats) {
+Status EuclideanFilterRefine(const CcamGraph* graph, const RoadNetwork& net,
+                             InvertedRTreeIndex* index, const SkQuery& query,
+                             const QueryEdgeInfo& query_edge,
+                             std::vector<SkResult>* out,
+                             EuclideanBaselineStats* stats) {
+  out->clear();
   EuclideanBaselineStats local;
+  Status status;
 
   // Filter: Euclidean circle around the query point.
   const Point q_point = net.PointOnEdge(
       query.loc.edge,
       query.loc.offset);
   std::vector<ObjectId> candidates;
-  index->EuclideanCandidates(q_point, query.delta_max, query.terms,
-                             &candidates);
+  status = index->EuclideanCandidates(q_point, query.delta_max, query.terms,
+                                      &candidates);
   local.euclidean_candidates = candidates.size();
+  if (!status.ok()) {
+    candidates.clear();
+  }
 
   std::vector<SkResult> results;
   if (!candidates.empty()) {
@@ -55,7 +59,10 @@ std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
       }
       dist.emplace(v, d);
       ++local.nodes_settled;
-      graph->GetAdjacency(v, &adjacency);
+      status = graph->GetAdjacency(v, &adjacency);
+      if (!status.ok()) {
+        break;
+      }
       for (const AdjacentEdge& adj : adjacency) {
         if (dist.count(adj.neighbor) == 0) {
           relax(adj.neighbor, d + adj.weight);
@@ -64,7 +71,14 @@ std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
     }
 
     for (ObjectId id : candidates) {
-      const ObjectFile::Record rec = index->GetRecord(id);  // I/O
+      if (!status.ok()) {
+        break;
+      }
+      ObjectFile::Record rec;
+      status = index->GetRecord(id, &rec);  // I/O
+      if (!status.ok()) {
+        break;
+      }
       const Edge& e = net.edge(rec.edge);
       double best = kInfDistance;
       if (auto it = dist.find(e.n1); it != dist.end()) {
@@ -90,14 +104,16 @@ std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
       }
     }
   }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  DSKS_RETURN_IF_ERROR(status);
   std::sort(results.begin(), results.end(),
             [](const SkResult& a, const SkResult& b) {
               return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
             });
-  if (stats != nullptr) {
-    *stats = local;
-  }
-  return results;
+  *out = std::move(results);
+  return Status::Ok();
 }
 
 }  // namespace dsks

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query.h"
 #include "core/sk_search.h"
 #include "graph/ccam.h"
@@ -40,13 +41,14 @@ struct EuclideanBaselineStats {
 /// travel-time weights the filter would be unsound while INE still works.
 ///
 /// `net` provides the edge endpoint/weight table for verification (the
-/// same in-memory metadata the R-tree build used).
-std::vector<SkResult> EuclideanFilterRefine(const CcamGraph* graph,
-                                            const RoadNetwork& net,
-                                            InvertedRTreeIndex* index,
-                                            const SkQuery& query,
-                                            const QueryEdgeInfo& query_edge,
-                                            EuclideanBaselineStats* stats);
+/// same in-memory metadata the R-tree build used). On a storage error
+/// `*out` is left empty; `*stats` (when given) still accounts the partial
+/// work.
+Status EuclideanFilterRefine(const CcamGraph* graph, const RoadNetwork& net,
+                             InvertedRTreeIndex* index, const SkQuery& query,
+                             const QueryEdgeInfo& query_edge,
+                             std::vector<SkResult>* out,
+                             EuclideanBaselineStats* stats);
 
 }  // namespace dsks
 

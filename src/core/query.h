@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/dijkstra.h"
 #include "graph/types.h"
 
@@ -27,6 +28,20 @@ struct DivQuery {
   size_t k = 10;
   double lambda = 0.8;
 };
+
+/// Validates and canonicalizes a client-supplied SK query in place: terms
+/// are sorted and deduplicated; empty terms, a non-positive or non-finite
+/// delta_max, a negative offset, or an invalid edge id yield
+/// InvalidArgument. The search constructors CHECK these invariants, so
+/// every API boundary (Database, CLI) must funnel untrusted queries
+/// through here first. Edge-id range checks against a concrete network
+/// are the boundary's own job (it knows the network; this function
+/// doesn't).
+Status NormalizeSkQuery(SkQuery* query);
+
+/// NormalizeSkQuery plus the diversified knobs: k >= 1 and lambda in
+/// [0, 1].
+Status NormalizeDivQuery(DivQuery* query);
 
 /// An object produced by the SK search, with everything downstream
 /// consumers need: its network distance from the query and its position on

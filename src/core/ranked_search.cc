@@ -10,18 +10,17 @@
 
 namespace dsks {
 
-std::vector<SkResult> BooleanKnnSearch(const CcamGraph* graph,
-                                       ObjectIndex* index,
-                                       const SkQuery& query,
-                                       const QueryEdgeInfo& query_edge,
-                                       size_t k) {
+Status BooleanKnnSearch(const CcamGraph* graph, ObjectIndex* index,
+                        const SkQuery& query,
+                        const QueryEdgeInfo& query_edge, size_t k,
+                        std::vector<SkResult>* out) {
+  out->clear();
   IncrementalSkSearch search(graph, index, query, query_edge);
-  std::vector<SkResult> out;
   SkResult r;
-  while (out.size() < k && search.Next(&r)) {
-    out.push_back(r);
+  while (out->size() < k && search.Next(&r)) {
+    out->push_back(r);
   }
-  return out;
+  return search.status();
 }
 
 namespace {
@@ -38,11 +37,12 @@ struct PendingObject {
 
 }  // namespace
 
-std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
-                                         ObjectIndex* index,
-                                         const RankedQuery& query,
-                                         const QueryEdgeInfo& query_edge,
-                                         RankedSearchStats* stats) {
+Status RankedSkSearch(const CcamGraph* graph, ObjectIndex* index,
+                      const RankedQuery& query,
+                      const QueryEdgeInfo& query_edge,
+                      std::vector<RankedResult>* out,
+                      RankedSearchStats* stats) {
+  out->clear();
   const double delta_max = query.sk.delta_max;
   const double alpha = query.alpha;
   const auto num_terms = static_cast<double>(query.sk.terms.size());
@@ -50,6 +50,7 @@ std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
   DSKS_CHECK_MSG(query.k > 0, "ranked query needs k > 0");
 
   RankedSearchStats local_stats;
+  Status status;  // sticky: the first storage error stops the expansion
   std::unordered_map<NodeId, double> tentative;
   std::unordered_map<NodeId, double> settled;
   std::unordered_map<EdgeId, std::vector<ObjectIndex::LoadedObjectUnion>>
@@ -110,7 +111,11 @@ std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
     if (it == loaded.end()) {
       it = loaded.emplace(e, std::vector<ObjectIndex::LoadedObjectUnion>())
                .first;
-      index->LoadObjectsUnion(e, query.sk.terms, &it->second);
+      status = index->LoadObjectsUnion(e, query.sk.terms, &it->second);
+      if (!status.ok()) {
+        loaded.erase(it);
+        return;
+      }
     }
     const bool v_is_n1 = v < nb;
     for (const auto& o : it->second) {
@@ -123,7 +128,7 @@ std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
   relax(query_edge.n2, query_edge.weight - query_edge.w1);
   {
     auto& objs = loaded[query_edge.edge];
-    index->LoadObjectsUnion(query_edge.edge, query.sk.terms, &objs);
+    status = index->LoadObjectsUnion(query_edge.edge, query.sk.terms, &objs);
     for (const auto& o : objs) {
       update_object(o, std::abs(o.w1 - query_edge.w1));
     }
@@ -145,7 +150,7 @@ std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
     }
   };
 
-  while (true) {
+  while (status.ok()) {
     // Fresh node frontier (δT).
     double delta_t = kInfDistance;
     while (!node_heap.empty()) {
@@ -176,20 +181,25 @@ std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
     settled.emplace(v, d);
     ++local_stats.nodes_settled;
     std::vector<AdjacentEdge> adjacency;
-    graph->GetAdjacency(v, &adjacency);
+    status = graph->GetAdjacency(v, &adjacency);
     for (const AdjacentEdge& adj : adjacency) {
       if (settled.count(adj.neighbor) == 0) {
         relax(adj.neighbor, d + adj.weight);
       }
       process_edge(adj.edge, adj.weight, v, adj.neighbor, d);
+      if (!status.ok()) {
+        break;
+      }
     }
   }
 
-  std::sort(topk.begin(), topk.end(), better);
   if (stats != nullptr) {
     *stats = local_stats;
   }
-  return topk;
+  DSKS_RETURN_IF_ERROR(status);
+  std::sort(topk.begin(), topk.end(), better);
+  *out = std::move(topk);
+  return Status::Ok();
 }
 
 }  // namespace dsks

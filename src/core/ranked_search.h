@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query.h"
 #include "core/sk_search.h"
 #include "graph/ccam.h"
@@ -43,22 +44,24 @@ struct RankedSearchStats {
   bool early_terminated = false;
 };
 
-/// Runs the ranked query; results are sorted by (score, id).
-std::vector<RankedResult> RankedSkSearch(const CcamGraph* graph,
-                                         ObjectIndex* index,
-                                         const RankedQuery& query,
-                                         const QueryEdgeInfo& query_edge,
-                                         RankedSearchStats* stats = nullptr);
+/// Runs the ranked query; `*out` holds the results sorted by (score, id).
+/// On a storage error `*out` is left empty and `*stats` (when given) still
+/// accounts the work done before the error.
+Status RankedSkSearch(const CcamGraph* graph, ObjectIndex* index,
+                      const RankedQuery& query,
+                      const QueryEdgeInfo& query_edge,
+                      std::vector<RankedResult>* out,
+                      RankedSearchStats* stats = nullptr);
 
 /// Boolean k-nearest-neighbour SK query (Definition 1 with a result-count
 /// bound instead of exhausting δmax): the k closest objects containing all
 /// keywords. Thin wrapper over IncrementalSkSearch that stops pulling
-/// after k results — the expansion never goes further than needed.
-std::vector<SkResult> BooleanKnnSearch(const CcamGraph* graph,
-                                       ObjectIndex* index,
-                                       const SkQuery& query,
-                                       const QueryEdgeInfo& query_edge,
-                                       size_t k);
+/// after k results — the expansion never goes further than needed. On a
+/// storage error `*out` keeps the (correct) results emitted before it.
+Status BooleanKnnSearch(const CcamGraph* graph, ObjectIndex* index,
+                        const SkQuery& query,
+                        const QueryEdgeInfo& query_edge, size_t k,
+                        std::vector<SkResult>* out);
 
 }  // namespace dsks
 

@@ -60,7 +60,11 @@ IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
   le.weight = query_edge.weight;
   {
     obs::ScopedSpan span(ctx_->trace, obs::Phase::kKeywordLookup);
-    index_->LoadObjects(query_edge.edge, terms_, &le.objects);
+    status_ = index_->LoadObjects(query_edge.edge, terms_, &le.objects);
+  }
+  if (!status_.ok()) {
+    le.objects.clear();
+    return;
   }
   s_->edge_slot.try_emplace(query_edge.edge, slot);
   for (const LoadedObject& o : le.objects) {
@@ -127,7 +131,11 @@ void IncrementalSkSearch::ProcessEdge(EdgeId e, double w, NodeId v, NodeId nb,
     // scratch copy.
     {
       obs::ScopedSpan span(ctx_->trace, obs::Phase::kKeywordLookup);
-      index_->LoadObjects(e, terms_, &le.objects);
+      status_ = index_->LoadObjects(e, terms_, &le.objects);
+    }
+    if (!status_.ok()) {
+      le.objects.clear();
+      return;
     }
     s_->edge_slot.try_emplace(e, slot);
   } else {
@@ -179,18 +187,24 @@ bool IncrementalSkSearch::ExpandOneNode() {
   s_->settled.Set(v, d);
   ++stats_.nodes_settled;
 
-  graph_->GetAdjacency(v, &s_->adjacency);
+  status_ = graph_->GetAdjacency(v, &s_->adjacency);
+  if (!status_.ok()) {
+    return false;
+  }
   for (const AdjacentEdge& adj : s_->adjacency) {
     if (!s_->settled.Contains(adj.neighbor)) {
       RelaxNode(adj.neighbor, d + adj.weight);
     }
     ProcessEdge(adj.edge, adj.weight, v, adj.neighbor, d);
+    if (!status_.ok()) {
+      return false;
+    }
   }
   return true;
 }
 
 bool IncrementalSkSearch::Next(SkResult* out) {
-  if (terminated_) {
+  if (terminated_ || !status_.ok()) {
     return false;
   }
   while (true) {
@@ -229,6 +243,9 @@ bool IncrementalSkSearch::Next(SkResult* out) {
       return false;  // nothing settleable left and all objects flushed
     }
     if (!ExpandOneNode()) {
+      if (!status_.ok()) {
+        return false;  // storage error; the caller reads status()
+      }
       continue;  // expansion just finished; flush remaining objects
     }
   }

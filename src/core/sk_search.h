@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query.h"
 #include "core/query_context.h"
 #include "graph/ccam.h"
@@ -61,13 +62,19 @@ class IncrementalSkSearch {
   IncrementalSkSearch& operator=(const IncrementalSkSearch&) = delete;
 
   /// Produces the next object in non-decreasing δ(q, o), with
-  /// δ(q, o) <= δmax. Returns false when the search is exhausted (or was
-  /// terminated).
+  /// δ(q, o) <= δmax. Returns false when the search is exhausted, was
+  /// terminated, or hit a storage error — callers distinguish the last
+  /// case by checking status() after the final Next() (sticky-status
+  /// iterator pattern).
   bool Next(SkResult* out);
 
   /// Stops the search early: subsequent Next() calls return false and no
   /// further I/O happens. Used by the diversity pruning of Algorithm 6.
   void Terminate() { terminated_ = true; }
+
+  /// First storage error encountered (OK while the search is healthy).
+  /// Results already emitted are correct; the search stops at the error.
+  const Status& status() const { return status_; }
 
   const Stats& stats() const { return stats_; }
 
@@ -111,6 +118,7 @@ class IncrementalSkSearch {
 
   bool expansion_done_ = false;
   bool terminated_ = false;
+  Status status_;
   Stats stats_;
 };
 

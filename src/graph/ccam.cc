@@ -185,7 +185,8 @@ CcamFile CcamFileBuilder::Build(const RoadNetwork& net, DiskManager* disk,
       }
       DSKS_CHECK(pos <= kPageSize);
     }
-    disk->WritePage(id, page);
+    const Status write_status = disk->WritePage(id, page);
+    DSKS_CHECK_MSG(write_status.ok(), "CCAM build on a faulty disk");
     ++file.num_pages_;
   }
   return file;
@@ -205,11 +206,13 @@ double CcamConnectivityRatio(const RoadNetwork& net, const CcamFile& file) {
          static_cast<double>(net.num_edges());
 }
 
-void CcamGraph::GetAdjacency(NodeId id, std::vector<AdjacentEdge>* out) const {
+Status CcamGraph::GetAdjacency(NodeId id,
+                               std::vector<AdjacentEdge>* out) const {
   out->clear();
   const PageId pid = file_->PageOfNode(id);
   DSKS_CHECK_MSG(pid != kInvalidPageId, "node has no CCAM page");
-  PageGuard guard(pool_, pid);
+  PageGuard guard;
+  DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, pid, &guard));
   const char* data = guard.data();
   // The page directory stores the record's offset, so no scan over the
   // page's other records is needed; the neighbor entries are packed in
@@ -221,10 +224,16 @@ void CcamGraph::GetAdjacency(NodeId id, std::vector<AdjacentEdge>* out) const {
                 "on-page neighbor entries mirror AdjacentEdge");
   size_t pos = file_->OffsetOfNode(id);
   const auto node = ReadRaw<uint32_t>(data, &pos);
-  DSKS_CHECK_MSG(node == id, "node record missing from its CCAM page");
+  if (node != id) {
+    return Status::Corruption("node record missing from its CCAM page");
+  }
   const auto degree = ReadRaw<uint16_t>(data, &pos);
+  if (pos + size_t{degree} * kNeighborSize > kPageSize) {
+    return Status::Corruption("CCAM adjacency record overruns its page");
+  }
   out->resize(degree);
   std::memcpy(out->data(), data + pos, size_t{degree} * kNeighborSize);
+  return Status::Ok();
 }
 
 }  // namespace dsks

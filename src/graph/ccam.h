@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/road_network.h"
 #include "graph/types.h"
 #include "storage/buffer_pool.h"
@@ -91,7 +92,10 @@ class CcamGraph {
       : file_(file), pool_(pool) {}
 
   /// Appends node `id`'s adjacency list to `out` (cleared first).
-  void GetAdjacency(NodeId id, std::vector<AdjacentEdge>* out) const;
+  /// Propagates disk errors (IOError/Corruption) from the page fetch and
+  /// reports a malformed node record as Corruption; `out` is empty on a
+  /// non-OK return.
+  Status GetAdjacency(NodeId id, std::vector<AdjacentEdge>* out) const;
 
   size_t num_nodes() const { return file_->num_nodes(); }
 

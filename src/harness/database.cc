@@ -92,7 +92,8 @@ Database::IndexBuildInfo Database::BuildIndex(const IndexOptions& options) {
 
 void Database::PrepareForQueries(double fraction, size_t min_frames) {
   DSKS_CHECK_MSG(index_ != nullptr, "build an index first");
-  pool_->FlushAll();
+  const Status flush_status = pool_->FlushAll();
+  DSKS_CHECK_MSG(flush_status.ok(), "PrepareForQueries on a faulty disk");
   // Budget relative to the *live* dataset (CCAM + current index) rather
   // than the raw disk, which may hold pages of superseded indexes when
   // BuildIndex was called more than once.
@@ -100,7 +101,8 @@ void Database::PrepareForQueries(double fraction, size_t min_frames) {
       (ccam_file_.size_bytes() + index_->SizeBytes()) / kPageSize);
   const auto frames = static_cast<size_t>(
       std::max(static_cast<double>(min_frames), fraction * live_pages));
-  pool_->Clear();
+  const Status clear_status = pool_->Clear();
+  DSKS_CHECK_MSG(clear_status.ok(), "PrepareForQueries on a faulty disk");
   pool_->SetCapacity(frames);
   ResetCounters();
 }
@@ -126,47 +128,138 @@ void Database::UnbindMetrics(obs::MetricsRegistry* registry,
   registry->UnbindSourcesWithPrefix(prefix + ".");
 }
 
-std::vector<SkResult> Database::RunSkQuery(const SkQuery& query,
-                                           const QueryEdgeInfo& edge,
-                                           QueryContext* ctx) {
+namespace {
+
+/// Stamps a failed query's code into its trace, preserving the spans
+/// recorded before the error as the partial-work account.
+void MarkTraceError(QueryContext* ctx, const Status& status) {
+  if (!status.ok() && ctx != nullptr && ctx->trace != nullptr) {
+    ctx->trace->MarkError(status.code_name());
+  }
+}
+
+}  // namespace
+
+Status Database::CheckQueryEdge(const SkQuery& query,
+                                const QueryEdgeInfo& edge) const {
+  if (query.loc.edge >= network_->num_edges()) {
+    return Status::InvalidArgument("query location edge does not exist");
+  }
+  if (edge.edge >= network_->num_edges()) {
+    return Status::InvalidArgument("query edge does not exist");
+  }
+  if (edge.n1 >= edge.n2 || edge.n2 >= network_->num_nodes()) {
+    return Status::InvalidArgument(
+        "query edge endpoints must be (reference, far) ordered nodes");
+  }
+  if (!(edge.weight > 0.0) || edge.w1 < 0.0 || edge.w1 > edge.weight) {
+    return Status::InvalidArgument(
+        "query position must lie on its edge (0 <= w1 <= weight)");
+  }
+  return Status::Ok();
+}
+
+Status Database::RunSkQuery(const SkQuery& query, const QueryEdgeInfo& edge,
+                            std::vector<SkResult>* out, QueryContext* ctx) {
+  out->clear();
+  SkQuery q = query;
+  DSKS_RETURN_IF_ERROR(NormalizeSkQuery(&q));
+  DSKS_RETURN_IF_ERROR(CheckQueryEdge(q, edge));
   // Root span: the search constructor already does keyword I/O, so the
   // span must open before it.
   obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
                        obs::Phase::kQuery);
-  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query, edge,
-                             ctx);
-  std::vector<SkResult> results;
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), q, edge, ctx);
   SkResult r;
   while (search.Next(&r)) {
-    results.push_back(r);
+    out->push_back(r);
   }
+  MarkTraceError(ctx, search.status());
+  return search.status();
+}
+
+std::vector<SkResult> Database::RunSkQuery(const SkQuery& query,
+                                           const QueryEdgeInfo& edge,
+                                           QueryContext* ctx) {
+  std::vector<SkResult> results;
+  const Status status = RunSkQuery(query, edge, &results, ctx);
+  DSKS_CHECK_MSG(status.ok(), "RunSkQuery failed");
   return results;
+}
+
+Status Database::RunKnnQuery(const SkQuery& query, const QueryEdgeInfo& edge,
+                             size_t k, std::vector<SkResult>* out) {
+  out->clear();
+  SkQuery q = query;
+  DSKS_RETURN_IF_ERROR(NormalizeSkQuery(&q));
+  DSKS_RETURN_IF_ERROR(CheckQueryEdge(q, edge));
+  if (k == 0) {
+    return Status::InvalidArgument("kNN query needs k >= 1");
+  }
+  return BooleanKnnSearch(ccam_graph_.get(), index_.get(), q, edge, k, out);
 }
 
 std::vector<SkResult> Database::RunKnnQuery(const SkQuery& query,
                                             const QueryEdgeInfo& edge,
                                             size_t k) {
-  return BooleanKnnSearch(ccam_graph_.get(), index_.get(), query, edge, k);
+  std::vector<SkResult> results;
+  const Status status = RunKnnQuery(query, edge, k, &results);
+  DSKS_CHECK_MSG(status.ok(), "RunKnnQuery failed");
+  return results;
+}
+
+Status Database::RunRankedQuery(const RankedQuery& query,
+                                const QueryEdgeInfo& edge,
+                                std::vector<RankedResult>* out) {
+  out->clear();
+  RankedQuery q = query;
+  DSKS_RETURN_IF_ERROR(NormalizeSkQuery(&q.sk));
+  DSKS_RETURN_IF_ERROR(CheckQueryEdge(q.sk, edge));
+  if (q.k == 0) {
+    return Status::InvalidArgument("ranked query needs k >= 1");
+  }
+  if (!(q.alpha >= 0.0 && q.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  return RankedSkSearch(ccam_graph_.get(), index_.get(), q, edge, out);
 }
 
 std::vector<RankedResult> Database::RunRankedQuery(const RankedQuery& query,
                                                    const QueryEdgeInfo& edge) {
-  return RankedSkSearch(ccam_graph_.get(), index_.get(), query, edge);
+  std::vector<RankedResult> results;
+  const Status status = RunRankedQuery(query, edge, &results);
+  DSKS_CHECK_MSG(status.ok(), "RunRankedQuery failed");
+  return results;
+}
+
+Status Database::RunDivQuery(const DivQuery& query, const QueryEdgeInfo& edge,
+                             bool use_com, DivSearchOutput* out,
+                             QueryContext* ctx, OracleStrategy strategy) {
+  *out = DivSearchOutput();
+  DivQuery q = query;
+  DSKS_RETURN_IF_ERROR(NormalizeDivQuery(&q));
+  DSKS_RETURN_IF_ERROR(CheckQueryEdge(q.sk, edge));
+  obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
+                       obs::Phase::kQuery);
+  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), q.sk, edge,
+                             ctx);
+  PairwiseDistanceOracle oracle(ccam_graph_.get(), 2.0 * q.sk.delta_max,
+                                strategy, ctx);
+  oracle.SetQueryEdge(edge);
+  *out = use_com ? DiversifiedSearchCOM(&search, q, &oracle)
+                 : DiversifiedSearchSEQ(&search, q, &oracle);
+  MarkTraceError(ctx, out->status);
+  return out->status;
 }
 
 DivSearchOutput Database::RunDivQuery(const DivQuery& query,
                                       const QueryEdgeInfo& edge, bool use_com,
                                       QueryContext* ctx,
                                       OracleStrategy strategy) {
-  obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
-                       obs::Phase::kQuery);
-  IncrementalSkSearch search(ccam_graph_.get(), index_.get(), query.sk, edge,
-                             ctx);
-  PairwiseDistanceOracle oracle(ccam_graph_.get(), 2.0 * query.sk.delta_max,
-                                strategy, ctx);
-  oracle.SetQueryEdge(edge);
-  return use_com ? DiversifiedSearchCOM(&search, query, &oracle)
-                 : DiversifiedSearchSEQ(&search, query, &oracle);
+  DivSearchOutput out;
+  const Status status = RunDivQuery(query, edge, use_com, &out, ctx, strategy);
+  DSKS_CHECK_MSG(status.ok(), "RunDivQuery failed");
+  return out;
 }
 
 }  // namespace dsks

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/div_search.h"
 #include "core/query.h"
 #include "core/ranked_search.h"
@@ -80,25 +81,48 @@ class Database {
   void UnbindMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix = "db") const;
 
-  /// Runs Algorithm 3 to exhaustion. Returns the result objects. Pass a
-  /// long-lived per-thread QueryContext to amortize scratch allocations
-  /// across queries (nullptr: the search allocates a private one).
+  /// Runs Algorithm 3 to exhaustion; `*out` receives the result objects.
+  /// This is the API boundary: the query is validated and canonicalized
+  /// (NormalizeSkQuery plus edge-range checks against this network) and a
+  /// malformed one returns InvalidArgument instead of aborting. Storage
+  /// errors surface as the returned Status with the work done so far
+  /// accounted in the context's QueryTrace. Pass a long-lived per-thread
+  /// QueryContext to amortize scratch allocations across queries (nullptr:
+  /// the search allocates a private one).
+  Status RunSkQuery(const SkQuery& query, const QueryEdgeInfo& edge,
+                    std::vector<SkResult>* out, QueryContext* ctx = nullptr);
+
+  /// Value-returning convenience for trusted callers (tests, benches):
+  /// CHECK-fails on invalid input or a faulty disk.
   std::vector<SkResult> RunSkQuery(const SkQuery& query,
                                    const QueryEdgeInfo& edge,
                                    QueryContext* ctx = nullptr);
 
   /// Runs a diversified query with SEQ or COM. `strategy` selects the
-  /// pairwise-distance scheme (shared expansion by default).
+  /// pairwise-distance scheme (shared expansion by default). Validation
+  /// and error reporting as in RunSkQuery; `out->status` mirrors the
+  /// returned Status.
+  Status RunDivQuery(const DivQuery& query, const QueryEdgeInfo& edge,
+                     bool use_com, DivSearchOutput* out,
+                     QueryContext* ctx = nullptr,
+                     OracleStrategy strategy = OracleStrategy::kSharedExpansion);
+
+  /// Value-returning convenience for trusted callers; CHECK-fails on
+  /// invalid input or a faulty disk.
   DivSearchOutput RunDivQuery(
       const DivQuery& query, const QueryEdgeInfo& edge, bool use_com,
       QueryContext* ctx = nullptr,
       OracleStrategy strategy = OracleStrategy::kSharedExpansion);
 
   /// Boolean k-nearest-neighbour SK query (all keywords, k closest).
+  Status RunKnnQuery(const SkQuery& query, const QueryEdgeInfo& edge,
+                     size_t k, std::vector<SkResult>* out);
   std::vector<SkResult> RunKnnQuery(const SkQuery& query,
                                     const QueryEdgeInfo& edge, size_t k);
 
   /// Ranked top-k SK query (OR semantics, distance/text score blend).
+  Status RunRankedQuery(const RankedQuery& query, const QueryEdgeInfo& edge,
+                        std::vector<RankedResult>* out);
   std::vector<RankedResult> RunRankedQuery(const RankedQuery& query,
                                            const QueryEdgeInfo& edge);
 
@@ -113,6 +137,11 @@ class Database {
   uint64_t ccam_size_bytes() const { return ccam_file_.size_bytes(); }
 
  private:
+  /// Boundary checks a normalized query cannot do on its own: edge ids
+  /// must exist in this network and the query edge must be coherent.
+  Status CheckQueryEdge(const SkQuery& query,
+                        const QueryEdgeInfo& edge) const;
+
   DatasetConfig config_;
   std::unique_ptr<RoadNetwork> network_;
   std::unique_ptr<ObjectSet> objects_;

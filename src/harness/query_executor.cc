@@ -1,6 +1,8 @@
 #include "harness/query_executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
@@ -10,10 +12,15 @@
 namespace dsks {
 
 QueryExecutor::QueryExecutor(const ExecutorConfig& config)
-    : queue_capacity_(config.queue_capacity), metrics_(config.metrics) {
+    : queue_capacity_(config.queue_capacity),
+      max_retries_(config.max_retries),
+      retry_backoff_millis_(config.retry_backoff_millis),
+      metrics_(config.metrics) {
   DSKS_CHECK_MSG(config.num_threads > 0, "executor needs at least one thread");
   DSKS_CHECK_MSG(config.queue_capacity > 0, "queue capacity must be positive");
   samples_.resize(config.num_threads);
+  errors_.assign(config.num_threads, {});
+  retries_.assign(config.num_threads, 0);
   hists_.reserve(config.num_threads);
   contexts_.reserve(config.num_threads);
   for (size_t i = 0; i < config.num_threads; ++i) {
@@ -38,12 +45,21 @@ QueryExecutor::~QueryExecutor() {
 }
 
 void QueryExecutor::Submit(std::function<void()> task) {
-  SubmitWithContext(
-      [task = std::move(task)](QueryContext* /*ctx*/) { task(); });
+  SubmitQuery([task = std::move(task)](QueryContext* /*ctx*/) {
+    task();
+    return Status::Ok();
+  });
 }
 
 void QueryExecutor::SubmitWithContext(
     std::function<void(QueryContext*)> task) {
+  SubmitQuery([task = std::move(task)](QueryContext* ctx) {
+    task(ctx);
+    return Status::Ok();
+  });
+}
+
+void QueryExecutor::SubmitQuery(std::function<Status(QueryContext*)> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_not_full_.wait(lock,
@@ -69,10 +85,33 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
       result.latency.MergeFrom(h->Snapshot());
       h->Reset();
     }
+    for (auto& e : errors_) {
+      for (size_t c = 0; c < Status::kNumCodes; ++c) {
+        result.errors[c] += e[c];
+        e[c] = 0;
+      }
+    }
+    for (uint64_t& r : retries_) {
+      result.retries += r;
+      r = 0;
+    }
   }
   if (metrics_ != nullptr && result.latency.count > 0) {
     metrics_->histogram("executor.query_ms").MergeFrom(result.latency);
     metrics_->counter("executor.queries").Add(result.latency.count);
+  }
+  if (metrics_ != nullptr) {
+    for (size_t c = 0; c < Status::kNumCodes; ++c) {
+      if (result.errors[c] > 0) {
+        metrics_
+            ->counter(std::string("dsks.query.errors.") +
+                      Status::CodeName(static_cast<Status::Code>(c)))
+            .Add(result.errors[c]);
+      }
+    }
+    if (result.retries > 0) {
+      metrics_->counter("dsks.query.retries").Add(result.retries);
+    }
   }
   return result;
 }
@@ -80,7 +119,7 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
 void QueryExecutor::WorkerLoop(size_t worker_id) {
   QueryContext* ctx = contexts_[worker_id].get();
   for (;;) {
-    std::function<void(QueryContext*)> task;
+    std::function<Status(QueryContext*)> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(lock,
@@ -93,13 +132,27 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
       ++active_tasks_;
     }
     queue_not_full_.notify_one();
+    // The sample covers retries too — that time was spent on the query.
     Timer timer;
-    task(ctx);
+    Status status = task(ctx);
+    uint64_t task_retries = 0;
+    while (status.IsIOError() && task_retries < max_retries_) {
+      ++task_retries;
+      if (retry_backoff_millis_ > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            retry_backoff_millis_ * static_cast<double>(task_retries)));
+      }
+      status = task(ctx);
+    }
     const double millis = timer.ElapsedMillis();
     hists_[worker_id]->Record(millis);
     {
       std::lock_guard<std::mutex> lock(mu_);
       samples_[worker_id].push_back(millis);
+      if (!status.ok()) {
+        ++errors_[worker_id][static_cast<size_t>(status.code())];
+      }
+      retries_[worker_id] += task_retries;
       --active_tasks_;
       if (queue_.empty() && active_tasks_ == 0) {
         all_idle_.notify_all();
@@ -109,14 +162,18 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
 }
 
 ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
-                                      std::vector<double> samples) {
+                                      std::vector<double> samples,
+                                      uint64_t errors) {
   ThroughputMetrics m;
   m.num_threads = num_threads;
   m.queries = samples.size();
   m.wall_millis = wall_millis;
+  m.errors = errors;
   if (samples.empty()) {
     return m;
   }
+  m.error_rate =
+      static_cast<double>(errors) / static_cast<double>(samples.size());
   m.qps = wall_millis > 0.0
               ? static_cast<double>(samples.size()) / (wall_millis / 1000.0)
               : 0.0;
@@ -137,7 +194,8 @@ namespace {
 
 ThroughputMetrics RunConcurrent(
     Database* db, const Workload& workload, size_t num_threads, size_t repeat,
-    const std::function<void(const WorkloadQuery&, QueryContext*)>& run_one) {
+    const std::function<Status(const WorkloadQuery&, QueryContext*)>&
+        run_one) {
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
   DSKS_CHECK_MSG(repeat > 0, "repeat must be positive");
   // Yielding delay: a blocked "disk read" frees its core, so concurrent
@@ -149,13 +207,16 @@ ThroughputMetrics RunConcurrent(
   Timer wall;
   for (size_t r = 0; r < repeat; ++r) {
     for (const WorkloadQuery& wq : workload.queries) {
-      exec.SubmitWithContext(
-          [&run_one, &wq](QueryContext* ctx) { run_one(wq, ctx); });
+      exec.SubmitQuery(
+          [&run_one, &wq](QueryContext* ctx) { return run_one(wq, ctx); });
     }
   }
   QueryExecutor::DrainResult drained = exec.Drain();
-  ThroughputMetrics m = SummarizeThroughput(num_threads, wall.ElapsedMillis(),
-                                            std::move(drained.samples));
+  ThroughputMetrics m =
+      SummarizeThroughput(num_threads, wall.ElapsedMillis(),
+                          std::move(drained.samples), drained.total_errors());
+  m.errors_by_code = drained.errors;
+  m.retries = drained.retries;
   m.histogram = drained.latency;
   return m;
 }
@@ -167,7 +228,8 @@ ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
                                           size_t num_threads, size_t repeat) {
   return RunConcurrent(db, workload, num_threads, repeat,
                        [db](const WorkloadQuery& wq, QueryContext* ctx) {
-                         db->RunSkQuery(wq.sk, wq.edge, ctx);
+                         std::vector<SkResult> results;
+                         return db->RunSkQuery(wq.sk, wq.edge, &results, ctx);
                        });
 }
 
@@ -182,7 +244,8 @@ ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
         dq.sk = wq.sk;
         dq.k = k;
         dq.lambda = lambda;
-        db->RunDivQuery(dq, wq.edge, use_com, ctx);
+        DivSearchOutput out;
+        return db->RunDivQuery(dq, wq.edge, use_com, &out, ctx);
       });
 }
 

@@ -1,8 +1,10 @@
 #ifndef DSKS_HARNESS_QUERY_EXECUTOR_H_
 #define DSKS_HARNESS_QUERY_EXECUTOR_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -10,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query_context.h"
 #include "datagen/workload.h"
 #include "harness/database.h"
@@ -26,8 +29,16 @@ struct ExecutorConfig {
   /// full so a fast producer cannot outrun the workers unboundedly.
   size_t queue_capacity = 1024;
   /// Registry each Drain publishes into ("executor.query_ms" histogram,
-  /// "executor.queries" counter). Null disables publication.
+  /// "executor.queries" counter, "dsks.query.errors.<CODE>" counters).
+  /// Null disables publication.
   obs::MetricsRegistry* metrics = &obs::GlobalMetrics();
+  /// Bounded retry for *transient* faults: a query submitted with
+  /// SubmitQuery that fails with IO_ERROR is re-run up to this many times
+  /// before counting as failed. Corruption and invalid-argument failures
+  /// never retry — re-reading a bad checksum or a bad query cannot help.
+  size_t max_retries = 0;
+  /// Backoff before retry r (1-based) is r * this many milliseconds.
+  double retry_backoff_millis = 0.1;
 };
 
 /// Aggregate results of a concurrent batch: throughput plus the latency
@@ -43,6 +54,16 @@ struct ThroughputMetrics {
   double p50_millis = 0.0;
   double p95_millis = 0.0;
   double p99_millis = 0.0;
+  /// Queries that ended with a non-OK Status (after any retries). Failed
+  /// queries still count in `queries` and in the latency distribution —
+  /// the time was spent either way.
+  uint64_t errors = 0;
+  /// errors / queries (0 when the batch is empty).
+  double error_rate = 0.0;
+  /// Failure breakdown indexed by Status::Code.
+  std::array<uint64_t, Status::kNumCodes> errors_by_code{};
+  /// Transient-fault re-runs that happened under the retry policy.
+  uint64_t retries = 0;
   /// Merge of the per-worker latency histograms for the batch; lets benches
   /// report the full distribution without keeping every raw sample.
   obs::HistogramSnapshot histogram;
@@ -78,12 +99,33 @@ class QueryExecutor {
   /// QueryContext.
   void SubmitWithContext(std::function<void(QueryContext*)> task);
 
+  /// Enqueues a query that reports failure through a Status instead of
+  /// aborting. A non-OK result is a *recorded failure*, never a crash:
+  /// IO_ERROR failures are re-run up to config.max_retries times with
+  /// linear backoff, and whatever Status survives is tallied per code in
+  /// the next Drain (and into "dsks.query.errors.<CODE>"). The task must
+  /// be safe to re-run from scratch — every Run*Query is.
+  void SubmitQuery(std::function<Status(QueryContext*)> task);
+
   /// What one Drain hands back: every per-thread latency sample plus the
   /// merge of the per-worker histograms over the same tasks (so
-  /// latency.count == samples.size() always).
+  /// latency.count == samples.size() always), plus the failure tallies of
+  /// the batch.
   struct DrainResult {
     std::vector<double> samples;  // milliseconds, unordered
     obs::HistogramSnapshot latency;
+    /// Final (post-retry) failures by Status::Code.
+    std::array<uint64_t, Status::kNumCodes> errors{};
+    /// Transient-fault re-runs performed by the retry policy.
+    uint64_t retries = 0;
+
+    uint64_t total_errors() const {
+      uint64_t n = 0;
+      for (const uint64_t e : errors) {
+        n += e;
+      }
+      return n;
+    }
   };
 
   /// Blocks until every submitted task has finished, then returns the
@@ -98,12 +140,16 @@ class QueryExecutor {
   void WorkerLoop(size_t worker_id);
 
   const size_t queue_capacity_;
+  const size_t max_retries_;
+  const double retry_backoff_millis_;
 
   std::mutex mu_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void(QueryContext*)>> queue_;
+  /// Queued tasks report through a Status; void submissions are wrapped to
+  /// return OK so one queue serves both.
+  std::deque<std::function<Status(QueryContext*)>> queue_;
   size_t active_tasks_ = 0;
   bool stopping_ = false;
 
@@ -114,6 +160,10 @@ class QueryExecutor {
   /// internally lock-free, and the active_tasks_ hand-off orders worker
   /// records before Drain's snapshot.
   std::vector<std::unique_ptr<obs::Histogram>> hists_;
+  /// errors_[i]/retries_[i] follow the same ownership discipline as
+  /// samples_[i]: written by worker i under mu_, read by Drain when idle.
+  std::vector<std::array<uint64_t, Status::kNumCodes>> errors_;
+  std::vector<uint64_t> retries_;
   /// contexts_[i] is touched only by worker i.
   std::vector<std::unique_ptr<QueryContext>> contexts_;
   std::vector<std::thread> workers_;
@@ -121,9 +171,11 @@ class QueryExecutor {
 };
 
 /// Computes the latency distribution of `samples` plus queries/sec from
-/// the batch wall time.
+/// the batch wall time. `errors` (failed queries among the samples) feeds
+/// the error-rate fields.
 ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
-                                      std::vector<double> samples);
+                                      std::vector<double> samples,
+                                      uint64_t errors = 0);
 
 /// Runs `repeat` passes over the workload's SK queries on `num_threads`
 /// workers sharing `db` and reports aggregate throughput. Applies the same

@@ -97,9 +97,12 @@ void InvertedFileIndex::AddObject(ObjectId id, EdgeId edge, double w1,
     DSKS_CHECK_MSG(t < term_roots_.size(), "term outside vocabulary");
     run.clear();
     const uint64_t key = EdgeKey(edge_zcode_[edge], edge);
-    if (auto loc = FindRun(t, edge); loc.has_value()) {
-      postings_->ReadRun(*loc, &run);
+    std::optional<PostingFile::Locator> loc;
+    Status status = FindRun(t, edge, &loc);
+    if (status.ok() && loc.has_value()) {
+      status = postings_->ReadRun(*loc, &run);
     }
+    DSKS_CHECK_MSG(status.ok(), "AddObject on a faulty disk");
     // New positions are assigned in increasing order, so appending keeps
     // the run sorted by position.
     run.push_back(PostingFile::Entry{id, pos, w1});
@@ -118,17 +121,19 @@ void InvertedFileIndex::AddObject(ObjectId id, EdgeId edge, double w1,
   OnObjectAdded(id, edge, terms);
 }
 
-std::optional<PostingFile::Locator> InvertedFileIndex::FindRun(
-    TermId t, EdgeId edge) const {
+Status InvertedFileIndex::FindRun(
+    TermId t, EdgeId edge, std::optional<PostingFile::Locator>* loc) const {
+  loc->reset();
   if (t >= term_roots_.size() || term_roots_[t] == kInvalidPageId) {
-    return std::nullopt;
+    return Status::Ok();
   }
   BPlusTree tree(pool_, term_roots_[t]);
-  return tree.Get(EdgeKey(edge_zcode_[edge], edge));
+  return tree.Get(EdgeKey(edge_zcode_[edge], edge), loc);
 }
 
-void InvertedFileIndex::LoadObjects(EdgeId edge, std::span<const TermId> terms,
-                                    std::vector<LoadedObject>* out) {
+Status InvertedFileIndex::LoadObjects(EdgeId edge,
+                                      std::span<const TermId> terms,
+                                      std::vector<LoadedObject>* out) {
   out->clear();
   DSKS_CHECK_MSG(!terms.empty(), "query must have at least one keyword");
   ++stats_.edges_probed;
@@ -136,7 +141,7 @@ void InvertedFileIndex::LoadObjects(EdgeId edge, std::span<const TermId> terms,
   std::vector<PosRange> ranges;
   if (!CheckSignature(edge, terms, &ranges)) {
     ++stats_.edges_skipped_by_signature;
-    return;
+    return Status::Ok();
   }
   auto in_ranges = [&ranges](uint16_t pos) {
     if (ranges.empty()) {
@@ -156,12 +161,13 @@ void InvertedFileIndex::LoadObjects(EdgeId edge, std::span<const TermId> terms,
   std::vector<PostingFile::Entry> candidates;
   bool first = true;
   for (TermId t : terms) {
-    auto loc = FindRun(t, edge);
+    std::optional<PostingFile::Locator> loc;
+    DSKS_RETURN_IF_ERROR(FindRun(t, edge, &loc));
     if (!loc.has_value()) {
       candidates.clear();
       break;
     }
-    postings_->ReadRun(*loc, &run);
+    DSKS_RETURN_IF_ERROR(postings_->ReadRun(*loc, &run));
     std::vector<PostingFile::Entry> filtered;
     filtered.reserve(run.size());
     for (const PostingFile::Entry& e : run) {
@@ -204,13 +210,14 @@ void InvertedFileIndex::LoadObjects(EdgeId edge, std::span<const TermId> terms,
       ++stats_.false_hits;
       stats_.false_hit_objects += loaded_here;
     }
-    return;
+    return Status::Ok();
   }
   out->reserve(candidates.size());
   for (const PostingFile::Entry& e : candidates) {
     out->push_back(LoadedObject{e.object, e.w1});
   }
   stats_.objects_returned += out->size();
+  return Status::Ok();
 }
 
 uint64_t InvertedFileIndex::SizeBytes() const {

@@ -31,8 +31,8 @@ class InvertedFileIndex : public ObjectIndex {
   InvertedFileIndex(BufferPool* pool, const ObjectSet& objects,
                     size_t vocab_size);
 
-  void LoadObjects(EdgeId edge, std::span<const TermId> terms,
-                   std::vector<LoadedObject>* out) override;
+  Status LoadObjects(EdgeId edge, std::span<const TermId> terms,
+                     std::vector<LoadedObject>* out) override;
 
   uint64_t SizeBytes() const override;
 
@@ -100,9 +100,10 @@ class InvertedFileIndex : public ObjectIndex {
   BufferPool* pool_;
 
  private:
-  /// Fetches the posting run of (term, edge); nullopt if absent. Counts
-  /// one probe I/O path through the B+tree.
-  std::optional<PostingFile::Locator> FindRun(TermId t, EdgeId edge) const;
+  /// Fetches the posting run of (term, edge); `*loc` is nullopt if absent.
+  /// Counts one probe I/O path through the B+tree.
+  Status FindRun(TermId t, EdgeId edge,
+                 std::optional<PostingFile::Locator>* loc) const;
 
   std::unique_ptr<PostingFile> postings_;
   /// Per-keyword B+tree roots (kInvalidPageId when the keyword is unused).

@@ -29,9 +29,9 @@ InvertedRTreeIndex::InvertedRTreeIndex(BufferPool* pool,
   object_file_ = std::make_unique<ObjectFile>(pool_, objects);
 }
 
-void InvertedRTreeIndex::LoadObjects(EdgeId edge,
-                                     std::span<const TermId> terms,
-                                     std::vector<LoadedObject>* out) {
+Status InvertedRTreeIndex::LoadObjects(EdgeId edge,
+                                       std::span<const TermId> terms,
+                                       std::vector<LoadedObject>* out) {
   out->clear();
   DSKS_CHECK_MSG(!terms.empty(), "query must have at least one keyword");
   ++stats_.edges_probed;
@@ -49,10 +49,11 @@ void InvertedRTreeIndex::LoadObjects(EdgeId edge,
       break;
     }
     std::vector<ObjectId> found;
-    term_trees_[t]->RangeSearch(edge_mbr, [&found](const Mbr&, uint64_t id) {
-      found.push_back(static_cast<ObjectId>(id));
-      return true;
-    });
+    DSKS_RETURN_IF_ERROR(term_trees_[t]->RangeSearch(
+        edge_mbr, [&found](const Mbr&, uint64_t id) {
+          found.push_back(static_cast<ObjectId>(id));
+          return true;
+        }));
     std::sort(found.begin(), found.end());
     if (first) {
       candidates = std::move(found);
@@ -78,7 +79,8 @@ void InvertedRTreeIndex::LoadObjects(EdgeId edge,
   };
   std::vector<Hit> hits;
   for (ObjectId id : candidates) {
-    const ObjectFile::Record rec = object_file_->Get(id);
+    ObjectFile::Record rec;
+    DSKS_RETURN_IF_ERROR(object_file_->Get(id, &rec));
     ++loaded_here;
     if (rec.edge == edge) {
       hits.push_back(Hit{id, rec.pos, rec.w1});
@@ -93,19 +95,20 @@ void InvertedRTreeIndex::LoadObjects(EdgeId edge,
       ++stats_.false_hits;
       stats_.false_hit_objects += loaded_here;
     }
-    return;
+    return Status::Ok();
   }
   out->reserve(hits.size());
   for (const Hit& h : hits) {
     out->push_back(LoadedObject{h.id, h.w1});
   }
   stats_.objects_returned += out->size();
+  return Status::Ok();
 }
 
-void InvertedRTreeIndex::EuclideanCandidates(const Point& center,
-                                             double radius,
-                                             std::span<const TermId> terms,
-                                             std::vector<ObjectId>* out) {
+Status InvertedRTreeIndex::EuclideanCandidates(const Point& center,
+                                               double radius,
+                                               std::span<const TermId> terms,
+                                               std::vector<ObjectId>* out) {
   out->clear();
   DSKS_CHECK_MSG(!terms.empty(), "query must have at least one keyword");
   const Mbr box = Mbr::FromPoints({center.x - radius, center.y - radius},
@@ -114,16 +117,16 @@ void InvertedRTreeIndex::EuclideanCandidates(const Point& center,
   for (TermId t : terms) {
     if (term_trees_[t] == nullptr) {
       out->clear();
-      return;
+      return Status::Ok();
     }
     std::vector<ObjectId> found;
-    term_trees_[t]->RangeSearch(
+    DSKS_RETURN_IF_ERROR(term_trees_[t]->RangeSearch(
         box, [&found, &center, radius](const Mbr& mbr, uint64_t id) {
           if (mbr.MinDistance(center) <= radius) {
             found.push_back(static_cast<ObjectId>(id));
           }
           return true;
-        });
+        }));
     std::sort(found.begin(), found.end());
     if (first) {
       *out = std::move(found);
@@ -135,9 +138,10 @@ void InvertedRTreeIndex::EuclideanCandidates(const Point& center,
       *out = std::move(merged);
     }
     if (out->empty()) {
-      return;
+      return Status::Ok();
     }
   }
+  return Status::Ok();
 }
 
 uint64_t InvertedRTreeIndex::SizeBytes() const {

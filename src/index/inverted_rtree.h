@@ -26,8 +26,8 @@ class InvertedRTreeIndex : public ObjectIndex {
   InvertedRTreeIndex(BufferPool* pool, const ObjectSet& objects,
                      size_t vocab_size);
 
-  void LoadObjects(EdgeId edge, std::span<const TermId> terms,
-                   std::vector<LoadedObject>* out) override;
+  Status LoadObjects(EdgeId edge, std::span<const TermId> terms,
+                     std::vector<LoadedObject>* out) override;
 
   uint64_t SizeBytes() const override;
 
@@ -36,13 +36,13 @@ class InvertedRTreeIndex : public ObjectIndex {
   /// Euclidean candidate retrieval for the filter-and-refine baseline
   /// (core/euclidean_baseline.h): ids of objects within Euclidean
   /// distance `radius` of `center` containing every term, sorted by id.
-  void EuclideanCandidates(const Point& center, double radius,
-                           std::span<const TermId> terms,
-                           std::vector<ObjectId>* out);
+  Status EuclideanCandidates(const Point& center, double radius,
+                             std::span<const TermId> terms,
+                             std::vector<ObjectId>* out);
 
   /// Object record lookup (charged as I/O), for candidate verification.
-  ObjectFile::Record GetRecord(ObjectId id) const {
-    return object_file_->Get(id);
+  Status GetRecord(ObjectId id, ObjectFile::Record* out) const {
+    return object_file_->Get(id, out);
   }
 
  private:

@@ -52,15 +52,16 @@ ObjectFile::ObjectFile(BufferPool* pool, const ObjectSet& objects)
   }
 }
 
-ObjectFile::Record ObjectFile::Get(ObjectId id) const {
+Status ObjectFile::Get(ObjectId id, Record* out) const {
   DSKS_CHECK_MSG(id < num_objects_, "object id out of range");
-  PageGuard guard(pool_, pages_[id / kRecordsPerPage]);
+  PageGuard guard;
+  DSKS_RETURN_IF_ERROR(
+      PageGuard::Fetch(pool_, pages_[id / kRecordsPerPage], &guard));
   const char* base = guard.data() + (id % kRecordsPerPage) * kRecordSize;
-  Record rec;
-  std::memcpy(&rec.edge, base, 4);
-  std::memcpy(&rec.pos, base + 4, 2);
-  std::memcpy(&rec.w1, base + 8, 8);
-  return rec;
+  std::memcpy(&out->edge, base, 4);
+  std::memcpy(&out->pos, base + 4, 2);
+  std::memcpy(&out->w1, base + 8, 8);
+  return Status::Ok();
 }
 
 }  // namespace dsks

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/object_set.h"
 #include "graph/types.h"
 #include "storage/buffer_pool.h"
@@ -33,7 +34,15 @@ class ObjectFile {
   ObjectFile(ObjectFile&&) = default;
 
   /// Fetches the record of `id` (one page access via the buffer pool).
-  Record Get(ObjectId id) const;
+  Status Get(ObjectId id, Record* out) const;
+
+  /// Get for fault-free-by-contract callers; CHECK-fails on a disk error.
+  Record Get(ObjectId id) const {
+    Record rec;
+    const Status s = Get(id, &rec);
+    DSKS_CHECK_MSG(s.ok(), "ObjectFile::Get on a faulty disk");
+    return rec;
+  }
 
   uint64_t num_pages() const { return pages_.size(); }
 

@@ -5,8 +5,9 @@
 
 namespace dsks {
 
-void ObjectIndex::LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
-                                   std::vector<LoadedObjectUnion>* out) {
+Status ObjectIndex::LoadObjectsUnion(EdgeId edge,
+                                     std::span<const TermId> terms,
+                                     std::vector<LoadedObjectUnion>* out) {
   out->clear();
   // Generic implementation on top of single-term AND loads; subclasses
   // with cheaper access paths may override.
@@ -14,7 +15,7 @@ void ObjectIndex::LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
   std::vector<LoadedObject> per_term;
   for (TermId t : terms) {
     const TermId single[1] = {t};
-    LoadObjects(edge, single, &per_term);
+    DSKS_RETURN_IF_ERROR(LoadObjects(edge, single, &per_term));
     for (const LoadedObject& o : per_term) {
       auto [it, inserted] = merged.try_emplace(o.id);
       if (inserted) {
@@ -28,6 +29,7 @@ void ObjectIndex::LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
   for (const auto& [id, o] : merged) {
     out->push_back(o);
   }
+  return Status::Ok();
 }
 
 }  // namespace dsks

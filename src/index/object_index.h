@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace dsks {
@@ -60,9 +61,10 @@ class ObjectIndex {
 
   /// Algorithm 2: returns the objects lying on `edge` that contain every
   /// term in `terms` (sorted by position along the edge). `terms` must be
-  /// non-empty.
-  virtual void LoadObjects(EdgeId edge, std::span<const TermId> terms,
-                           std::vector<LoadedObject>* out) = 0;
+  /// non-empty. Disk errors (IOError/Corruption) propagate; `out` must be
+  /// considered garbage on a non-OK return.
+  virtual Status LoadObjects(EdgeId edge, std::span<const TermId> terms,
+                             std::vector<LoadedObject>* out) = 0;
 
   /// OR-semantics variant used by the ranked search: objects containing
   /// *at least one* term, with `matched` = how many of the query terms
@@ -72,8 +74,8 @@ class ObjectIndex {
     double w1 = 0.0;
     uint32_t matched = 0;
   };
-  virtual void LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
-                                std::vector<LoadedObjectUnion>* out);
+  virtual Status LoadObjectsUnion(EdgeId edge, std::span<const TermId> terms,
+                                  std::vector<LoadedObjectUnion>* out);
 
   /// Total size of the disk-resident part plus in-memory summaries
   /// (signatures, directories), for the Fig. 6(c) index-size comparison.

@@ -101,7 +101,7 @@ PostingFile::Locator PostingFile::AppendRun(std::span<const Entry> entries) {
                      static_cast<uint32_t>(entries.size()));
 }
 
-void PostingFile::ReadRun(Locator locator, std::vector<Entry>* out) const {
+Status PostingFile::ReadRun(Locator locator, std::vector<Entry>* out) const {
   out->clear();
   PageId page;
   uint32_t slot;
@@ -109,7 +109,8 @@ void PostingFile::ReadRun(Locator locator, std::vector<Entry>* out) const {
   UnpackLocator(locator, &page, &slot, &count);
   out->reserve(count);
   while (count > 0) {
-    PageGuard guard(pool_, page);
+    PageGuard guard;
+    DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, page, &guard));
     while (slot < kEntriesPerPage && count > 0) {
       out->push_back(ReadEntry(guard.data(), slot));
       ++slot;
@@ -118,6 +119,7 @@ void PostingFile::ReadRun(Locator locator, std::vector<Entry>* out) const {
     slot = 0;
     ++page;
   }
+  return Status::Ok();
 }
 
 uint32_t PostingFile::RunLength(Locator locator) {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/types.h"
 #include "storage/buffer_pool.h"
 
@@ -41,8 +42,9 @@ class PostingFile {
   /// Appends a run (at most 65535 entries) and returns its locator.
   Locator AppendRun(std::span<const Entry> entries);
 
-  /// Reads a whole run into `out` (cleared first).
-  void ReadRun(Locator locator, std::vector<Entry>* out) const;
+  /// Reads a whole run into `out` (cleared first). On a disk error `out`
+  /// holds the entries read so far; discard it.
+  Status ReadRun(Locator locator, std::vector<Entry>* out) const;
 
   /// Number of entries in a run without reading it.
   static uint32_t RunLength(Locator locator);

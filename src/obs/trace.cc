@@ -55,6 +55,7 @@ void QueryTrace::Clear() {
   spans_.clear();
   open_.clear();
   epoch_ns_ = 0;
+  error_code_name_ = nullptr;
 }
 
 IoCounters QueryTrace::ReadIo() const {
@@ -157,6 +158,10 @@ std::vector<QueryTrace::TreeNode> QueryTrace::AggregateTree() const {
 std::string QueryTrace::ToText() const {
   const std::vector<TreeNode> nodes = AggregateTree();
   std::string out;
+  if (error_code_name_ != nullptr) {
+    AppendF(&out, "ERROR %s (spans below = work done before the failure)\n",
+            error_code_name_);
+  }
   AppendF(&out, "%-48s %8s %12s %12s %9s %9s %9s %9s\n", "span", "count",
           "incl ms", "own ms", "hits", "misses", "reads", "writes");
   for (const TreeNode& n : nodes) {
@@ -176,7 +181,11 @@ std::string QueryTrace::ToText() const {
 
 std::string QueryTrace::ToJson() const {
   const std::vector<TreeNode> nodes = AggregateTree();
-  std::string out = "{\"tree\":[";
+  std::string out = "{";
+  if (error_code_name_ != nullptr) {
+    AppendF(&out, "\"error\":\"%s\",", error_code_name_);
+  }
+  out.append("\"tree\":[");
   // Nodes are emitted flat with a parent index — nesting the JSON would
   // complicate consumers for no benefit (depth + parent reconstruct it).
   for (size_t i = 0; i < nodes.size(); ++i) {

@@ -95,6 +95,15 @@ class QueryTrace {
   /// Drops all recorded spans (keeps capacity and the bound sources).
   void Clear();
 
+  /// Records that the traced query failed with `code_name` (a
+  /// Status::CodeName string). The spans recorded up to the error remain —
+  /// that is the query's partial-work accounting: how far it got and what
+  /// I/O it paid before failing. Shown in ToText/ToJson.
+  void MarkError(const char* code_name) { error_code_name_ = code_name; }
+  bool has_error() const { return error_code_name_ != nullptr; }
+  /// Null when the query completed cleanly.
+  const char* error_code_name() const { return error_code_name_; }
+
   /// Opens a span; returns its index. Pair with CloseSpan (spans close in
   /// LIFO order). Use ScopedSpan instead of calling these directly.
   uint32_t OpenSpan(Phase phase);
@@ -147,6 +156,7 @@ class QueryTrace {
   std::vector<TraceSpan> spans_;
   std::vector<uint32_t> open_;  // stack of open span indices
   int64_t epoch_ns_ = 0;        // set by the first OpenSpan after Clear
+  const char* error_code_name_ = nullptr;  // static-lifetime code name
 };
 
 /// RAII span: no-op when `trace` is null, which is what makes the hooks

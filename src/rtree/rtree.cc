@@ -350,12 +350,13 @@ void RTree::Insert(const Entry& entry) {
   ++height_;
 }
 
-void RTree::RangeSearchRecursive(
+Status RTree::RangeSearchRecursive(
     PageId node, int level, const Mbr& range,
     const std::function<bool(const Mbr&, uint64_t)>& visit,
     bool* keep_going) const {
-  if (!*keep_going) return;
-  PageGuard guard(pool_, node);
+  if (!*keep_going) return Status::Ok();
+  PageGuard guard;
+  DSKS_RETURN_IF_ERROR(PageGuard::Fetch(pool_, node, &guard));
   const char* p = guard.data();
   const size_t n = Count(p);
   const bool leaf = IsLeaf(p);
@@ -377,20 +378,23 @@ void RTree::RangeSearchRecursive(
   }
   guard.Release();
   for (uint64_t child : children) {
-    if (!*keep_going) return;
-    RangeSearchRecursive(static_cast<PageId>(child), level + 1, range, visit,
-                         keep_going);
+    if (!*keep_going) return Status::Ok();
+    DSKS_RETURN_IF_ERROR(RangeSearchRecursive(static_cast<PageId>(child),
+                                              level + 1, range, visit,
+                                              keep_going));
   }
+  return Status::Ok();
 }
 
-void RTree::RangeSearch(
+Status RTree::RangeSearch(
     const Mbr& range,
     const std::function<bool(const Mbr&, uint64_t)>& visit) const {
   bool keep_going = true;
-  RangeSearchRecursive(root_, 0, range, visit, &keep_going);
+  return RangeSearchRecursive(root_, 0, range, visit, &keep_going);
 }
 
-bool RTree::Nearest(const Point& p, Entry* out) const {
+Status RTree::Nearest(const Point& p, Entry* out, bool* found) const {
+  *found = false;
   struct QueueItem {
     double dist;
     bool is_entry;
@@ -412,14 +416,17 @@ bool RTree::Nearest(const Point& p, Entry* out) const {
     heap.pop();
     if (item.is_entry) {
       *out = Entry{item.mbr, item.payload};
-      return true;
+      *found = true;
+      return Status::Ok();
     }
-    PageGuard guard(pool_, static_cast<PageId>(item.payload));
+    PageGuard guard;
+    DSKS_RETURN_IF_ERROR(
+        PageGuard::Fetch(pool_, static_cast<PageId>(item.payload), &guard));
     const char* node = guard.data();
     const size_t n = Count(node);
     const bool leaf = IsLeaf(node);
     if (root_item && n == 0) {
-      return false;  // empty tree
+      return Status::Ok();  // empty tree
     }
     root_item = false;
     for (size_t i = 0; i < n; ++i) {
@@ -429,7 +436,7 @@ bool RTree::Nearest(const Point& p, Entry* out) const {
       heap.push(QueueItem{mbr.MinDistance(p), leaf, mbr, payload});
     }
   }
-  return false;
+  return Status::Ok();
 }
 
 uint64_t RTree::CountPagesRecursive(PageId node, int level) const {

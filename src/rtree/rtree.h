@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "spatial/mbr.h"
 #include "spatial/point.h"
 #include "storage/buffer_pool.h"
@@ -44,13 +45,25 @@ class RTree {
   void Insert(const Entry& entry);
 
   /// Visits every entry whose MBR intersects `range`; the visitor returns
-  /// false to stop the search.
-  void RangeSearch(const Mbr& range,
-                   const std::function<bool(const Mbr&, uint64_t)>& visit) const;
+  /// false to stop the search (not an error). Disk errors during the
+  /// traversal are returned; entries already visited stand.
+  Status RangeSearch(
+      const Mbr& range,
+      const std::function<bool(const Mbr&, uint64_t)>& visit) const;
 
-  /// Best-first nearest-neighbour search by MBR distance to `p`. Returns
-  /// false if the tree is empty; otherwise fills the closest entry.
-  bool Nearest(const Point& p, Entry* out) const;
+  /// Best-first nearest-neighbour search by MBR distance to `p`. On OK,
+  /// `*found` says whether the tree was non-empty and `*out` holds the
+  /// closest entry when it was.
+  Status Nearest(const Point& p, Entry* out, bool* found) const;
+
+  /// Nearest for fault-free-by-contract callers; CHECK-fails on a disk
+  /// error. Returns false if the tree is empty.
+  bool Nearest(const Point& p, Entry* out) const {
+    bool found = false;
+    const Status s = Nearest(p, out, &found);
+    DSKS_CHECK_MSG(s.ok(), "RTree::Nearest on a faulty disk");
+    return found;
+  }
 
   /// Nodes in the tree (for index-size accounting).
   uint64_t CountPages() const;
@@ -74,7 +87,7 @@ class RTree {
                                              const Entry& entry,
                                              Mbr* node_mbr);
 
-  void RangeSearchRecursive(
+  Status RangeSearchRecursive(
       PageId node, int level, const Mbr& range,
       const std::function<bool(const Mbr&, uint64_t)>& visit,
       bool* keep_going) const;

@@ -21,7 +21,9 @@ BufferPool::~BufferPool() {
   }
 #endif
   std::lock_guard<std::mutex> lock(latch_);
-  FlushAllLocked();
+  // Best-effort final flush; a failed write-back has no caller to report
+  // to at destruction time.
+  (void)FlushAllLocked();
 }
 
 BufferPool::Frame* BufferPool::GetFrameLocked(PageId id) {
@@ -29,7 +31,7 @@ BufferPool::Frame* BufferPool::GetFrameLocked(PageId id) {
   return it == frames_.end() ? nullptr : &it->second;
 }
 
-char* BufferPool::FetchPage(PageId id) {
+Status BufferPool::FetchPage(PageId id, char** out) {
   std::unique_lock<std::mutex> lock(latch_);
   for (;;) {
     Frame* frame = GetFrameLocked(id);
@@ -38,8 +40,9 @@ char* BufferPool::FetchPage(PageId id) {
     }
     if (frame->io_in_progress) {
       // Another thread is reading this page from disk; wait for it rather
-      // than double-reading. The frame may in principle be evicted between
-      // wake-ups, so re-look it up each time.
+      // than double-reading. The frame may be evicted between wake-ups —
+      // or erased entirely if that read *failed* — so re-look it up each
+      // time; a failed read leaves no frame and we retry as a fresh miss.
       io_done_.wait(lock);
       continue;
     }
@@ -49,7 +52,8 @@ char* BufferPool::FetchPage(PageId id) {
       frame->in_lru = false;
     }
     ++frame->pin_count;
-    return frame->data.get();
+    *out = frame->data.get();
+    return Status::Ok();
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
@@ -69,11 +73,19 @@ char* BufferPool::FetchPage(PageId id) {
   // the LRU, so nothing can evict it meanwhile; unordered_map guarantees
   // the reference stays valid across other threads' inserts/erases.
   lock.unlock();
-  disk_->ReadPage(id, f.data.get());
+  const Status status = disk_->ReadPage(id, f.data.get());
   lock.lock();
+  if (!status.ok()) {
+    // The read failed: drop the in-flight frame so waiters (and future
+    // fetches) retry from scratch instead of pinning garbage.
+    frames_.erase(id);
+    io_done_.notify_all();
+    return status;
+  }
   f.io_in_progress = false;
   io_done_.notify_all();
-  return f.data.get();
+  *out = f.data.get();
+  return Status::Ok();
 }
 
 char* BufferPool::NewPage(PageId* id) {
@@ -109,21 +121,27 @@ void BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 bool BufferPool::TryEvictOneLocked() {
-  if (lru_.empty()) {
-    return false;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const PageId victim = *it;
+    auto fit = frames_.find(victim);
+    DSKS_CHECK(fit != frames_.end());
+    Frame& f = fit->second;
+    DSKS_CHECK(f.pin_count == 0);
+    if (f.dirty) {
+      const Status status = disk_->WritePage(victim, f.data.get());
+      if (!status.ok()) {
+        // Injected write fault: keep the frame (still dirty, still in the
+        // LRU) and try the next candidate; a later trim retries it.
+        ++it;
+        continue;
+      }
+    }
+    lru_.erase(it);
+    frames_.erase(fit);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
-  PageId victim = lru_.front();
-  lru_.pop_front();
-  auto it = frames_.find(victim);
-  DSKS_CHECK(it != frames_.end());
-  Frame& f = it->second;
-  DSKS_CHECK(f.pin_count == 0);
-  if (f.dirty) {
-    disk_->WritePage(victim, f.data.get());
-  }
-  frames_.erase(it);
-  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return false;
 }
 
 void BufferPool::TrimToCapacityLocked() {
@@ -132,18 +150,24 @@ void BufferPool::TrimToCapacityLocked() {
   }
 }
 
-void BufferPool::FlushAllLocked() {
+Status BufferPool::FlushAllLocked() {
+  Status first = Status::Ok();
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
-      disk_->WritePage(id, frame.data.get());
-      frame.dirty = false;
+      const Status status = disk_->WritePage(id, frame.data.get());
+      if (status.ok()) {
+        frame.dirty = false;
+      } else if (first.ok()) {
+        first = status;
+      }
     }
   }
+  return first;
 }
 
-void BufferPool::FlushAll() {
+Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(latch_);
-  FlushAllLocked();
+  return FlushAllLocked();
 }
 
 void BufferPool::SetCapacity(size_t capacity) {
@@ -155,15 +179,16 @@ void BufferPool::SetCapacity(size_t capacity) {
   TrimToCapacityLocked();
 }
 
-void BufferPool::Clear() {
+Status BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(latch_);
-  FlushAllLocked();
+  const Status status = FlushAllLocked();
   for (auto& [id, frame] : frames_) {
     DSKS_CHECK_MSG(frame.pin_count == 0, "Clear with pinned pages");
     (void)id;
   }
   frames_.clear();
   lru_.clear();
+  return status;
 }
 
 size_t BufferPool::num_frames_in_use() const {

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/macros.h"
+#include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -104,10 +106,21 @@ class BufferPool {
   /// Clear()'s stricter always-on check.
   ~BufferPool();
 
-  /// Returns a pinned pointer to the page contents. The pointer stays valid
-  /// until the matching UnpinPage. Never fails: under pin pressure the pool
-  /// over-allocates a temporary frame instead of aborting.
-  char* FetchPage(PageId id);
+  /// Pins page `id` and stores a pointer to its contents in `*out`; the
+  /// pointer stays valid until the matching UnpinPage. Pin pressure never
+  /// fails (the pool over-allocates a temporary frame instead); a non-OK
+  /// status (IOError / Corruption from the disk read) means the page is
+  /// NOT pinned and `*out` is untouched, so there is nothing to unpin.
+  Status FetchPage(PageId id, char** out);
+
+  /// FetchPage for callers that run fault-free by contract (build/ingest
+  /// phases, tests): CHECK-fails on a disk error instead of returning it.
+  char* FetchPageOrDie(PageId id) {
+    char* data = nullptr;
+    const Status s = FetchPage(id, &data);
+    DSKS_CHECK_MSG(s.ok(), "FetchPageOrDie on a faulty disk");
+    return data;
+  }
 
   /// Allocates a fresh page on disk and returns it pinned; `*id` receives
   /// the new page id.
@@ -119,16 +132,20 @@ class BufferPool {
   void UnpinPage(PageId id, bool dirty);
 
   /// Writes back every dirty frame (pinned or not) without evicting.
-  void FlushAll();
+  /// Attempts every dirty frame even after a failure; returns the first
+  /// error (frames whose write failed stay dirty for a later retry).
+  Status FlushAll();
 
   /// Drops all unpinned frames (writing back dirty ones). Used between
-  /// experiment runs to start from a cold cache.
+  /// experiment runs to start from a cold cache. Frames are dropped even
+  /// when a write-back fails; the first error is returned so callers know
+  /// the disk image may be stale.
   ///
   /// Contract: requires that *no* page is pinned; a pinned page here means
   /// a pin leak that would silently skew subsequent cold-cache
   /// measurements, so the condition is CHECK-enforced in all build types
   /// (unlike the destructor, which only asserts in debug builds).
-  void Clear();
+  Status Clear();
 
   /// Changes the frame budget. Lets a database be built with a large pool
   /// and queried with the paper's 2% LRU buffer without invalidating
@@ -172,8 +189,12 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  /// Evicts the LRU unpinned frame. Returns false when everything is
-  /// pinned. Requires latch_ held.
+  /// Evicts the least-recently-used unpinned frame whose (dirty)
+  /// write-back succeeds, scanning each LRU candidate at most once per
+  /// call. Returns false when everything is pinned or every dirty
+  /// candidate's write-back failed this call (the pool then runs over
+  /// capacity until a later trim succeeds — bounded, not an abort).
+  /// Requires latch_ held.
   bool TryEvictOneLocked();
 
   /// Evicts unpinned frames while the pool exceeds capacity_. Requires
@@ -183,7 +204,7 @@ class BufferPool {
   /// Requires latch_ held.
   Frame* GetFrameLocked(PageId id);
 
-  void FlushAllLocked();
+  Status FlushAllLocked();
 
   DiskManager* disk_;
   std::atomic<size_t> capacity_;
@@ -202,9 +223,11 @@ class PageGuard {
  public:
   PageGuard() : pool_(nullptr), id_(kInvalidPageId), data_(nullptr) {}
 
-  /// Fetches (and pins) page `id`.
+  /// Fetches (and pins) page `id`; CHECK-fails on a disk error. For
+  /// fault-free-by-contract paths (build/ingest); query read paths use
+  /// the fallible Fetch() factory instead.
   PageGuard(BufferPool* pool, PageId id)
-      : pool_(pool), id_(id), data_(pool->FetchPage(id)), dirty_(false) {}
+      : pool_(pool), id_(id), data_(pool->FetchPageOrDie(id)), dirty_(false) {}
 
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
@@ -219,6 +242,19 @@ class PageGuard {
   }
 
   ~PageGuard() { Release(); }
+
+  /// Fetches (and pins) page `id`, surfacing disk errors as Status. On a
+  /// non-OK return `*out` is released/empty and nothing is pinned.
+  static Status Fetch(BufferPool* pool, PageId id, PageGuard* out) {
+    out->Release();
+    char* data = nullptr;
+    DSKS_RETURN_IF_ERROR(pool->FetchPage(id, &data));
+    out->pool_ = pool;
+    out->id_ = id;
+    out->data_ = data;
+    out->dirty_ = false;
+    return Status::Ok();
+  }
 
   /// Allocates a new pinned page via the pool.
   static PageGuard New(BufferPool* pool, PageId* id) {

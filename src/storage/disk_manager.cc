@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/crc32c.h"
 #include "common/macros.h"
 #include "obs/metrics.h"
 
@@ -20,25 +21,42 @@ void SpinForMicros(double us) {
   }
 }
 
+uint32_t ZeroPageCrc() {
+  static const uint32_t kCrc = [] {
+    std::vector<char> zeros(kPageSize, 0);
+    return crc32c::Value(zeros.data(), zeros.size());
+  }();
+  return kCrc;
+}
+
 }  // namespace
 
 PageId DiskManager::AllocatePage() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
+  const uint32_t zero_crc = ZeroPageCrc();
   std::lock_guard<std::mutex> lock(mutex_);
   pages_.push_back(std::move(page));
+  checksums_.push_back(zero_crc);
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-char* DiskManager::PageData(PageId id, const char* op) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  DSKS_CHECK_MSG(id < pages_.size(), op);
-  return pages_[id].get();
-}
-
-void DiskManager::ReadPage(PageId id, char* out) {
-  const char* src = PageData(id, "read of unallocated page");
+Status DiskManager::ReadPage(PageId id, char* out) {
+  const bool armed = fault_injector_.armed();
+  if (armed && fault_injector_.ShouldFailRead(id)) {
+    stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected read fault on page " +
+                           std::to_string(id));
+  }
+  const char* src;
+  uint32_t expected_crc;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DSKS_CHECK_MSG(id < pages_.size(), "read of unallocated page");
+    src = pages_[id].get();
+    expected_crc = checksums_[id];
+  }
   // Wait and copy outside the mutex so concurrent reads overlap.
   const double delay = read_delay_us_.load(std::memory_order_relaxed);
   if (delay > 0.0) {
@@ -51,12 +69,47 @@ void DiskManager::ReadPage(PageId id, char* out) {
   }
   std::memcpy(out, src, kPageSize);
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (armed) {
+    uint32_t bit_index = 0;
+    if (fault_injector_.ShouldCorruptRead(id, &bit_index)) {
+      out[bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
+    }
+  }
+  // Verify the bytes actually handed to the caller — freshly written, so
+  // cache-hot for the checksum pass — catching both at-rest corruption
+  // (CorruptStoredPage) and in-flight bit flips.
+  if (crc32c::Value(out, kPageSize) != expected_crc) {
+    stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::Ok();
 }
 
-void DiskManager::WritePage(PageId id, const char* in) {
-  char* dst = PageData(id, "write of unallocated page");
+Status DiskManager::WritePage(PageId id, const char* in) {
+  if (fault_injector_.armed() && fault_injector_.ShouldFailWrite(id)) {
+    stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected write fault on page " +
+                           std::to_string(id));
+  }
+  const uint32_t crc = crc32c::Value(in, kPageSize);
+  char* dst;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DSKS_CHECK_MSG(id < pages_.size(), "write of unallocated page");
+    dst = pages_[id].get();
+    checksums_[id] = crc;
+  }
   std::memcpy(dst, in, kPageSize);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void DiskManager::CorruptStoredPage(PageId id, uint32_t bit_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DSKS_CHECK_MSG(id < pages_.size(), "corrupt of unallocated page");
+  DSKS_CHECK_MSG(bit_index < kPageSize * 8, "bit index out of page");
+  pages_[id][bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
 }
 
 void DiskManager::BindMetrics(obs::MetricsRegistry* registry,
@@ -67,6 +120,11 @@ void DiskManager::BindMetrics(obs::MetricsRegistry* registry,
   registry->BindSource(prefix + ".reads", counter(&stats_.reads));
   registry->BindSource(prefix + ".writes", counter(&stats_.writes));
   registry->BindSource(prefix + ".allocations", counter(&stats_.allocations));
+  registry->BindSource(prefix + ".read_faults", counter(&stats_.read_faults));
+  registry->BindSource(prefix + ".write_faults",
+                       counter(&stats_.write_faults));
+  registry->BindSource(prefix + ".corruptions_detected",
+                       counter(&stats_.corruptions_detected));
   registry->BindSource(prefix + ".pages",
                        [this] { return static_cast<uint64_t>(num_pages()); });
 }

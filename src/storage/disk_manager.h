@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace dsks {
@@ -22,11 +24,16 @@ struct DiskStatsSnapshot {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t corruptions_detected = 0;
 };
 
 /// Physical I/O counters for a simulated disk. `reads` is the number the
 /// paper's figures call "# of I/O accesses": every buffer-pool miss costs
-/// exactly one read here.
+/// exactly one read here. `read_faults`/`write_faults` count injected I/O
+/// failures surfaced as Status::IOError; `corruptions_detected` counts
+/// checksum mismatches surfaced as Status::Corruption.
 ///
 /// Counters are relaxed atomics so concurrent readers can account I/O
 /// without a lock; the struct is not copyable — take Snapshot() for a
@@ -35,11 +42,17 @@ struct DiskStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
   std::atomic<uint64_t> allocations{0};
+  std::atomic<uint64_t> read_faults{0};
+  std::atomic<uint64_t> write_faults{0};
+  std::atomic<uint64_t> corruptions_detected{0};
 
   void Reset() {
     reads.store(0, std::memory_order_relaxed);
     writes.store(0, std::memory_order_relaxed);
     allocations.store(0, std::memory_order_relaxed);
+    read_faults.store(0, std::memory_order_relaxed);
+    write_faults.store(0, std::memory_order_relaxed);
+    corruptions_detected.store(0, std::memory_order_relaxed);
   }
 
   DiskStatsSnapshot Snapshot() const {
@@ -47,6 +60,10 @@ struct DiskStats {
     s.reads = reads.load(std::memory_order_relaxed);
     s.writes = writes.load(std::memory_order_relaxed);
     s.allocations = allocations.load(std::memory_order_relaxed);
+    s.read_faults = read_faults.load(std::memory_order_relaxed);
+    s.write_faults = write_faults.load(std::memory_order_relaxed);
+    s.corruptions_detected =
+        corruptions_detected.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -59,6 +76,16 @@ struct DiskStats {
 /// The simulation deliberately stores page images out-of-line (one heap
 /// block per page) so that a buffer-pool miss performs a real 4 KiB copy,
 /// keeping measured query times sensitive to I/O volume.
+///
+/// Integrity and failures: every WritePage records a CRC32C of the page
+/// out-of-line (so the 4 KiB image and all on-page layouts are unchanged);
+/// every ReadPage verifies the copy it returns against that checksum and
+/// reports a mismatch as Status::Corruption. The embedded FaultInjector
+/// can make reads/writes fail with Status::IOError or silently flip a bit
+/// in a read's output (which the checksum then catches); with the injector
+/// disarmed the only extra cost per op is one relaxed load plus the CRC of
+/// the page (reads are already buffer-pool misses, so this is off the hit
+/// path entirely).
 ///
 /// Thread safety: AllocatePage/ReadPage/WritePage may be called from many
 /// threads. The page directory is guarded by a mutex; the 4 KiB copy (and
@@ -77,11 +104,15 @@ class DiskManager {
   /// Allocates a zeroed page and returns its id.
   PageId AllocatePage();
 
-  /// Copies page `id` into `out` (exactly kPageSize bytes).
-  void ReadPage(PageId id, char* out);
+  /// Copies page `id` into `out` (exactly kPageSize bytes). Returns
+  /// IOError on an injected read fault (out is untouched) or Corruption
+  /// when the copy fails checksum verification (out holds the bad bytes).
+  Status ReadPage(PageId id, char* out);
 
-  /// Copies `in` (exactly kPageSize bytes) into page `id`.
-  void WritePage(PageId id, const char* in);
+  /// Copies `in` (exactly kPageSize bytes) into page `id` and records its
+  /// checksum. Returns IOError on an injected write fault; the stored page
+  /// and checksum are untouched in that case.
+  Status WritePage(PageId id, const char* in);
 
   /// Number of pages ever allocated; `size * kPageSize` is the disk size.
   size_t num_pages() const {
@@ -94,6 +125,14 @@ class DiskManager {
     return static_cast<uint64_t>(num_pages()) * kPageSize;
   }
 
+  /// Deterministic fault source consulted by ReadPage/WritePage.
+  FaultInjector* fault_injector() { return &fault_injector_; }
+
+  /// Test hook: flips `bit_index` (in [0, kPageSize*8)) of the *stored*
+  /// page image without updating its checksum, simulating at-rest
+  /// corruption. The next cold read of the page returns kCorruption.
+  void CorruptStoredPage(PageId id, uint32_t bit_index);
+
   const DiskStats& stats() const { return stats_; }
   DiskStats* mutable_stats() { return &stats_; }
   /// One coherent read of all counters.
@@ -101,7 +140,8 @@ class DiskManager {
   /// Zeroes the counters between measured phases.
   void ResetStats() { stats_.Reset(); }
 
-  /// Exposes reads/writes/allocations/pages as live sources named
+  /// Exposes reads/writes/allocations/pages plus the fault counters
+  /// (read_faults/write_faults/corruptions_detected) as live sources named
   /// "<prefix>.reads" etc.; same lifetime contract as
   /// BufferPool::BindMetrics.
   void BindMetrics(obs::MetricsRegistry* registry,
@@ -132,15 +172,18 @@ class DiskManager {
   }
 
  private:
-  /// Resolves a page id to its (stable) heap block under the mutex.
-  char* PageData(PageId id, const char* op) const;
-
   mutable std::mutex mutex_;
   /// The unique_ptr array may reallocate on growth, but the page blocks
   /// themselves are stable, so a pointer resolved under the mutex stays
   /// valid for the out-of-lock copy (pages are never freed).
   std::vector<std::unique_ptr<char[]>> pages_;
+  /// CRC32C of each page image, kept out-of-line so page layout (and thus
+  /// every on-disk structure) is unchanged by checksumming. Guarded by
+  /// mutex_; coherent with the page because concurrent same-page
+  /// read/write is excluded by the buffer-pool contract above.
+  std::vector<uint32_t> checksums_;
   DiskStats stats_;
+  FaultInjector fault_injector_;
   std::atomic<double> read_delay_us_{0.0};
   std::atomic<bool> read_delay_yields_{false};
 };

@@ -65,7 +65,7 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
         if (dice < 8) {
           // Read-only fetch of a shared seeded page; verify its pattern.
           const PageId id = seeded[rng.Uniform(kSeedPages)];
-          const char* data = pool.FetchPage(id);
+          const char* data = pool.FetchPageOrDie(id);
           ExpectPattern(id, data);
           pool.UnpinPage(id, false);
           verified.fetch_add(1, std::memory_order_relaxed);
@@ -80,7 +80,7 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
           // Re-fetch one of our own pages and verify it round-tripped
           // through eviction/write-back.
           const PageId id = mine[rng.Uniform(mine.size())];
-          const char* data = pool.FetchPage(id);
+          const char* data = pool.FetchPageOrDie(id);
           ExpectPattern(id, data);
           pool.UnpinPage(id, false);
           verified.fetch_add(1, std::memory_order_relaxed);
@@ -124,7 +124,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentPinOverflowDrains) {
   threads.reserve(kThreads);
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&pool, &pages, &pinned, t] {
-      char* data = pool.FetchPage(pages[t]);
+      char* data = pool.FetchPageOrDie(pages[t]);
       ASSERT_NE(data, nullptr);
       pinned.fetch_add(1);
       // Hold the pin until every thread has one, forcing > capacity pins.
@@ -155,7 +155,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentMissesOnSamePageReadOnce) {
   const PageId page = disk.AllocatePage();
   {
     BufferPool seeder(&disk, 2);
-    char* data = seeder.FetchPage(page);
+    char* data = seeder.FetchPageOrDie(page);
     FillPattern(page, data);
     seeder.UnpinPage(page, /*dirty=*/true);
     seeder.FlushAll();
@@ -173,7 +173,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentMissesOnSamePageReadOnce) {
       while (ready.load() < kThreads) {
         std::this_thread::yield();
       }
-      const char* data = pool.FetchPage(page);
+      const char* data = pool.FetchPageOrDie(page);
       ExpectPattern(page, data);
       pool.UnpinPage(page, false);
     });

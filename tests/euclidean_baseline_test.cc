@@ -43,8 +43,10 @@ TEST_P(EuclideanBaselineTest, EquivalentToBruteForce) {
 
     const QueryEdgeInfo qe = MakeQueryEdgeInfo(*data.network, q.loc);
     EuclideanBaselineStats stats;
-    const auto got =
-        EuclideanFilterRefine(&graph, *data.network, &index, q, qe, &stats);
+    std::vector<SkResult> got;
+    ASSERT_TRUE(EuclideanFilterRefine(&graph, *data.network, &index, q, qe,
+                                      &got, &stats)
+                    .ok());
     const auto want =
         testing::BruteForceSkSearch(*data.network, *data.objects, q);
     ASSERT_EQ(got.size(), want.size()) << "round " << round;
@@ -107,7 +109,9 @@ TEST(EuclideanBaselineTest, FilterAdmitsNetworkUnreachableCandidates) {
   q.delta_max = 100.0;
   const QueryEdgeInfo qe = MakeQueryEdgeInfo(net, q.loc);
   EuclideanBaselineStats stats;
-  const auto got = EuclideanFilterRefine(&graph, net, &index, q, qe, &stats);
+  std::vector<SkResult> got;
+  ASSERT_TRUE(
+      EuclideanFilterRefine(&graph, net, &index, q, qe, &got, &stats).ok());
 
   // The Euclidean filter admits both objects; only one survives.
   EXPECT_EQ(stats.euclidean_candidates, 2u);

@@ -197,7 +197,7 @@ TEST(MetricsRegistryTest, StorageBindMetricsExposesLiveCounters) {
   disk.BindMetrics(&reg, "db.disk");
 
   const PageId p = disk.AllocatePage();
-  pool.FetchPage(p);
+  pool.FetchPageOrDie(p);
   pool.UnpinPage(p, false);
   std::string json = reg.ToJson();
   EXPECT_NE(json.find("\"db.pool.misses\":1"), std::string::npos) << json;
@@ -229,19 +229,19 @@ TEST(QueryTraceTest, SpanNestingAndExactIoDeltas) {
   {
     // Child A: two misses.
     obs::ScopedSpan a(&trace, obs::Phase::kKeywordLookup);
-    pool.FetchPage(pages[0]);
+    pool.FetchPageOrDie(pages[0]);
     pool.UnpinPage(pages[0], false);
-    pool.FetchPage(pages[1]);
+    pool.FetchPageOrDie(pages[1]);
     pool.UnpinPage(pages[1], false);
   }
   {
     // Child B: one hit, nothing from disk.
     obs::ScopedSpan b(&trace, obs::Phase::kNetworkExpansion);
-    pool.FetchPage(pages[0]);
+    pool.FetchPageOrDie(pages[0]);
     pool.UnpinPage(pages[0], false);
   }
   // Root-exclusive: one miss outside any child span.
-  pool.FetchPage(pages[2]);
+  pool.FetchPageOrDie(pages[2]);
   pool.UnpinPage(pages[2], false);
   trace.CloseSpan(root);
   ASSERT_EQ(trace.open_depth(), 0u);

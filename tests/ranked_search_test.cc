@@ -109,8 +109,10 @@ TEST_P(RankedSearchPropertyTest, MatchesBruteForce) {
 
     const QueryEdgeInfo qe = MakeQueryEdgeInfo(*fx.data.network, q.sk.loc);
     RankedSearchStats stats;
-    const auto got = RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe,
-                                    &stats);
+    std::vector<RankedResult> got;
+    ASSERT_TRUE(
+        RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe, &got, &stats)
+            .ok());
     const auto want =
         BruteForceRanked(*fx.data.network, *fx.data.objects, q);
     ASSERT_EQ(got.size(), want.size()) << "round " << round;
@@ -141,8 +143,10 @@ TEST(RankedSearchTest, HighAlphaTerminatesEarly) {
   q.alpha = 1.0;  // pure distance: nearest objects win immediately
   const QueryEdgeInfo qe = MakeQueryEdgeInfo(*fx.data.network, q.sk.loc);
   RankedSearchStats stats;
-  const auto got = RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe,
-                                  &stats);
+  std::vector<RankedResult> got;
+  ASSERT_TRUE(
+      RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe, &got, &stats)
+          .ok());
   ASSERT_EQ(got.size(), 3u);
   EXPECT_TRUE(stats.early_terminated);
   EXPECT_LT(stats.nodes_settled, fx.data.network->num_nodes());
@@ -159,7 +163,9 @@ TEST(RankedSearchTest, FullTextMatchOutranksCloserPartialMatch) {
   q.k = 5;
   q.alpha = 0.1;
   const QueryEdgeInfo qe = MakeQueryEdgeInfo(*fx.data.network, q.sk.loc);
-  const auto got = RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe);
+  std::vector<RankedResult> got;
+  ASSERT_TRUE(
+      RankedSkSearch(fx.graph.get(), fx.index.get(), q, qe, &got).ok());
   ASSERT_FALSE(got.empty());
   // Results are score-sorted, and matched counts dominate under low alpha:
   for (size_t i = 1; i < got.size(); ++i) {
@@ -174,8 +180,9 @@ TEST(BooleanKnnTest, ReturnsKClosestMatching) {
   q.terms = {0};
   q.delta_max = 4000.0;
   const QueryEdgeInfo qe = MakeQueryEdgeInfo(*fx.data.network, q.loc);
-  const auto knn =
-      BooleanKnnSearch(fx.graph.get(), fx.index.get(), q, qe, 4);
+  std::vector<SkResult> knn;
+  ASSERT_TRUE(
+      BooleanKnnSearch(fx.graph.get(), fx.index.get(), q, qe, 4, &knn).ok());
   const auto all = testing::BruteForceSkSearch(*fx.data.network,
                                                *fx.data.objects, q);
   ASSERT_GE(all.size(), 4u);

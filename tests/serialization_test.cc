@@ -1,4 +1,6 @@
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -86,6 +88,90 @@ TEST(SerializationTest, TruncatedFileIsCorruption) {
     std::remove(path.c_str());
   }
   std::remove(full.c_str());
+}
+
+TEST(SerializationTest, WrongVersionIsCorruption) {
+  auto data = testing::MakeRandomDataset(322, 40, 50, 10, 3);
+  const std::string path = TempPath("badversion.dsks");
+  ASSERT_TRUE(SaveDataset(*data.network, *data.objects, path).ok());
+  {
+    // The u32 version lives right after the 4-byte magic.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const uint32_t bogus = 9999;
+    f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  const Status s = LoadDataset(path, &net, &objs);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ImplausibleCountsAreCorruptionNotBadAlloc) {
+  // A flipped bit in a count field must fail cleanly, not attempt a
+  // multi-gigabyte allocation. The node loop reads coordinates per node,
+  // so a huge count lands in "truncated node table"; the term-count guard
+  // catches the per-object case explicitly.
+  auto data = testing::MakeRandomDataset(323, 40, 50, 10, 3);
+  const std::string full = TempPath("counts.dsks");
+  ASSERT_TRUE(SaveDataset(*data.network, *data.objects, full).ok());
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  // Node count (u64 at offset 8) blown up to 2^40.
+  std::string blown = bytes;
+  const uint64_t huge = uint64_t{1} << 40;
+  std::memcpy(&blown[8], &huge, sizeof(huge));
+  const std::string path = TempPath("hugecount.dsks");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(blown.data(), static_cast<std::streamsize>(blown.size()));
+  }
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  const Status s = LoadDataset(path, &net, &objs);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  std::remove(path.c_str());
+  std::remove(full.c_str());
+}
+
+TEST(SerializationTest, EdgeReferencingMissingNodeIsCorruption) {
+  // Hand-build a file whose edge table points at a node that is not in
+  // the node table: structurally complete, semantically corrupt.
+  const std::string path = TempPath("badedge.dsks");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("DSKS", 4);
+    const uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t num_nodes = 2;
+    out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+    const double coords[4] = {0.0, 0.0, 1.0, 0.0};
+    out.write(reinterpret_cast<const char*>(coords), sizeof(coords));
+    const uint64_t num_edges = 1;
+    out.write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+    const uint32_t n1 = 0;
+    const uint32_t n2 = 57;  // no such node
+    const double weight = 1.0;
+    out.write(reinterpret_cast<const char*>(&n1), sizeof(n1));
+    out.write(reinterpret_cast<const char*>(&n2), sizeof(n2));
+    out.write(reinterpret_cast<const char*>(&weight), sizeof(weight));
+  }
+  std::unique_ptr<RoadNetwork> net;
+  std::unique_ptr<ObjectSet> objs;
+  const Status s = LoadDataset(path, &net, &objs);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShortWriteToUnwritablePathFailsCleanly) {
+  auto data = testing::MakeRandomDataset(324, 40, 50, 10, 3);
+  const Status s =
+      SaveDataset(*data.network, *data.objects, "/nonexistent/dir/x.dsks");
+  EXPECT_FALSE(s.ok());
 }
 
 TEST(SerializationTest, SaveRequiresFinalizedDataset) {

@@ -56,12 +56,12 @@ TEST(BufferPoolTest, HitAndMissAccounting) {
   const PageId p = disk.AllocatePage();
   BufferPool pool(&disk, 4);
 
-  char* data = pool.FetchPage(p);
+  char* data = pool.FetchPageOrDie(p);
   ASSERT_NE(data, nullptr);
   EXPECT_EQ(pool.stats().misses, 1u);
   pool.UnpinPage(p, false);
 
-  pool.FetchPage(p);
+  pool.FetchPageOrDie(p);
   EXPECT_EQ(pool.stats().hits, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
   pool.UnpinPage(p, false);
@@ -72,9 +72,9 @@ TEST(BufferPoolTest, StatsSnapshotAndReset) {
   DiskManager disk;
   const PageId p = disk.AllocatePage();
   BufferPool pool(&disk, 4);
-  pool.FetchPage(p);
+  pool.FetchPageOrDie(p);
   pool.UnpinPage(p, false);
-  pool.FetchPage(p);
+  pool.FetchPageOrDie(p);
   pool.UnpinPage(p, false);
 
   // One plain-struct read of all counters together.
@@ -95,7 +95,7 @@ TEST(BufferPoolTest, StatsSnapshotAndReset) {
   EXPECT_EQ(pool.stats_snapshot().accesses(), 0u);
   EXPECT_DOUBLE_EQ(pool.stats_snapshot().hit_rate(), 0.0);
   EXPECT_EQ(disk.stats_snapshot().reads, 0u);
-  pool.FetchPage(p);
+  pool.FetchPageOrDie(p);
   pool.UnpinPage(p, false);
   EXPECT_EQ(pool.stats_snapshot().hits, 1u);
   EXPECT_EQ(pool.stats_snapshot().misses, 0u);
@@ -107,24 +107,24 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
   for (PageId& p : pages) p = disk.AllocatePage();
   BufferPool pool(&disk, 2);
 
-  pool.FetchPage(pages[0]);
+  pool.FetchPageOrDie(pages[0]);
   pool.UnpinPage(pages[0], false);
-  pool.FetchPage(pages[1]);
+  pool.FetchPageOrDie(pages[1]);
   pool.UnpinPage(pages[1], false);
   // Touch page 0 so page 1 becomes the LRU victim.
-  pool.FetchPage(pages[0]);
+  pool.FetchPageOrDie(pages[0]);
   pool.UnpinPage(pages[0], false);
 
-  pool.FetchPage(pages[2]);  // evicts pages[1]
+  pool.FetchPageOrDie(pages[2]);  // evicts pages[1]
   pool.UnpinPage(pages[2], false);
   EXPECT_EQ(pool.stats().evictions, 1u);
 
   // pages[0] must still be cached, pages[1] must not.
   const uint64_t misses_before = pool.stats().misses;
-  pool.FetchPage(pages[0]);
+  pool.FetchPageOrDie(pages[0]);
   pool.UnpinPage(pages[0], false);
   EXPECT_EQ(pool.stats().misses, misses_before);
-  pool.FetchPage(pages[1]);
+  pool.FetchPageOrDie(pages[1]);
   pool.UnpinPage(pages[1], false);
   EXPECT_EQ(pool.stats().misses, misses_before + 1);
 }
@@ -135,11 +135,11 @@ TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
   const PageId b = disk.AllocatePage();
   BufferPool pool(&disk, 1);
 
-  char* data = pool.FetchPage(a);
+  char* data = pool.FetchPageOrDie(a);
   data[0] = 'x';
   pool.UnpinPage(a, /*dirty=*/true);
 
-  pool.FetchPage(b);  // evicts a, forcing the write-back
+  pool.FetchPageOrDie(b);  // evicts a, forcing the write-back
   pool.UnpinPage(b, false);
 
   char out[kPageSize];
@@ -153,12 +153,12 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
   for (PageId& p : pages) p = disk.AllocatePage();
   BufferPool pool(&disk, 2);
 
-  char* pinned = pool.FetchPage(pages[0]);
+  char* pinned = pool.FetchPageOrDie(pages[0]);
   pinned[1] = 'p';
   // Cycle other pages through the remaining frame.
   for (int round = 0; round < 3; ++round) {
     for (int i = 1; i < 4; ++i) {
-      pool.FetchPage(pages[i]);
+      pool.FetchPageOrDie(pages[i]);
       pool.UnpinPage(pages[i], false);
     }
   }
@@ -223,7 +223,7 @@ TEST(BufferPoolTest, AllPinnedOverflowsInsteadOfAborting) {
 
   char* data[kCapacity + 1];
   for (size_t i = 0; i <= kCapacity; ++i) {
-    data[i] = pool.FetchPage(pages[i]);
+    data[i] = pool.FetchPageOrDie(pages[i]);
     ASSERT_NE(data[i], nullptr);
     data[i][0] = static_cast<char>('a' + i);
   }
@@ -254,7 +254,7 @@ TEST(BufferPoolTest, SetCapacityBelowPinnedSetDefersShrink) {
   BufferPool pool(&disk, 4);
 
   for (PageId p : pages) {
-    pool.FetchPage(p);  // pinned
+    pool.FetchPageOrDie(p);  // pinned
   }
   pool.SetCapacity(1);  // survives: 3 pages are pinned
   EXPECT_EQ(pool.capacity(), 1u);
@@ -272,7 +272,7 @@ TEST(BufferPoolDeathTest, DoubleUnpinIsFatal) {
   DiskManager disk;
   const PageId a = disk.AllocatePage();
   BufferPool pool(&disk, 2);
-  pool.FetchPage(a);
+  pool.FetchPageOrDie(a);
   pool.UnpinPage(a, false);
   EXPECT_DEATH(pool.UnpinPage(a, false), "unpin of unpinned page");
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Builds and runs the tier-1 test suite under AddressSanitizer and
-# ThreadSanitizer (cmake -DDSKS_SANITIZE=...), then a Release perf smoke
-# that fails if bench_throughput's single-thread qps dropped more than 25%
-# below the committed bench/baseline_throughput.json. Usage:
+# ThreadSanitizer (cmake -DDSKS_SANITIZE=...) — with a dedicated chaos
+# pass exercising storage fault injection under each sanitizer — then a
+# Release perf smoke that fails if bench_throughput's single-thread qps
+# dropped more than 25% below the committed
+# bench/baseline_throughput.json, plus a `dsks_cli chaos` smoke proving
+# the process survives injected faults. Usage:
 #
 #   tools/check.sh            # both sanitizers + perf smoke
 #   tools/check.sh thread     # just one sanitizer (skips the perf smoke)
@@ -31,6 +34,11 @@ for san in "${sanitizers[@]}"; do
   # die_after_fork=0: gtest death tests fork; TSan only instruments the
   # parent side here and the forked child exec()s or exits immediately.
   (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ctest --output-on-failure -j"$(nproc)")
+  # The chaos suite is in ctest already; run it again on its own so a
+  # sanitizer hit in the fault-handling paths is attributed loudly.
+  echo "=== $san sanitizer: chaos (storage faults under $san) ==="
+  (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ./tests/chaos_test \
+      --gtest_brief=1)
   echo "=== $san sanitizer: OK ==="
 done
 
@@ -61,4 +69,11 @@ if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
     > build-perf/metrics_smoke.json
   python3 tools/perf_gate.py validate-metrics build-perf/metrics_smoke.json
   echo "=== obs smoke: OK ==="
+
+  # Chaos smoke: a Release-build workload under injected read faults must
+  # exit 0 with its failures accounted — queries fail, the process does not.
+  echo "=== chaos smoke: dsks_cli chaos under injected faults ==="
+  ./build-perf/tools/dsks_cli chaos --queries 128 --threads 8 \
+    --read-fault-p 0.002 --retries 2 --seed 42
+  echo "=== chaos smoke: OK ==="
 fi

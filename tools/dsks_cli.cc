@@ -21,12 +21,21 @@
 //       Build a synthetic database, run a small concurrent workload, and
 //       dump the metrics registry (storage counters bound as live sources
 //       plus the executor's latency histogram).
+//   dsks_cli chaos [--scale F] [--index sif] [--queries N] [--threads N]
+//             [--read-fault-p P] [--write-fault-p P] [--corrupt-p P]
+//             [--seed S] [--retries R]
+//       Run a concurrent workload with storage fault injection armed and
+//       prove the process survives: failed queries are counted per Status
+//       code (never aborting), transient read faults optionally retried.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -80,16 +89,53 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
-  double GetDouble(const std::string& key, double fallback) const {
+
+  /// Checked numeric flags, shared by every subcommand: a present flag
+  /// whose value does not parse completely as a number, or falls outside
+  /// [min_value, max_value], prints an error and exits with status 2 —
+  /// `--threads foo` must not silently become 0.
+  double GetDouble(const std::string& key, double fallback, double min_value,
+                   double max_value) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) {
+      return fallback;
+    }
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (*text == '\0' || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not a number\n", key.c_str(), text);
+      std::exit(2);
+    }
+    if (!(v >= min_value && v <= max_value)) {
+      std::fprintf(stderr, "--%s: %s out of range [%g, %g]\n", key.c_str(),
+                   text, min_value, max_value);
+      std::exit(2);
+    }
+    return v;
   }
-  size_t GetSize(const std::string& key, size_t fallback) const {
+  size_t GetSize(const std::string& key, size_t fallback, size_t min_value,
+                 size_t max_value) const {
     auto it = values_.find(key);
-    return it == values_.end()
-               ? fallback
-               : static_cast<size_t>(std::atoll(it->second.c_str()));
+    if (it == values_.end()) {
+      return fallback;
+    }
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (*text == '\0' || end == nullptr || *end != '\0' || *text == '-') {
+      std::fprintf(stderr, "--%s: '%s' is not a non-negative integer\n",
+                   key.c_str(), text);
+      std::exit(2);
+    }
+    if (v < min_value || v > max_value) {
+      std::fprintf(stderr, "--%s: %s out of range [%zu, %zu]\n", key.c_str(),
+                   text, min_value, max_value);
+      std::exit(2);
+    }
+    return static_cast<size_t>(v);
   }
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
@@ -109,7 +155,11 @@ int Usage() {
                "           [--lambda 0.8] [--alpha 0.5]\n"
                "           [--threads 4] [--repeat 64] [--trace [json]]\n"
                "  dsks_cli metrics [--scale 0.03] [--index sif]\n"
-               "           [--queries 32] [--threads 2] [--format json|prom]\n");
+               "           [--queries 32] [--threads 2] [--format json|prom]\n"
+               "  dsks_cli chaos [--scale 0.03] [--index sif] [--queries 256]\n"
+               "           [--threads 8] [--read-fault-p 0.001]\n"
+               "           [--write-fault-p 0] [--corrupt-p 0] [--seed 42]\n"
+               "           [--retries 0]\n");
   return 2;
 }
 
@@ -130,7 +180,7 @@ int CmdGenerate(const Args& args) {
     return Usage();
   }
   DatasetConfig cfg = PresetByName(args.Get("preset", "SYN"));
-  const double scale = args.GetDouble("scale", 1.0);
+  const double scale = args.GetDouble("scale", 1.0, 1e-6, 1e6);
   if (scale != 1.0) {
     cfg = ScalePreset(cfg, scale);
   }
@@ -176,10 +226,18 @@ std::vector<TermId> ParseTerms(const std::string& csv) {
     if (comma == std::string::npos) {
       comma = csv.size();
     }
-    terms.push_back(
-        static_cast<TermId>(std::atoll(csv.substr(pos, comma - pos).c_str())));
+    const std::string token = csv.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long long t = std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "--terms: '%s' is not a term id\n", token.c_str());
+      std::exit(2);
+    }
+    terms.push_back(static_cast<TermId>(t));
     pos = comma + 1;
   }
+  // Sorting and dedup happen again behind the API boundary
+  // (NormalizeSkQuery); doing it here just keeps the printed query tidy.
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   return terms;
@@ -235,14 +293,20 @@ int CmdQuery(const Args& args) {
               static_cast<double>(index->SizeBytes()) / 1048576.0);
 
   const auto& anchor = objects->object(static_cast<ObjectId>(
-      args.GetSize("object-loc", 0) % objects->size()));
+      args.GetSize("object-loc", 0, 0, SIZE_MAX) % objects->size()));
   SkQuery q;
   q.loc = NetworkLocation{anchor.edge, anchor.offset};
   q.terms = ParseTerms(terms_csv);
-  q.delta_max = args.GetDouble("delta", 1500.0);
+  q.delta_max = args.GetDouble("delta", 1500.0, 1e-9, 1e12);
+  // The API boundary: a malformed query is an error message plus a nonzero
+  // exit, never an abort inside the search.
+  if (const Status qs = NormalizeSkQuery(&q); !qs.ok()) {
+    std::fprintf(stderr, "invalid query: %s\n", qs.ToString().c_str());
+    return 2;
+  }
   const QueryEdgeInfo qe = MakeQueryEdgeInfo(*net, q.loc);
   const std::string mode = args.Get("mode", "boolean");
-  const size_t k = args.GetSize("k", 10);
+  const size_t k = args.GetSize("k", 10, 1, 1u << 20);
 
   // --trace: per-phase spans with pool/disk counter deltas. knn/ranked run
   // through search paths without a QueryContext, so only their end-to-end
@@ -263,8 +327,13 @@ int CmdQuery(const Args& args) {
   if (trace_ptr != nullptr) {
     root_span = trace.OpenSpan(obs::Phase::kQuery);
   }
+  // A storage error fails the query, not the process: remember it, close
+  // the trace normally (its spans are the partial-work account) and exit
+  // nonzero at the end.
+  Status query_status;
   if (mode == "knn") {
-    const auto res = BooleanKnnSearch(&graph, index.get(), q, qe, k);
+    std::vector<SkResult> res;
+    query_status = BooleanKnnSearch(&graph, index.get(), q, qe, k, &res);
     for (const auto& r : res) {
       std::printf("  object %u  dist %.1f\n", r.id, r.dist);
     }
@@ -272,8 +341,9 @@ int CmdQuery(const Args& args) {
     RankedQuery rq;
     rq.sk = q;
     rq.k = k;
-    rq.alpha = args.GetDouble("alpha", 0.5);
-    const auto res = RankedSkSearch(&graph, index.get(), rq, qe);
+    rq.alpha = args.GetDouble("alpha", 0.5, 0.0, 1.0);
+    std::vector<RankedResult> res;
+    query_status = RankedSkSearch(&graph, index.get(), rq, qe, &res);
     for (const auto& r : res) {
       std::printf("  object %u  dist %.1f  matched %u/%zu  score %.4f\n",
                   r.id, r.dist, r.matched, q.terms.size(), r.score);
@@ -282,7 +352,7 @@ int CmdQuery(const Args& args) {
     DivQuery dq;
     dq.sk = q;
     dq.k = k;
-    dq.lambda = args.GetDouble("lambda", 0.8);
+    dq.lambda = args.GetDouble("lambda", 0.8, 0.0, 1.0);
     IncrementalSkSearch search(&graph, index.get(), dq.sk, qe, &cli_ctx);
     PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max,
                                   OracleStrategy::kSharedExpansion, &cli_ctx);
@@ -291,6 +361,7 @@ int CmdQuery(const Args& args) {
                                     ? DiversifiedSearchCOM(&search, dq, &oracle)
                                     : DiversifiedSearchSEQ(&search, dq,
                                                            &oracle);
+    query_status = out.status;
     std::printf("f(S) = %.4f over %lu candidates%s\n", out.objective,
                 static_cast<unsigned long>(out.stats.candidates),
                 out.stats.early_terminated ? " (early termination)" : "");
@@ -307,12 +378,16 @@ int CmdQuery(const Args& args) {
       }
       ++count;
     }
+    query_status = search.status();
     if (count > 20) {
       std::printf("  ... and %zu more\n", count - 20);
     }
     std::printf("%zu objects satisfy the query\n", count);
   }
   if (trace_ptr != nullptr) {
+    if (!query_status.ok()) {
+      trace.MarkError(query_status.code_name());
+    }
     trace.CloseSpan(root_span);
   }
   const double query_millis = timer.ElapsedMillis();
@@ -346,27 +421,31 @@ int CmdQuery(const Args& args) {
 
   // Optional concurrent re-run: the storage layer is concurrent-reader
   // safe, so N workers can hammer the same index and buffer pool.
-  const size_t threads = args.GetSize("threads", 1);
+  const size_t threads = args.GetSize("threads", 1, 1, 1024);
   if (threads > 1) {
-    const size_t repeat = args.GetSize("repeat", 64);
-    const double alpha = args.GetDouble("alpha", 0.5);
-    const double lambda = args.GetDouble("lambda", 0.8);
+    const size_t repeat = args.GetSize("repeat", 64, 1, 1u << 20);
+    const double alpha = args.GetDouble("alpha", 0.5, 0.0, 1.0);
+    const double lambda = args.GetDouble("lambda", 0.8, 0.0, 1.0);
     ExecutorConfig config;
     config.num_threads = threads;
     QueryExecutor exec(config);
     Timer wall;
     for (size_t i = 0; i < threads * repeat; ++i) {
-      exec.SubmitWithContext([&graph, &index, &q, &qe, mode, k, alpha,
-                              lambda](QueryContext* ctx) {
+      exec.SubmitQuery([&graph, &index, &q, &qe, mode, k, alpha,
+                        lambda](QueryContext* ctx) {
         if (mode == "knn") {
-          BooleanKnnSearch(&graph, index.get(), q, qe, k);
-        } else if (mode == "ranked") {
+          std::vector<SkResult> res;
+          return BooleanKnnSearch(&graph, index.get(), q, qe, k, &res);
+        }
+        if (mode == "ranked") {
           RankedQuery rq;
           rq.sk = q;
           rq.k = k;
           rq.alpha = alpha;
-          RankedSkSearch(&graph, index.get(), rq, qe);
-        } else if (mode == "div-seq" || mode == "div-com") {
+          std::vector<RankedResult> res;
+          return RankedSkSearch(&graph, index.get(), rq, qe, &res);
+        }
+        if (mode == "div-seq" || mode == "div-com") {
           DivQuery dq;
           dq.sk = q;
           dq.k = k;
@@ -375,37 +454,39 @@ int CmdQuery(const Args& args) {
           PairwiseDistanceOracle oracle(&graph, 2.0 * q.delta_max,
                                         OracleStrategy::kSharedExpansion, ctx);
           oracle.SetQueryEdge(qe);
-          if (mode == "div-com") {
-            DiversifiedSearchCOM(&search, dq, &oracle);
-          } else {
-            DiversifiedSearchSEQ(&search, dq, &oracle);
-          }
-        } else {
-          IncrementalSkSearch search(&graph, index.get(), q, qe, ctx);
-          SkResult r;
-          while (search.Next(&r)) {
-          }
+          const DivSearchOutput out =
+              mode == "div-com" ? DiversifiedSearchCOM(&search, dq, &oracle)
+                                : DiversifiedSearchSEQ(&search, dq, &oracle);
+          return out.status;
         }
+        IncrementalSkSearch search(&graph, index.get(), q, qe, ctx);
+        SkResult r;
+        while (search.Next(&r)) {
+        }
+        return search.status();
       });
     }
     QueryExecutor::DrainResult drained = exec.Drain();
-    const ThroughputMetrics m = SummarizeThroughput(
-        threads, wall.ElapsedMillis(), std::move(drained.samples));
+    const ThroughputMetrics m =
+        SummarizeThroughput(threads, wall.ElapsedMillis(),
+                            std::move(drained.samples),
+                            drained.total_errors());
     std::printf(
         "concurrent rerun: %zu threads, %zu queries, %.1f qps "
-        "(p50 %.3f ms, p99 %.3f ms)\n",
-        m.num_threads, m.queries, m.qps, m.p50_millis, m.p99_millis);
+        "(p50 %.3f ms, p99 %.3f ms, errors %llu)\n",
+        m.num_threads, m.queries, m.qps, m.p50_millis, m.p99_millis,
+        static_cast<unsigned long long>(m.errors));
+  }
+  if (!query_status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 query_status.ToString().c_str());
+    return 1;
   }
   return 0;
 }
 
-int CmdMetrics(const Args& args) {
-  // Self-contained: a synthetic database plus a short concurrent workload,
-  // so there is traffic behind every exposed counter.
-  const double scale = args.GetDouble("scale", 0.03);
-  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+IndexOptions IndexOptionsByName(const std::string& index_name) {
   IndexOptions opts;
-  const std::string index_name = args.Get("index", "sif");
   if (index_name == "ir") {
     opts.kind = IndexKind::kIR;
   } else if (index_name == "if") {
@@ -417,26 +498,35 @@ int CmdMetrics(const Args& args) {
   } else {
     opts.kind = IndexKind::kSIF;
   }
-  db.BuildIndex(opts);
+  return opts;
+}
+
+int CmdMetrics(const Args& args) {
+  // Self-contained: a synthetic database plus a short concurrent workload,
+  // so there is traffic behind every exposed counter.
+  const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+  db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
   db.PrepareForQueries();
 
   obs::MetricsRegistry& registry = obs::GlobalMetrics();
   db.BindMetrics(&registry, "db");
 
   WorkloadConfig wc;
-  wc.num_queries = args.GetSize("queries", 32);
+  wc.num_queries = args.GetSize("queries", 32, 1, 1u << 20);
   wc.num_keywords = 2;
   wc.seed = 7;
   const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
   ExecutorConfig config;
-  config.num_threads = args.GetSize("threads", 2);
+  config.num_threads = args.GetSize("threads", 2, 1, 1024);
   config.metrics = &registry;
   {
     QueryExecutor exec(config);
     for (const WorkloadQuery& wq : wl.queries) {
       const WorkloadQuery* q = &wq;
-      exec.SubmitWithContext([&db, q](QueryContext* ctx) {
-        db.RunSkQuery(q->sk, q->edge, ctx);
+      exec.SubmitQuery([&db, q](QueryContext* ctx) {
+        std::vector<SkResult> results;
+        return db.RunSkQuery(q->sk, q->edge, &results, ctx);
       });
     }
     exec.Drain();
@@ -449,6 +539,94 @@ int CmdMetrics(const Args& args) {
     std::printf("%s\n", registry.ToJson().c_str());
   }
   db.UnbindMetrics(&registry, "db");
+  return 0;
+}
+
+int CmdChaos(const Args& args) {
+  // Survival demonstration: run a concurrent workload with the storage
+  // fault injector armed and show that every failure surfaces as a counted
+  // Status — the queries fail, the process does not.
+  const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
+  const double read_fault_p = args.GetDouble("read-fault-p", 0.001, 0.0, 1.0);
+  const double write_fault_p = args.GetDouble("write-fault-p", 0.0, 0.0, 1.0);
+  const double corrupt_p = args.GetDouble("corrupt-p", 0.0, 0.0, 1.0);
+  const uint64_t seed = args.GetSize("seed", 42, 0, SIZE_MAX);
+  const size_t retries = args.GetSize("retries", 0, 0, 64);
+  const size_t num_queries = args.GetSize("queries", 256, 1, 1u << 20);
+  const size_t threads = args.GetSize("threads", 8, 1, 1024);
+
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+  db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
+  // Shrink the pool *before* arming the injector: preparation flushes, and
+  // an injected write fault there would be a setup failure, not a query
+  // failure. The small pool then guarantees cold reads during the workload
+  // so faults actually have reads to hit.
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = num_queries;
+  wc.num_keywords = 2;
+  wc.seed = 7;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  FaultInjector::Config fc;
+  fc.read_fault_p = read_fault_p;
+  fc.write_fault_p = write_fault_p;
+  fc.corrupt_read_p = corrupt_p;
+  fc.seed = seed;
+  db.disk()->fault_injector()->Configure(fc);
+
+  ExecutorConfig config;
+  config.num_threads = threads;
+  config.max_retries = retries;
+  ThroughputMetrics m;
+  {
+    QueryExecutor exec(config);
+    Timer wall;
+    for (const WorkloadQuery& wq : wl.queries) {
+      const WorkloadQuery* q = &wq;
+      exec.SubmitQuery([&db, q](QueryContext* ctx) {
+        std::vector<SkResult> results;
+        return db.RunSkQuery(q->sk, q->edge, &results, ctx);
+      });
+    }
+    QueryExecutor::DrainResult drained = exec.Drain();
+    m = SummarizeThroughput(threads, wall.ElapsedMillis(),
+                            std::move(drained.samples),
+                            drained.total_errors());
+    m.errors_by_code = drained.errors;
+    m.retries = drained.retries;
+  }
+  db.disk()->fault_injector()->Disarm();
+
+  std::printf(
+      "chaos: %zu queries on %zu threads under read-fault-p=%g "
+      "corrupt-p=%g (seed %llu)\n",
+      m.queries, m.num_threads, read_fault_p, corrupt_p,
+      static_cast<unsigned long long>(seed));
+  std::printf("  failed %llu (error rate %.2f%%), retries %llu\n",
+              static_cast<unsigned long long>(m.errors),
+              100.0 * m.error_rate,
+              static_cast<unsigned long long>(m.retries));
+  for (size_t c = 0; c < Status::kNumCodes; ++c) {
+    if (m.errors_by_code[c] > 0) {
+      std::printf("    %-17s %llu\n",
+                  Status::CodeName(static_cast<Status::Code>(c)),
+                  static_cast<unsigned long long>(m.errors_by_code[c]));
+    }
+  }
+  const FaultInjector::StatsSnapshot fs =
+      db.disk()->fault_injector()->stats();
+  const DiskStatsSnapshot ds = db.disk()->stats_snapshot();
+  std::printf(
+      "  injected: %llu read faults, %llu write faults, %llu bit flips\n",
+      static_cast<unsigned long long>(fs.read_faults),
+      static_cast<unsigned long long>(fs.write_faults),
+      static_cast<unsigned long long>(fs.corruptions));
+  std::printf("  disk: %llu reads, %llu corruptions detected by checksum\n",
+              static_cast<unsigned long long>(ds.reads),
+              static_cast<unsigned long long>(ds.corruptions_detected));
+  std::printf("survived: every failure above is a Status, not a crash\n");
   return 0;
 }
 
@@ -469,6 +647,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "metrics") {
     return CmdMetrics(args);
+  }
+  if (cmd == "chaos") {
+    return CmdChaos(args);
   }
   return Usage();
 }

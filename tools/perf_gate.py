@@ -85,6 +85,10 @@ MEASUREMENT_SCHEMA = {
         "p95_ms": NUM,
         "p99_ms": NUM,
         "speedup": NUM,
+        # error accounting: benches run fault-free, so these must be zero
+        # (checked separately in validate_bench, not just present)
+        "errors": {"type": "integer", "min": 0},
+        "error_rate": NUM,
         # merged per-worker histogram fields (bucket upper bounds)
         "hist_count": {"type": "integer", "min": 1},
         "hist_p50_ms": NUM,
@@ -164,6 +168,17 @@ def validate_bench(path) -> int:
                 errors.append(f"$[{i}].phase_profile: missing 'query' root phase")
         else:
             errors += validate(rec, MEASUREMENT_SCHEMA, f"$[{i}]")
+            # Benches run with fault injection off; a failed query there
+            # means the error accounting (or the storage layer) is broken.
+            if rec.get("errors", 0) != 0:
+                errors.append(
+                    f"$[{i}]: fault-free bench reports {rec['errors']} errors"
+                )
+            if rec.get("error_rate", 0) != 0:
+                errors.append(
+                    f"$[{i}]: fault-free bench reports error_rate "
+                    f"{rec['error_rate']}"
+                )
     if profiles == 0:
         errors.append("$: no phase_profile record found")
     return report(f"validate-bench {path} ({len(records)} records)", errors)
