@@ -1,8 +1,11 @@
 #ifndef DSKS_BENCH_BENCH_COMMON_H_
 #define DSKS_BENCH_BENCH_COMMON_H_
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "datagen/workload.h"
 #include "harness/database.h"
 #include "harness/experiment.h"
+#include "storage/disk_backend.h"
 
 namespace dsks::bench {
 
@@ -31,6 +35,53 @@ inline DatasetConfig Scaled(const DatasetConfig& preset) {
   const double scale = ScaleFromEnv();
   return scale == 1.0 ? preset : ScalePreset(preset, scale);
 }
+
+/// Storage backend for a bench run, chosen by `--backend=sim|file` on the
+/// command line or the DSKS_BENCH_BACKEND env var (the flag wins). The
+/// file backend writes to a fresh temp file removed on destruction, so a
+/// bench run leaves nothing behind. Every JSON record a bench emits must
+/// carry the backend name — numbers from the two backends are different
+/// experiments and must never be compared silently (see perf_gate.py).
+class BenchBackend {
+ public:
+  BenchBackend(int argc, char** argv) {
+    std::string name;
+    if (const char* env = std::getenv("DSKS_BENCH_BACKEND")) {
+      name = env;
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+        name = argv[i] + 10;
+      }
+    }
+    if (name == "file") {
+      options_.backend = DiskBackendKind::kFile;
+      options_.path =
+          "/tmp/dsks_bench_" + std::to_string(::getpid()) + ".pages";
+      owns_files_ = true;
+    } else if (!name.empty() && name != "sim") {
+      std::fprintf(stderr, "--backend: want 'sim' or 'file', got '%s'\n",
+                   name.c_str());
+      std::exit(2);
+    }
+  }
+  ~BenchBackend() {
+    if (owns_files_) {
+      std::remove(options_.path.c_str());
+      std::remove((options_.path + ".crc").c_str());
+    }
+  }
+
+  BenchBackend(const BenchBackend&) = delete;
+  BenchBackend& operator=(const BenchBackend&) = delete;
+
+  const DiskOptions& options() const { return options_; }
+  const char* name() const { return DiskBackendKindName(options_.backend); }
+
+ private:
+  DiskOptions options_;
+  bool owns_files_ = false;
+};
 
 /// Writes accumulated JSON object strings as one JSON array file. The bench
 /// binaries drop these next to wherever they are run from — tools/check.sh

@@ -58,6 +58,10 @@ std::vector<std::string>& JsonRecords() {
   return records;
 }
 
+/// Set once in main from BenchBackend; stamped into every JSON record so
+/// sim and file numbers can never be compared silently.
+const char* g_backend_name = "sim";
+
 void EmitJson(const char* workload, const ThroughputMetrics& m,
               double speedup) {
   // hist_* come from the merged per-worker histograms (bucketed, so upper
@@ -65,12 +69,14 @@ void EmitJson(const char* workload, const ThroughputMetrics& m,
   char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
+      "{\"bench\":\"throughput\",\"backend\":\"%s\",\"workload\":\"%s\","
+      "\"threads\":%zu,"
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
       "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f,"
       "\"errors\":%llu,\"error_rate\":%.6f,"
       "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f}",
-      workload, m.num_threads, m.queries, m.wall_millis, m.qps, m.avg_millis,
+      g_backend_name, workload, m.num_threads, m.queries, m.wall_millis, m.qps,
+      m.avg_millis,
       m.p50_millis, m.p95_millis, m.p99_millis, speedup,
       static_cast<unsigned long long>(m.errors), m.error_rate,
       static_cast<unsigned long long>(m.histogram.count),
@@ -107,9 +113,9 @@ void EmitPhaseProfile(const char* workload, Database* db, const Workload& wl,
   std::string buf;
   char item[256];
   std::snprintf(item, sizeof(item),
-                "{\"bench\":\"throughput\",\"workload\":\"%s\","
-                "\"queries\":%zu,\"phase_profile\":{",
-                workload, n);
+                "{\"bench\":\"throughput\",\"backend\":\"%s\","
+                "\"workload\":\"%s\",\"queries\":%zu,\"phase_profile\":{",
+                g_backend_name, workload, n);
   buf += item;
   bool first = true;
   for (size_t p = 0; p < obs::kNumPhases; ++p) {
@@ -165,16 +171,19 @@ void RunSeries(const char* workload, Database* db, const Workload& wl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Concurrent query throughput vs thread count",
               "no paper figure — production-scaling experiment");
+  BenchBackend backend(argc, argv);
+  g_backend_name = backend.name();
+  std::printf("storage backend: %s\n", g_backend_name);
   const size_t num_queries = QueriesFromEnv(200);
   const std::vector<size_t> thread_counts = ThreadCountsFromEnv();
   // Every thread count processes the same total batch, so wall time (and
   // qps) are directly comparable across rows.
   const size_t repeat = 4;
 
-  Database db(Scaled(PresetNA()));
+  Database db(Scaled(PresetNA()), backend.options());
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);

@@ -158,7 +158,7 @@ BPlusTree BPlusTree::BulkLoad(
     guard.MarkDirty();
     guard.Release();
     if (prev_leaf != kInvalidPageId) {
-      PageGuard prev(pool, prev_leaf);
+      PageGuard prev = FetchForBuild(pool, prev_leaf);
       SetNext(prev.data(), id);
       prev.MarkDirty();
     }
@@ -194,7 +194,7 @@ BPlusTree BPlusTree::BulkLoad(
 std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
                                                                  Key key,
                                                                  Value value) {
-  PageGuard guard(pool_, node);
+  PageGuard guard = FetchForBuild(pool_, node);
   char* p = guard.data();
 
   if (IsLeaf(p)) {
@@ -252,7 +252,7 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
     return std::nullopt;
   }
 
-  PageGuard again(pool_, node);
+  PageGuard again = FetchForBuild(pool_, node);
   p = again.data();
   const size_t n = Count(p);
   if (n < kInternalCapacity) {
@@ -389,7 +389,7 @@ uint64_t BPlusTree::CountEntries() const {
 }
 
 uint64_t BPlusTree::CountPagesRecursive(PageId node) const {
-  PageGuard guard(pool_, node);
+  PageGuard guard = FetchForBuild(pool_, node);
   const char* p = guard.data();
   if (IsLeaf(p)) {
     return 1;

@@ -39,13 +39,15 @@ constexpr size_t kBuildPoolFrames = 64 * 1024;  // 256 MiB of frames
 
 }  // namespace
 
-Database::Database(const DatasetConfig& config) : config_(config) {
+Database::Database(const DatasetConfig& config, const DiskOptions& storage)
+    : config_(config), disk_(storage) {
   network_ = GenerateRoadNetwork(config.network);
   objects_ = GenerateObjects(*network_, config.objects);
   term_stats_ = std::make_unique<TermStats>(*objects_, config.objects.vocab_size);
   pool_ = std::make_unique<BufferPool>(&disk_, kBuildPoolFrames);
   ccam_file_ = CcamFileBuilder::Build(*network_, &disk_);
   ccam_graph_ = std::make_unique<CcamGraph>(&ccam_file_, pool_.get());
+  index_base_pages_ = disk_.num_pages();
 }
 
 Database::IndexBuildInfo Database::BuildIndex(const IndexOptions& options) {
@@ -53,6 +55,19 @@ Database::IndexBuildInfo Database::BuildIndex(const IndexOptions& options) {
   const size_t min_postings = options.signature_min_postings == 0
                                   ? PostingFile::EntriesPerPage()
                                   : options.signature_min_postings;
+  if (index_ != nullptr) {
+    // Reclaim the superseded index's extent: drop the index (its pages
+    // may still be pinned through pool frames only until the unique_ptr
+    // goes), write back / drop every cached frame, then truncate the disk
+    // to the post-CCAM watermark so the rebuild reuses the same page
+    // range. Without this, every rebuild leaked its predecessor's pages.
+    index_.reset();
+    const Status clear_status = pool_->Clear();
+    DSKS_CHECK_MSG(clear_status.ok(), "index rebuild on a faulty disk");
+    const Status trunc_status = disk_.TruncatePages(index_base_pages_);
+    DSKS_CHECK_MSG(trunc_status.ok(), "index rebuild on a faulty disk");
+    index_pages_ = 0;
+  }
   Timer timer;
   switch (options.kind) {
     case IndexKind::kIR:
@@ -87,22 +102,32 @@ Database::IndexBuildInfo Database::BuildIndex(const IndexOptions& options) {
   IndexBuildInfo info;
   info.build_millis = timer.ElapsedMillis();
   info.size_bytes = index_->SizeBytes();
+  index_pages_ = disk_.num_pages() - index_base_pages_;
   return info;
+}
+
+Status Database::FlushStorage() {
+  DSKS_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_.Flush();
 }
 
 void Database::PrepareForQueries(double fraction, size_t min_frames) {
   DSKS_CHECK_MSG(index_ != nullptr, "build an index first");
   const Status flush_status = pool_->FlushAll();
   DSKS_CHECK_MSG(flush_status.ok(), "PrepareForQueries on a faulty disk");
-  // Budget relative to the *live* dataset (CCAM + current index) rather
-  // than the raw disk, which may hold pages of superseded indexes when
-  // BuildIndex was called more than once.
+  // Budget relative to the live dataset (CCAM + current index). Since
+  // rebuilds truncate the superseded extent this normally equals the raw
+  // disk, but the live sum stays correct even if a leak regresses.
   const double live_pages = static_cast<double>(
       (ccam_file_.size_bytes() + index_->SizeBytes()) / kPageSize);
   const auto frames = static_cast<size_t>(
       std::max(static_cast<double>(min_frames), fraction * live_pages));
   const Status clear_status = pool_->Clear();
   DSKS_CHECK_MSG(clear_status.ok(), "PrepareForQueries on a faulty disk");
+  // Persist the built image (sidecar + fsync on the file backend) so the
+  // measured phase starts from a durable, reopenable index.
+  const Status disk_flush = disk_.Flush();
+  DSKS_CHECK_MSG(disk_flush.ok(), "PrepareForQueries on a faulty disk");
   pool_->SetCapacity(frames);
   ResetCounters();
 }
@@ -121,6 +146,14 @@ void Database::BindMetrics(obs::MetricsRegistry* registry,
                            const std::string& prefix) const {
   pool_->BindMetrics(registry, prefix + ".pool");
   disk_.BindMetrics(registry, prefix + ".disk");
+  // Pages neither in the CCAM extent nor the current index: 0 unless the
+  // rebuild-reclaim path regresses, in which case this gauge is how the
+  // leak becomes visible.
+  registry->BindSource(prefix + ".disk.leaked_pages", [this] {
+    const size_t live = index_base_pages_ + index_pages_;
+    const size_t total = disk_.num_pages();
+    return static_cast<uint64_t>(total > live ? total - live : 0);
+  });
 }
 
 void Database::UnbindMetrics(obs::MetricsRegistry* registry,

@@ -48,8 +48,11 @@ class Database {
  public:
   /// Generates the dataset and writes the CCAM file. The buffer pool
   /// starts large (for index construction); PrepareForQueries() shrinks it
-  /// to the paper's 2% before measurements.
-  explicit Database(const DatasetConfig& config);
+  /// to the paper's 2% before measurements. `storage` selects the disk
+  /// backend: the in-memory simulation (default) or a real index file
+  /// (DiskBackendKind::kFile with a path).
+  explicit Database(const DatasetConfig& config,
+                    const DiskOptions& storage = DiskOptions{});
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -60,8 +63,18 @@ class Database {
   };
 
   /// Builds (or replaces) the object index. May be called multiple times;
-  /// superseded index pages stay on the simulated disk but are untouched.
+  /// a rebuild truncates the disk back to the post-CCAM watermark first,
+  /// so superseded index pages are reclaimed instead of leaking (on the
+  /// file backend this is the difference between a stable and an
+  /// ever-growing index file). The "db.disk.leaked_pages" gauge reports
+  /// any pages that still escape this accounting.
   IndexBuildInfo BuildIndex(const IndexOptions& options);
+
+  /// Makes the current on-disk image durable: writes back every dirty
+  /// buffer-pool frame, then flushes the disk backend (checksum sidecar +
+  /// fsync on the file backend). Required before reopening an index file
+  /// with DiskManager::OpenExisting.
+  Status FlushStorage();
 
   /// Flushes everything and shrinks the buffer pool to
   /// max(min_frames, fraction · disk pages), then clears all statistics.
@@ -151,6 +164,11 @@ class Database {
   CcamFile ccam_file_;
   std::unique_ptr<CcamGraph> ccam_graph_;
   std::unique_ptr<ObjectIndex> index_;
+  /// Disk watermark right after the CCAM build: rebuilds truncate back to
+  /// here, and pages beyond `index_base_pages_ + index_pages_` are leaks.
+  size_t index_base_pages_ = 0;
+  /// Pages allocated by the most recent BuildIndex.
+  size_t index_pages_ = 0;
 };
 
 }  // namespace dsks

@@ -84,13 +84,13 @@ PostingFile::Locator PostingFile::AppendRun(std::span<const Entry> entries) {
   const PageId start_page = current_page_;
   const uint32_t start_slot = current_slot_;
 
-  PageGuard guard(pool_, current_page_);
+  PageGuard guard = FetchForBuild(pool_, current_page_);
   for (const Entry& e : entries) {
     if (current_slot_ >= kEntriesPerPage) {
       guard.Release();
       ++current_page_;  // pre-allocated above
       current_slot_ = 0;
-      guard = PageGuard(pool_, current_page_);
+      guard = FetchForBuild(pool_, current_page_);
     }
     WriteEntry(guard.data(), current_slot_, e);
     guard.MarkDirty();

@@ -185,7 +185,7 @@ std::optional<RTree::SplitResult> RTree::InsertRecursive(PageId node,
                                                          int level,
                                                          const Entry& entry,
                                                          Mbr* node_mbr) {
-  PageGuard guard(pool_, node);
+  PageGuard guard = FetchForBuild(pool_, node);
   char* p = guard.data();
   const size_t n = Count(p);
   const bool leaf = IsLeaf(p);
@@ -217,7 +217,7 @@ std::optional<RTree::SplitResult> RTree::InsertRecursive(PageId node,
     auto split = InsertRecursive(static_cast<PageId>(child_payload),
                                  level - 1, entry, &new_child_mbr);
 
-    PageGuard again(pool_, node);
+    PageGuard again = FetchForBuild(pool_, node);
     p = again.data();
     WriteEntry(p, best, new_child_mbr, child_payload);
     again.MarkDirty();
@@ -440,7 +440,7 @@ Status RTree::Nearest(const Point& p, Entry* out, bool* found) const {
 }
 
 uint64_t RTree::CountPagesRecursive(PageId node, int level) const {
-  PageGuard guard(pool_, node);
+  PageGuard guard = FetchForBuild(pool_, node);
   const char* p = guard.data();
   if (IsLeaf(p)) {
     return 1;

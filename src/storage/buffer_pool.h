@@ -113,15 +113,6 @@ class BufferPool {
   /// NOT pinned and `*out` is untouched, so there is nothing to unpin.
   Status FetchPage(PageId id, char** out);
 
-  /// FetchPage for callers that run fault-free by contract (build/ingest
-  /// phases, tests): CHECK-fails on a disk error instead of returning it.
-  char* FetchPageOrDie(PageId id) {
-    char* data = nullptr;
-    const Status s = FetchPage(id, &data);
-    DSKS_CHECK_MSG(s.ok(), "FetchPageOrDie on a faulty disk");
-    return data;
-  }
-
   /// Allocates a fresh page on disk and returns it pinned; `*id` receives
   /// the new page id.
   char* NewPage(PageId* id);
@@ -223,12 +214,6 @@ class PageGuard {
  public:
   PageGuard() : pool_(nullptr), id_(kInvalidPageId), data_(nullptr) {}
 
-  /// Fetches (and pins) page `id`; CHECK-fails on a disk error. For
-  /// fault-free-by-contract paths (build/ingest); query read paths use
-  /// the fallible Fetch() factory instead.
-  PageGuard(BufferPool* pool, PageId id)
-      : pool_(pool), id_(id), data_(pool->FetchPageOrDie(id)), dirty_(false) {}
-
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;
 
@@ -301,6 +286,20 @@ class PageGuard {
   char* data_ = nullptr;
   bool dirty_ = false;
 };
+
+/// Pin for single-threaded build/ingest phases only, where the disk is
+/// fault-free by contract: fault injection is armed after PrepareForQueries
+/// and a build interleaved with faults has no partial state worth
+/// salvaging, so a disk error here is a setup failure and CHECK-aborts
+/// rather than threading a Status through every builder. This path cannot
+/// see query-time faults; query code uses PageGuard::Fetch and propagates
+/// the Status.
+inline PageGuard FetchForBuild(BufferPool* pool, PageId id) {
+  PageGuard guard;
+  const Status s = PageGuard::Fetch(pool, id, &guard);
+  DSKS_CHECK_MSG(s.ok(), "build-phase fetch on a faulty disk");
+  return guard;
+}
 
 }  // namespace dsks
 

@@ -1,45 +1,60 @@
 #include "storage/disk_manager.h"
 
-#include <chrono>
-#include <cstring>
-#include <thread>
+#include <utility>
 
 #include "common/crc32c.h"
 #include "common/macros.h"
 #include "obs/metrics.h"
+#include "storage/file_disk_backend.h"
 
 namespace dsks {
 
 namespace {
 
-void SpinForMicros(double us) {
-  const auto start = std::chrono::steady_clock::now();
-  const auto deadline = start + std::chrono::nanoseconds(
-                                    static_cast<int64_t>(us * 1000.0));
-  while (std::chrono::steady_clock::now() < deadline) {
-    // busy wait: simulated device latency
+std::unique_ptr<DiskBackend> MakeBackend(const DiskOptions& options) {
+  switch (options.backend) {
+    case DiskBackendKind::kSim:
+      return std::make_unique<SimDiskBackend>();
+    case DiskBackendKind::kFile: {
+      std::unique_ptr<FileDiskBackend> backend;
+      const Status s = FileDiskBackend::Create(options, &backend);
+      DSKS_CHECK_MSG(s.ok(), "failed to create file-backed disk");
+      return backend;
+    }
   }
-}
-
-uint32_t ZeroPageCrc() {
-  static const uint32_t kCrc = [] {
-    std::vector<char> zeros(kPageSize, 0);
-    return crc32c::Value(zeros.data(), zeros.size());
-  }();
-  return kCrc;
+  DSKS_CHECK_MSG(false, "unknown disk backend kind");
+  return nullptr;
 }
 
 }  // namespace
 
+DiskManager::DiskManager(const DiskOptions& options)
+    : DiskManager(MakeBackend(options), options.backend) {}
+
+DiskManager::DiskManager(std::unique_ptr<DiskBackend> backend,
+                         DiskBackendKind kind)
+    : backend_(std::move(backend)), backend_kind_(kind) {
+  if (kind == DiskBackendKind::kSim) {
+    sim_ = static_cast<SimDiskBackend*>(backend_.get());
+  }
+}
+
+Status DiskManager::OpenExisting(const DiskOptions& options,
+                                 std::unique_ptr<DiskManager>* out) {
+  if (options.backend != DiskBackendKind::kFile) {
+    return Status::InvalidArgument(
+        "OpenExisting requires the file backend (sim state is not durable)");
+  }
+  std::unique_ptr<FileDiskBackend> backend;
+  DSKS_RETURN_IF_ERROR(FileDiskBackend::Open(options, &backend));
+  out->reset(new DiskManager(std::move(backend), options.backend));
+  return Status::Ok();
+}
+
 PageId DiskManager::AllocatePage() {
-  auto page = std::make_unique<char[]>(kPageSize);
-  std::memset(page.get(), 0, kPageSize);
-  const uint32_t zero_crc = ZeroPageCrc();
-  std::lock_guard<std::mutex> lock(mutex_);
-  pages_.push_back(std::move(page));
-  checksums_.push_back(zero_crc);
+  const PageId id = backend_->AllocatePage();
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
-  return static_cast<PageId>(pages_.size() - 1);
+  return id;
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
@@ -49,25 +64,17 @@ Status DiskManager::ReadPage(PageId id, char* out) {
     return Status::IOError("injected read fault on page " +
                            std::to_string(id));
   }
-  const char* src;
-  uint32_t expected_crc;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    DSKS_CHECK_MSG(id < pages_.size(), "read of unallocated page");
-    src = pages_[id].get();
-    expected_crc = checksums_[id];
-  }
-  // Wait and copy outside the mutex so concurrent reads overlap.
-  const double delay = read_delay_us_.load(std::memory_order_relaxed);
-  if (delay > 0.0) {
-    if (read_delay_yields_.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::micro>(delay));
+  uint32_t expected_crc = 0;
+  Status s = backend_->ReadPage(id, out, &expected_crc);
+  if (!s.ok()) {
+    // Real device failures get the same accounting as injected ones.
+    if (s.IsCorruption()) {
+      stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
     } else {
-      SpinForMicros(delay);
+      stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
     }
+    return s;
   }
-  std::memcpy(out, src, kPageSize);
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   if (armed) {
     uint32_t bit_index = 0;
@@ -75,9 +82,9 @@ Status DiskManager::ReadPage(PageId id, char* out) {
       out[bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
     }
   }
-  // Verify the bytes actually handed to the caller — freshly written, so
-  // cache-hot for the checksum pass — catching both at-rest corruption
-  // (CorruptStoredPage) and in-flight bit flips.
+  // Verify the bytes actually handed to the caller — freshly copied, so
+  // cache-hot for the checksum pass — catching at-rest corruption
+  // (CorruptStoredPage, torn files) and in-flight bit flips alike.
   if (crc32c::Value(out, kPageSize) != expected_crc) {
     stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
     return Status::Corruption("checksum mismatch on page " +
@@ -93,23 +100,23 @@ Status DiskManager::WritePage(PageId id, const char* in) {
                            std::to_string(id));
   }
   const uint32_t crc = crc32c::Value(in, kPageSize);
-  char* dst;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    DSKS_CHECK_MSG(id < pages_.size(), "write of unallocated page");
-    dst = pages_[id].get();
-    checksums_[id] = crc;
+  Status s = backend_->WritePage(id, in, crc);
+  if (!s.ok()) {
+    stats_.write_faults.fetch_add(1, std::memory_order_relaxed);
+    return s;
   }
-  std::memcpy(dst, in, kPageSize);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
+Status DiskManager::TruncatePages(size_t new_num_pages) {
+  return backend_->TruncatePages(new_num_pages);
+}
+
+Status DiskManager::Flush() { return backend_->Flush(); }
+
 void DiskManager::CorruptStoredPage(PageId id, uint32_t bit_index) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  DSKS_CHECK_MSG(id < pages_.size(), "corrupt of unallocated page");
-  DSKS_CHECK_MSG(bit_index < kPageSize * 8, "bit index out of page");
-  pages_[id][bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
+  backend_->CorruptStoredPage(id, bit_index);
 }
 
 void DiskManager::BindMetrics(obs::MetricsRegistry* registry,

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
 #include "common/status.h"
+#include "storage/disk_backend.h"
 #include "storage/fault_injector.h"
 #include "storage/page.h"
+#include "storage/sim_disk_backend.h"
 
 namespace dsks {
 
@@ -29,11 +29,12 @@ struct DiskStatsSnapshot {
   uint64_t corruptions_detected = 0;
 };
 
-/// Physical I/O counters for a simulated disk. `reads` is the number the
-/// paper's figures call "# of I/O accesses": every buffer-pool miss costs
-/// exactly one read here. `read_faults`/`write_faults` count injected I/O
-/// failures surfaced as Status::IOError; `corruptions_detected` counts
-/// checksum mismatches surfaced as Status::Corruption.
+/// Physical I/O counters for a disk. `reads` is the number the paper's
+/// figures call "# of I/O accesses": every buffer-pool miss costs exactly
+/// one read here. `read_faults`/`write_faults` count I/O failures
+/// (injected or real errno) surfaced as Status::IOError;
+/// `corruptions_detected` counts checksum mismatches and short reads
+/// surfaced as Status::Corruption.
 ///
 /// Counters are relaxed atomics so concurrent readers can account I/O
 /// without a lock; the struct is not copyable — take Snapshot() for a
@@ -68,35 +69,46 @@ struct DiskStats {
   }
 };
 
-/// In-memory simulation of a disk: a flat, growable array of 4 KiB pages
-/// addressed by PageId. All index structures (CCAM file, B+trees, R-trees,
-/// posting pages) allocate from a DiskManager so that their sizes and I/O
-/// traffic are measured in the same unit the paper reports (pages).
+/// A disk of 4 KiB pages addressed by PageId. All index structures (CCAM
+/// file, B+trees, R-trees, posting pages) allocate from a DiskManager so
+/// that their sizes and I/O traffic are measured in the same unit the
+/// paper reports (pages).
 ///
-/// The simulation deliberately stores page images out-of-line (one heap
-/// block per page) so that a buffer-pool miss performs a real 4 KiB copy,
-/// keeping measured query times sensitive to I/O volume.
+/// The storage medium is a pluggable DiskBackend: the default in-memory
+/// simulation (deterministic, filesystem-free), or a real index file
+/// accessed with pread/pwrite (see FileDiskBackend). Policy is identical
+/// for both and lives here in the front end:
 ///
 /// Integrity and failures: every WritePage records a CRC32C of the page
 /// out-of-line (so the 4 KiB image and all on-page layouts are unchanged);
 /// every ReadPage verifies the copy it returns against that checksum and
 /// reports a mismatch as Status::Corruption. The embedded FaultInjector
 /// can make reads/writes fail with Status::IOError or silently flip a bit
-/// in a read's output (which the checksum then catches); with the injector
-/// disarmed the only extra cost per op is one relaxed load plus the CRC of
-/// the page (reads are already buffer-pool misses, so this is off the hit
-/// path entirely).
+/// in a read's output (which the checksum then catches) — on *either*
+/// backend, so `dsks_cli chaos` drills real files too. Real errno failures
+/// from the file backend map onto the same contract: pread/pwrite errors
+/// (EIO, ...) → IOError, a short read of an allocated page → Corruption.
 ///
 /// Thread safety: AllocatePage/ReadPage/WritePage may be called from many
-/// threads. The page directory is guarded by a mutex; the 4 KiB copy (and
-/// the simulated latency spin) happens outside it, so reads of distinct
-/// pages proceed in parallel. Concurrent accesses to the *same* page are
-/// safe only if at most one of them writes — which the buffer pool
-/// guarantees, since a page resident in the pool is never read from disk
-/// and a page being written back has just left the pool under its latch.
+/// threads. Concurrent accesses to the *same* page are safe only if at
+/// most one of them writes — which the buffer pool guarantees, since a
+/// page resident in the pool is never read from disk and a page being
+/// written back has just left the pool under its latch.
 class DiskManager {
  public:
-  DiskManager() = default;
+  /// The default: a fresh simulated disk.
+  DiskManager() : DiskManager(DiskOptions{}) {}
+
+  /// Opens a fresh disk on the requested backend. Creation failure (bad
+  /// path for the file backend) is a setup error and aborts; use
+  /// OpenExisting to reopen a previously flushed file without aborting.
+  explicit DiskManager(const DiskOptions& options);
+
+  /// Reopens an index file pair persisted by a prior Flush() (file
+  /// backend only). Malformed or missing files come back as a Status, not
+  /// an abort: reopening untrusted on-disk state is a runtime failure.
+  static Status OpenExisting(const DiskOptions& options,
+                             std::unique_ptr<DiskManager>* out);
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -105,22 +117,36 @@ class DiskManager {
   PageId AllocatePage();
 
   /// Copies page `id` into `out` (exactly kPageSize bytes). Returns
-  /// IOError on an injected read fault (out is untouched) or Corruption
-  /// when the copy fails checksum verification (out holds the bad bytes).
+  /// IOError on a read fault — injected or a real pread failure (out is
+  /// unspecified) — or Corruption when the copy fails checksum
+  /// verification or the backing file ends mid-page.
   Status ReadPage(PageId id, char* out);
 
   /// Copies `in` (exactly kPageSize bytes) into page `id` and records its
-  /// checksum. Returns IOError on an injected write fault; the stored page
-  /// and checksum are untouched in that case.
+  /// checksum. Returns IOError on a write fault (injected or real errno);
+  /// the recorded checksum is untouched in that case, so a torn physical
+  /// write is caught on the next cold read.
   Status WritePage(PageId id, const char* in);
 
-  /// Number of pages ever allocated; `size * kPageSize` is the disk size.
-  size_t num_pages() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return pages_.size();
+  /// Drops every page with id >= new_num_pages, shrinking the disk (and,
+  /// on the file backend, the index file). The caller must guarantee no
+  /// live references to the dropped range — Database drops its buffer
+  /// pool's frames first.
+  Status TruncatePages(size_t new_num_pages);
+
+  /// Makes all pages durable: the file backend persists the checksum
+  /// sidecar (with the allocation watermark) and fsyncs; sim is a no-op.
+  Status Flush();
+
+  DiskBackendKind backend_kind() const { return backend_kind_; }
+  const char* backend_name() const {
+    return DiskBackendKindName(backend_kind_);
   }
 
-  /// Total bytes occupied on the simulated disk.
+  /// Number of pages ever allocated; `size * kPageSize` is the disk size.
+  size_t num_pages() const { return backend_->num_pages(); }
+
+  /// Total bytes occupied on the disk.
   uint64_t size_bytes() const {
     return static_cast<uint64_t>(num_pages()) * kPageSize;
   }
@@ -150,12 +176,14 @@ class DiskManager {
   /// Simulated read latency in microseconds, applied by every ReadPage.
   /// 0 by default; the experiment harness enables it during measured
   /// workloads so that response times reflect I/O volume the way the
-  /// paper's disk-resident setup does.
+  /// paper's disk-resident setup does. Sim backend only: the file backend
+  /// has real device latency, so these are documented no-ops there (reads
+  /// as 0 / false).
   void set_read_delay_us(double us) {
-    read_delay_us_.store(us, std::memory_order_relaxed);
+    if (sim_ != nullptr) sim_->set_read_delay_us(us);
   }
   double read_delay_us() const {
-    return read_delay_us_.load(std::memory_order_relaxed);
+    return sim_ != nullptr ? sim_->read_delay_us() : 0.0;
   }
 
   /// How the simulated latency passes. Spin (default) busy-waits, giving
@@ -163,29 +191,25 @@ class DiskManager {
   /// sequential paper experiments. Sleep blocks the calling thread and
   /// frees the core, modelling what a real blocking disk read does; the
   /// concurrent query harness uses it so in-flight "I/O" overlaps instead
-  /// of contending for CPU.
+  /// of contending for CPU. Sim backend only (no-op on file).
   void set_read_delay_yields(bool yields) {
-    read_delay_yields_.store(yields, std::memory_order_relaxed);
+    if (sim_ != nullptr) sim_->set_read_delay_yields(yields);
   }
   bool read_delay_yields() const {
-    return read_delay_yields_.load(std::memory_order_relaxed);
+    return sim_ != nullptr && sim_->read_delay_yields();
   }
 
  private:
-  mutable std::mutex mutex_;
-  /// The unique_ptr array may reallocate on growth, but the page blocks
-  /// themselves are stable, so a pointer resolved under the mutex stays
-  /// valid for the out-of-lock copy (pages are never freed).
-  std::vector<std::unique_ptr<char[]>> pages_;
-  /// CRC32C of each page image, kept out-of-line so page layout (and thus
-  /// every on-disk structure) is unchanged by checksumming. Guarded by
-  /// mutex_; coherent with the page because concurrent same-page
-  /// read/write is excluded by the buffer-pool contract above.
-  std::vector<uint32_t> checksums_;
+  explicit DiskManager(std::unique_ptr<DiskBackend> backend,
+                       DiskBackendKind kind);
+
+  std::unique_ptr<DiskBackend> backend_;
+  DiskBackendKind backend_kind_;
+  /// Downcast view of backend_ when it is the simulation; null for the
+  /// file backend. Only the delay knobs go through it.
+  SimDiskBackend* sim_ = nullptr;
   DiskStats stats_;
   FaultInjector fault_injector_;
-  std::atomic<double> read_delay_us_{0.0};
-  std::atomic<bool> read_delay_yields_{false};
 };
 
 }  // namespace dsks

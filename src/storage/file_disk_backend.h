@@ -1,0 +1,92 @@
+#ifndef DSKS_STORAGE_FILE_DISK_BACKEND_H_
+#define DSKS_STORAGE_FILE_DISK_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/disk_backend.h"
+
+namespace dsks {
+
+/// Pages in one real file, accessed with pread/pwrite at page-id ×
+/// kPageSize offsets. Checksums are persisted in a `<path>.crc` sidecar:
+/// a fixed header carrying the page-allocation watermark followed by one
+/// CRC32C per page. Flush() rewrites the sidecar, trims the data file to
+/// the watermark, and fsyncs both — an index is durable (and reopenable
+/// with OpenExisting) only after a Flush; the destructor deliberately
+/// closes without flushing so a crash between write and flush leaves the
+/// stale sidecar that checksum verification then catches.
+///
+/// O_DIRECT is best effort: if open(2) rejects the flag (tmpfs), the
+/// backend silently falls back to buffered I/O. When active, transfers go
+/// through a per-thread page-aligned bounce buffer so callers keep using
+/// ordinary heap frames.
+///
+/// errno mapping (the PR-4 contract): pread/pwrite failure → IOError;
+/// a short read inside the allocated range (torn/truncated file) →
+/// Corruption. Reads of pages past the physical end but inside the
+/// watermark return zeros, matching ZeroPageCrc for never-written pages.
+///
+/// Thread safety: the checksum array and watermark are mutex-guarded;
+/// pread/pwrite themselves are atomic at the syscall level and the buffer
+/// pool never issues concurrent same-page read/write, so file I/O runs
+/// outside the mutex.
+class FileDiskBackend : public DiskBackend {
+ public:
+  /// Creates (truncates) `options.path` and its sidecar. Any error is
+  /// returned, not thrown; `*out` is set only on Ok.
+  static Status Create(const DiskOptions& options,
+                       std::unique_ptr<FileDiskBackend>* out);
+
+  /// Opens an existing index file pair written by a prior Flush(). Fails
+  /// with Corruption when the sidecar is missing, malformed, or its
+  /// watermark disagrees with a plausible data-file size.
+  static Status Open(const DiskOptions& options,
+                     std::unique_ptr<FileDiskBackend>* out);
+
+  ~FileDiskBackend() override;
+
+  FileDiskBackend(const FileDiskBackend&) = delete;
+  FileDiskBackend& operator=(const FileDiskBackend&) = delete;
+
+  PageId AllocatePage() override;
+  Status ReadPage(PageId id, char* out, uint32_t* expected_crc) override;
+  Status WritePage(PageId id, const char* in, uint32_t crc) override;
+  Status TruncatePages(size_t new_num_pages) override;
+  Status Flush() override;
+  void CorruptStoredPage(PageId id, uint32_t bit_index) override;
+  size_t num_pages() const override;
+
+  const std::string& path() const { return path_; }
+  /// Whether O_DIRECT actually took (false after the tmpfs fallback).
+  bool o_direct_active() const { return o_direct_; }
+
+ private:
+  FileDiskBackend(std::string path, int data_fd, int crc_fd, bool o_direct);
+
+  /// Raw positioned I/O with EINTR/partial-transfer loops. Short reads
+  /// inside [0, physical size) become Corruption; reads past the physical
+  /// end zero-fill (unwritten allocated pages).
+  Status PreadPage(PageId id, char* out);
+  Status PwritePage(PageId id, const char* in);
+
+  const std::string path_;
+  const std::string crc_path_;
+  int data_fd_;
+  int crc_fd_;
+  bool o_direct_;
+
+  mutable std::mutex mutex_;
+  /// In-memory copy of the sidecar CRCs; persisted wholesale by Flush().
+  std::vector<uint32_t> checksums_;
+  /// Pages the data file is physically sized for; grown in chunks so
+  /// AllocatePage is O(1) amortised (ftruncate'd zeros read back as the
+  /// zero page, matching the checksum recorded at allocation).
+  size_t physical_pages_ = 0;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_STORAGE_FILE_DISK_BACKEND_H_

@@ -12,6 +12,7 @@
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage_test_util.h"
 
 namespace dsks {
 namespace {
@@ -38,13 +39,13 @@ void ExpectPattern(PageId id, const char* data) {
 // constantly. Writers only touch pages they created themselves (the pool
 // latches its metadata, not page contents — see the header).
 TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   constexpr size_t kSeedPages = 64;
   constexpr size_t kThreads = 8;
   constexpr size_t kIters = 2000;
 
   std::vector<PageId> seeded(kSeedPages);
-  BufferPool pool(&disk, 8);
+  BufferPool pool(disk.get(), 8);
   for (size_t i = 0; i < kSeedPages; ++i) {
     char* data = pool.NewPage(&seeded[i]);
     FillPattern(seeded[i], data);
@@ -65,7 +66,7 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
         if (dice < 8) {
           // Read-only fetch of a shared seeded page; verify its pattern.
           const PageId id = seeded[rng.Uniform(kSeedPages)];
-          const char* data = pool.FetchPageOrDie(id);
+          const char* data = dsks::testing::MustFetch(&pool, id);
           ExpectPattern(id, data);
           pool.UnpinPage(id, false);
           verified.fetch_add(1, std::memory_order_relaxed);
@@ -80,7 +81,7 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
           // Re-fetch one of our own pages and verify it round-tripped
           // through eviction/write-back.
           const PageId id = mine[rng.Uniform(mine.size())];
-          const char* data = pool.FetchPageOrDie(id);
+          const char* data = dsks::testing::MustFetch(&pool, id);
           ExpectPattern(id, data);
           pool.UnpinPage(id, false);
           verified.fetch_add(1, std::memory_order_relaxed);
@@ -96,14 +97,14 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
 
   // Stats are relaxed counters but must still balance: every miss did
   // exactly one disk read (checked before the verification reads below).
-  EXPECT_EQ(pool.stats().misses.load(), disk.stats().reads.load());
+  EXPECT_EQ(pool.stats().misses.load(), disk->stats().reads.load());
 
   // Every page — seeded or thread-created — must carry its pattern after a
   // final flush, proving no write-back was lost under concurrency.
   pool.FlushAll();
   char out[kPageSize];
-  for (PageId id = 0; id < disk.num_pages(); ++id) {
-    disk.ReadPage(id, out);
+  for (PageId id = 0; id < disk->num_pages(); ++id) {
+    disk->ReadPage(id, out);
     ExpectPattern(id, out);
   }
 }
@@ -112,19 +113,19 @@ TEST(BufferPoolConcurrencyTest, RandomFetchUnpinNewStress) {
 // fetch must succeed (overflow frames), and the pool must drain back to
 // its target once the pins are released.
 TEST(BufferPoolConcurrencyTest, ConcurrentPinOverflowDrains) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   constexpr size_t kThreads = 8;
   constexpr size_t kCapacity = 4;
   std::vector<PageId> pages(kThreads);
-  for (PageId& p : pages) p = disk.AllocatePage();
-  BufferPool pool(&disk, kCapacity);
+  for (PageId& p : pages) p = disk->AllocatePage();
+  BufferPool pool(disk.get(), kCapacity);
 
   std::atomic<size_t> pinned{0};
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&pool, &pages, &pinned, t] {
-      char* data = pool.FetchPageOrDie(pages[t]);
+      char* data = dsks::testing::MustFetch(&pool, pages[t]);
       ASSERT_NE(data, nullptr);
       pinned.fetch_add(1);
       // Hold the pin until every thread has one, forcing > capacity pins.
@@ -142,7 +143,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentPinOverflowDrains) {
   pool.FlushAll();
   char out[kPageSize];
   for (size_t t = 0; t < kThreads; ++t) {
-    disk.ReadPage(pages[t], out);
+    disk->ReadPage(pages[t], out);
     EXPECT_EQ(out[0], static_cast<char>(t));
   }
 }
@@ -151,18 +152,18 @@ TEST(BufferPoolConcurrencyTest, ConcurrentPinOverflowDrains) {
 // disk read (the others wait on the in-flight frame), and all observe the
 // same contents.
 TEST(BufferPoolConcurrencyTest, ConcurrentMissesOnSamePageReadOnce) {
-  DiskManager disk;
-  const PageId page = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId page = disk->AllocatePage();
   {
-    BufferPool seeder(&disk, 2);
-    char* data = seeder.FetchPageOrDie(page);
+    BufferPool seeder(disk.get(), 2);
+    char* data = dsks::testing::MustFetch(&seeder, page);
     FillPattern(page, data);
     seeder.UnpinPage(page, /*dirty=*/true);
     seeder.FlushAll();
   }
-  disk.mutable_stats()->Reset();
+  disk->mutable_stats()->Reset();
 
-  BufferPool pool(&disk, 4);
+  BufferPool pool(disk.get(), 4);
   constexpr size_t kThreads = 8;
   std::atomic<size_t> ready{0};
   std::vector<std::thread> threads;
@@ -173,7 +174,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentMissesOnSamePageReadOnce) {
       while (ready.load() < kThreads) {
         std::this_thread::yield();
       }
-      const char* data = pool.FetchPageOrDie(page);
+      const char* data = dsks::testing::MustFetch(&pool, page);
       ExpectPattern(page, data);
       pool.UnpinPage(page, false);
     });
@@ -182,7 +183,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentMissesOnSamePageReadOnce) {
     t.join();
   }
   // The page stayed resident throughout, so it was read exactly once.
-  EXPECT_EQ(disk.stats().reads.load(), 1u);
+  EXPECT_EQ(disk->stats().reads.load(), 1u);
   EXPECT_EQ(pool.stats().misses.load(), 1u);
   EXPECT_EQ(pool.stats().hits.load(), kThreads - 1);
 }

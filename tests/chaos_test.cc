@@ -13,6 +13,7 @@
 #include "datagen/workload.h"
 #include "gtest/gtest.h"
 #include "harness/database.h"
+#include "storage_test_util.h"
 #include "harness/query_executor.h"
 #include "obs/metrics.h"
 #include "storage/fault_injector.h"
@@ -35,7 +36,8 @@ Workload MakeWorkload(const Database& db, size_t n, uint64_t seed) {
 }
 
 TEST(ChaosTest, SurvivesSeededReadFaultsWithExactAccounting) {
-  Database db(TinyPreset());
+  testing::BackendDatabase bdb(TinyPreset());
+  Database& db = *bdb;
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -99,7 +101,8 @@ TEST(ChaosTest, SurvivesSeededReadFaultsWithExactAccounting) {
 }
 
 TEST(ChaosTest, TransientFaultIsAbsorbedByRetry) {
-  Database db(TinyPreset());
+  testing::BackendDatabase bdb(TinyPreset());
+  Database& db = *bdb;
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -126,7 +129,8 @@ TEST(ChaosTest, TransientFaultIsAbsorbedByRetry) {
 }
 
 TEST(ChaosTest, ColdReadOfFlippedBitReportsCorruption) {
-  Database db(TinyPreset());
+  testing::BackendDatabase bdb(TinyPreset());
+  Database& db = *bdb;
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -171,7 +175,8 @@ TEST(ChaosTest, FaultFreeResultsAreIdenticalBeforeAndAfterChaos) {
   // The fault machinery must be invisible when idle: the same query gives
   // byte-identical results before injection, and again after the injector
   // is disarmed (checksums healed by rewrites notwithstanding).
-  Database db(TinyPreset());
+  testing::BackendDatabase bdb(TinyPreset());
+  Database& db = *bdb;
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -217,12 +222,12 @@ class ValidationTest : public ::testing::Test {
   ValidationTest() : db_(TinyPreset()) {
     IndexOptions opts;
     opts.kind = IndexKind::kSIF;
-    db_.BuildIndex(opts);
-    db_.PrepareForQueries();
-    wl_ = MakeWorkload(db_, 1, 53);
+    db_->BuildIndex(opts);
+    db_->PrepareForQueries();
+    wl_ = MakeWorkload(*db_, 1, 53);
   }
 
-  Database db_;
+  testing::BackendDatabase db_;
   Workload wl_;
 };
 
@@ -231,7 +236,7 @@ TEST_F(ValidationTest, EmptyTermListIsInvalidArgument) {
   q.terms.clear();
   std::vector<SkResult> out;
   EXPECT_TRUE(
-      db_.RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
+      db_->RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
 }
 
 TEST_F(ValidationTest, NonPositiveOrNanDeltaIsInvalidArgument) {
@@ -239,33 +244,33 @@ TEST_F(ValidationTest, NonPositiveOrNanDeltaIsInvalidArgument) {
   std::vector<SkResult> out;
   q.delta_max = 0.0;
   EXPECT_TRUE(
-      db_.RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
+      db_->RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
   q.delta_max = -5.0;
   EXPECT_TRUE(
-      db_.RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
+      db_->RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
   q.delta_max = std::numeric_limits<double>::quiet_NaN();
   EXPECT_TRUE(
-      db_.RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
+      db_->RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
 }
 
 TEST_F(ValidationTest, OutOfRangeEdgeIsInvalidArgument) {
   SkQuery q = wl_.queries[0].sk;
-  q.loc.edge = static_cast<EdgeId>(db_.network().num_edges() + 100);
+  q.loc.edge = static_cast<EdgeId>(db_->network().num_edges() + 100);
   std::vector<SkResult> out;
   EXPECT_TRUE(
-      db_.RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
+      db_->RunSkQuery(q, wl_.queries[0].edge, &out).IsInvalidArgument());
 }
 
 TEST_F(ValidationTest, UnsortedDuplicateTermsAreCanonicalized) {
   const SkQuery& good = wl_.queries[0].sk;
   std::vector<SkResult> want;
-  ASSERT_TRUE(db_.RunSkQuery(good, wl_.queries[0].edge, &want).ok());
+  ASSERT_TRUE(db_->RunSkQuery(good, wl_.queries[0].edge, &want).ok());
 
   SkQuery messy = good;
   std::reverse(messy.terms.begin(), messy.terms.end());
   messy.terms.push_back(messy.terms.front());  // duplicate
   std::vector<SkResult> got;
-  ASSERT_TRUE(db_.RunSkQuery(messy, wl_.queries[0].edge, &got).ok());
+  ASSERT_TRUE(db_->RunSkQuery(messy, wl_.queries[0].edge, &got).ok());
   ASSERT_EQ(got.size(), want.size());
   for (size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].id, want[i].id);
@@ -278,20 +283,20 @@ TEST_F(ValidationTest, DivQueryValidatesKAndLambda) {
   dq.k = 0;
   dq.lambda = 0.8;
   DivSearchOutput out;
-  EXPECT_TRUE(db_.RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
+  EXPECT_TRUE(db_->RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
                   .IsInvalidArgument());
   dq.k = 4;
   dq.lambda = 1.5;
-  EXPECT_TRUE(db_.RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
+  EXPECT_TRUE(db_->RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
                   .IsInvalidArgument());
   dq.lambda = 0.8;
-  EXPECT_TRUE(db_.RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
+  EXPECT_TRUE(db_->RunDivQuery(dq, wl_.queries[0].edge, /*use_com=*/true, &out)
                   .ok());
 }
 
 TEST_F(ValidationTest, KnnAndRankedValidateTheirParameters) {
   std::vector<SkResult> knn;
-  EXPECT_TRUE(db_.RunKnnQuery(wl_.queries[0].sk, wl_.queries[0].edge,
+  EXPECT_TRUE(db_->RunKnnQuery(wl_.queries[0].sk, wl_.queries[0].edge,
                               /*k=*/0, &knn)
                   .IsInvalidArgument());
   RankedQuery rq;
@@ -299,7 +304,7 @@ TEST_F(ValidationTest, KnnAndRankedValidateTheirParameters) {
   rq.k = 5;
   rq.alpha = 2.0;
   std::vector<RankedResult> ranked;
-  EXPECT_TRUE(db_.RunRankedQuery(rq, wl_.queries[0].edge, &ranked)
+  EXPECT_TRUE(db_->RunRankedQuery(rq, wl_.queries[0].edge, &ranked)
                   .IsInvalidArgument());
 }
 

@@ -7,6 +7,7 @@
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage_test_util.h"
 #include "storage/fault_injector.h"
 #include "storage/page.h"
 
@@ -17,112 +18,112 @@ namespace {
 void FillPage(char* page, char tag) { std::memset(page, tag, kPageSize); }
 
 TEST(FaultInjectionTest, DisarmedDiskReadsAndWritesCleanly) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
   char buf[kPageSize];
   FillPage(buf, 'a');
-  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk->WritePage(p, buf).ok());
   char out[kPageSize];
-  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  ASSERT_TRUE(disk->ReadPage(p, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
-  EXPECT_FALSE(disk.fault_injector()->armed());
-  EXPECT_EQ(disk.stats().read_faults.load(), 0u);
-  EXPECT_EQ(disk.stats().corruptions_detected.load(), 0u);
+  EXPECT_FALSE(disk->fault_injector()->armed());
+  EXPECT_EQ(disk->stats().read_faults.load(), 0u);
+  EXPECT_EQ(disk->stats().corruptions_detected.load(), 0u);
 }
 
 TEST(FaultInjectionTest, OneShotReadFaultFiresExactlyOnce) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
   char buf[kPageSize];
   FillPage(buf, 'b');
-  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk->WritePage(p, buf).ok());
 
-  disk.fault_injector()->InjectReadFaultOnce();
-  EXPECT_TRUE(disk.fault_injector()->armed());
+  disk->fault_injector()->InjectReadFaultOnce();
+  EXPECT_TRUE(disk->fault_injector()->armed());
   char out[kPageSize];
-  EXPECT_TRUE(disk.ReadPage(p, out).IsIOError());
+  EXPECT_TRUE(disk->ReadPage(p, out).IsIOError());
   // The fault is consumed: the retry succeeds with intact data.
-  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  ASSERT_TRUE(disk->ReadPage(p, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
-  EXPECT_EQ(disk.stats().read_faults.load(), 1u);
-  EXPECT_EQ(disk.fault_injector()->stats().read_faults, 1u);
+  EXPECT_EQ(disk->stats().read_faults.load(), 1u);
+  EXPECT_EQ(disk->fault_injector()->stats().read_faults, 1u);
 }
 
 TEST(FaultInjectionTest, OneShotWriteFaultLeavesStoredPageIntact) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
   char original[kPageSize];
   FillPage(original, 'c');
-  ASSERT_TRUE(disk.WritePage(p, original).ok());
+  ASSERT_TRUE(disk->WritePage(p, original).ok());
 
-  disk.fault_injector()->InjectWriteFaultOnce();
+  disk->fault_injector()->InjectWriteFaultOnce();
   char update[kPageSize];
   FillPage(update, 'd');
-  EXPECT_TRUE(disk.WritePage(p, update).IsIOError());
+  EXPECT_TRUE(disk->WritePage(p, update).IsIOError());
   // The failed write must not have touched the page or its checksum.
   char out[kPageSize];
-  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  ASSERT_TRUE(disk->ReadPage(p, out).ok());
   EXPECT_EQ(std::memcmp(original, out, kPageSize), 0);
-  EXPECT_EQ(disk.stats().write_faults.load(), 1u);
+  EXPECT_EQ(disk->stats().write_faults.load(), 1u);
 }
 
 TEST(FaultInjectionTest, TargetedPageFaultsHitOnlyThatPage) {
-  DiskManager disk;
-  const PageId victim = disk.AllocatePage();
-  const PageId bystander = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId victim = disk->AllocatePage();
+  const PageId bystander = disk->AllocatePage();
   char buf[kPageSize];
   FillPage(buf, 'e');
-  ASSERT_TRUE(disk.WritePage(victim, buf).ok());
-  ASSERT_TRUE(disk.WritePage(bystander, buf).ok());
+  ASSERT_TRUE(disk->WritePage(victim, buf).ok());
+  ASSERT_TRUE(disk->WritePage(bystander, buf).ok());
 
-  disk.fault_injector()->FailPageReads(victim, 2);
+  disk->fault_injector()->FailPageReads(victim, 2);
   char out[kPageSize];
-  EXPECT_TRUE(disk.ReadPage(victim, out).IsIOError());
-  ASSERT_TRUE(disk.ReadPage(bystander, out).ok());  // unaffected
-  EXPECT_TRUE(disk.ReadPage(victim, out).IsIOError());
+  EXPECT_TRUE(disk->ReadPage(victim, out).IsIOError());
+  ASSERT_TRUE(disk->ReadPage(bystander, out).ok());  // unaffected
+  EXPECT_TRUE(disk->ReadPage(victim, out).IsIOError());
   // Two targeted faults armed, two fired; the page recovers.
-  ASSERT_TRUE(disk.ReadPage(victim, out).ok());
+  ASSERT_TRUE(disk->ReadPage(victim, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
-  EXPECT_EQ(disk.stats().read_faults.load(), 2u);
+  EXPECT_EQ(disk->stats().read_faults.load(), 2u);
 }
 
 TEST(FaultInjectionTest, AtRestCorruptionIsCaughtByChecksum) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
   char buf[kPageSize];
   FillPage(buf, 'f');
-  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk->WritePage(p, buf).ok());
 
-  disk.CorruptStoredPage(p, /*bit_index=*/12345);
+  disk->CorruptStoredPage(p, /*bit_index=*/12345);
   char out[kPageSize];
-  EXPECT_TRUE(disk.ReadPage(p, out).IsCorruption());
-  EXPECT_EQ(disk.stats().corruptions_detected.load(), 1u);
+  EXPECT_TRUE(disk->ReadPage(p, out).IsCorruption());
+  EXPECT_EQ(disk->stats().corruptions_detected.load(), 1u);
   // Rewriting the page refreshes the checksum and heals it.
-  ASSERT_TRUE(disk.WritePage(p, buf).ok());
-  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  ASSERT_TRUE(disk->WritePage(p, buf).ok());
+  ASSERT_TRUE(disk->ReadPage(p, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
 }
 
 TEST(FaultInjectionTest, InjectedBitFlipOnReadIsCorruption) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
   char buf[kPageSize];
   FillPage(buf, 'g');
-  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk->WritePage(p, buf).ok());
 
   FaultInjector::Config cfg;
   cfg.corrupt_read_p = 1.0;  // every read comes back with one flipped bit
   cfg.seed = 99;
-  disk.fault_injector()->Configure(cfg);
+  disk->fault_injector()->Configure(cfg);
   char out[kPageSize];
-  EXPECT_TRUE(disk.ReadPage(p, out).IsCorruption());
-  EXPECT_GE(disk.fault_injector()->stats().corruptions, 1u);
-  EXPECT_GE(disk.stats().corruptions_detected.load(), 1u);
+  EXPECT_TRUE(disk->ReadPage(p, out).IsCorruption());
+  EXPECT_GE(disk->fault_injector()->stats().corruptions, 1u);
+  EXPECT_GE(disk->stats().corruptions_detected.load(), 1u);
 
-  disk.fault_injector()->Disarm();
-  EXPECT_FALSE(disk.fault_injector()->armed());
+  disk->fault_injector()->Disarm();
+  EXPECT_FALSE(disk->fault_injector()->armed());
   // The stored page was never touched — only the returned copy was.
-  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  ASSERT_TRUE(disk->ReadPage(p, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
 }
 
@@ -133,20 +134,20 @@ TEST(FaultInjectionTest, FaultCountIsAFunctionOfSeedAndOpCount) {
   constexpr size_t kReads = 4000;
   constexpr double kP = 0.01;
   auto run = [](uint64_t seed) {
-    DiskManager disk;
-    const PageId p = disk.AllocatePage();
+    dsks::testing::TestDisk disk;
+    const PageId p = disk->AllocatePage();
     char buf[kPageSize];
     FillPage(buf, 'h');
-    const Status ws = disk.WritePage(p, buf);
+    const Status ws = disk->WritePage(p, buf);
     EXPECT_TRUE(ws.ok());
     FaultInjector::Config cfg;
     cfg.read_fault_p = kP;
     cfg.seed = seed;
-    disk.fault_injector()->Configure(cfg);
+    disk->fault_injector()->Configure(cfg);
     size_t faults = 0;
     char out[kPageSize];
     for (size_t i = 0; i < kReads; ++i) {
-      if (disk.ReadPage(p, out).IsIOError()) {
+      if (disk->ReadPage(p, out).IsIOError()) {
         ++faults;
       }
     }
@@ -161,8 +162,8 @@ TEST(FaultInjectionTest, FaultCountIsAFunctionOfSeedAndOpCount) {
 }
 
 TEST(FaultInjectionTest, BufferPoolPropagatesReadErrorsAndRecovers) {
-  DiskManager disk;
-  BufferPool pool(&disk, 8);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 8);
   PageId p;
   char* data = pool.NewPage(&p);
   FillPage(data, 'i');
@@ -170,7 +171,7 @@ TEST(FaultInjectionTest, BufferPoolPropagatesReadErrorsAndRecovers) {
   ASSERT_TRUE(pool.FlushAll().ok());
   ASSERT_TRUE(pool.Clear().ok());  // force the next fetch to miss
 
-  disk.fault_injector()->FailPageReads(p, 1);
+  disk->fault_injector()->FailPageReads(p, 1);
   char* out = reinterpret_cast<char*>(0x1);
   char* const sentinel = out;
   EXPECT_TRUE(pool.FetchPage(p, &out).IsIOError());
@@ -183,8 +184,8 @@ TEST(FaultInjectionTest, BufferPoolPropagatesReadErrorsAndRecovers) {
 }
 
 TEST(FaultInjectionTest, BufferPoolSurfacesCorruptPage) {
-  DiskManager disk;
-  BufferPool pool(&disk, 8);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 8);
   PageId p;
   char* data = pool.NewPage(&p);
   FillPage(data, 'j');
@@ -192,17 +193,17 @@ TEST(FaultInjectionTest, BufferPoolSurfacesCorruptPage) {
   ASSERT_TRUE(pool.FlushAll().ok());
   ASSERT_TRUE(pool.Clear().ok());
 
-  disk.CorruptStoredPage(p, /*bit_index=*/7);
+  disk->CorruptStoredPage(p, /*bit_index=*/7);
   char* out = nullptr;
   EXPECT_TRUE(pool.FetchPage(p, &out).IsCorruption());
-  EXPECT_EQ(disk.stats().corruptions_detected.load(), 1u);
+  EXPECT_EQ(disk->stats().corruptions_detected.load(), 1u);
 }
 
 TEST(FaultInjectionTest, CachedPagesAreImmuneToReadFaults) {
   // Checksum verification and read faults live on the miss path only: a
   // page resident in the pool never touches the disk again.
-  DiskManager disk;
-  BufferPool pool(&disk, 8);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 8);
   PageId p;
   char* data = pool.NewPage(&p);
   FillPage(data, 'k');
@@ -212,12 +213,12 @@ TEST(FaultInjectionTest, CachedPagesAreImmuneToReadFaults) {
   FaultInjector::Config cfg;
   cfg.read_fault_p = 1.0;  // every *disk* read fails...
   cfg.seed = 7;
-  disk.fault_injector()->Configure(cfg);
+  disk->fault_injector()->Configure(cfg);
   char* out = nullptr;
   ASSERT_TRUE(pool.FetchPage(p, &out).ok());  // ...but this one is a hit
   EXPECT_EQ(out[3], 'k');
   pool.UnpinPage(p, /*dirty=*/false);
-  EXPECT_EQ(disk.stats().read_faults.load(), 0u);
+  EXPECT_EQ(disk->stats().read_faults.load(), 0u);
 }
 
 }  // namespace

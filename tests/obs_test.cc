@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage_test_util.h"
 
 namespace dsks {
 namespace {
@@ -190,14 +191,14 @@ TEST(MetricsRegistryTest, PrometheusExposition) {
 }
 
 TEST(MetricsRegistryTest, StorageBindMetricsExposesLiveCounters) {
-  DiskManager disk;
-  BufferPool pool(&disk, 4);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 4);
   obs::MetricsRegistry reg;
   pool.BindMetrics(&reg, "db.pool");
-  disk.BindMetrics(&reg, "db.disk");
+  disk->BindMetrics(&reg, "db.disk");
 
-  const PageId p = disk.AllocatePage();
-  pool.FetchPageOrDie(p);
+  const PageId p = disk->AllocatePage();
+  dsks::testing::MustFetch(&pool, p);
   pool.UnpinPage(p, false);
   std::string json = reg.ToJson();
   EXPECT_NE(json.find("\"db.pool.misses\":1"), std::string::npos) << json;
@@ -211,10 +212,10 @@ TEST(MetricsRegistryTest, StorageBindMetricsExposesLiveCounters) {
 // QueryTrace
 
 TEST(QueryTraceTest, SpanNestingAndExactIoDeltas) {
-  DiskManager disk;
-  BufferPool pool(&disk, 2);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 2);
   obs::QueryTrace trace;
-  trace.BindIoSources(&pool.stats(), &disk.stats());
+  trace.BindIoSources(&pool.stats(), &disk->stats());
 
   std::vector<PageId> pages;
   for (int i = 0; i < 4; ++i) {
@@ -229,19 +230,19 @@ TEST(QueryTraceTest, SpanNestingAndExactIoDeltas) {
   {
     // Child A: two misses.
     obs::ScopedSpan a(&trace, obs::Phase::kKeywordLookup);
-    pool.FetchPageOrDie(pages[0]);
+    dsks::testing::MustFetch(&pool, pages[0]);
     pool.UnpinPage(pages[0], false);
-    pool.FetchPageOrDie(pages[1]);
+    dsks::testing::MustFetch(&pool, pages[1]);
     pool.UnpinPage(pages[1], false);
   }
   {
     // Child B: one hit, nothing from disk.
     obs::ScopedSpan b(&trace, obs::Phase::kNetworkExpansion);
-    pool.FetchPageOrDie(pages[0]);
+    dsks::testing::MustFetch(&pool, pages[0]);
     pool.UnpinPage(pages[0], false);
   }
   // Root-exclusive: one miss outside any child span.
-  pool.FetchPageOrDie(pages[2]);
+  dsks::testing::MustFetch(&pool, pages[2]);
   pool.UnpinPage(pages[2], false);
   trace.CloseSpan(root);
   ASSERT_EQ(trace.open_depth(), 0u);

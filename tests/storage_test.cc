@@ -5,6 +5,7 @@
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage_test_util.h"
 
 namespace dsks {
 namespace {
@@ -26,42 +27,42 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(DiskManagerTest, AllocateReadWriteRoundTrip) {
-  DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  const PageId b = disk.AllocatePage();
+  dsks::testing::TestDisk disk;
+  const PageId a = disk->AllocatePage();
+  const PageId b = disk->AllocatePage();
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
-  EXPECT_EQ(disk.num_pages(), 2u);
-  EXPECT_EQ(disk.size_bytes(), 2 * kPageSize);
+  EXPECT_EQ(disk->num_pages(), 2u);
+  EXPECT_EQ(disk->size_bytes(), 2 * kPageSize);
 
   char buf[kPageSize];
   std::memset(buf, 0xAB, kPageSize);
-  disk.WritePage(b, buf);
+  disk->WritePage(b, buf);
   char out[kPageSize];
-  disk.ReadPage(b, out);
+  disk->ReadPage(b, out);
   EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
 
   // Fresh pages are zeroed.
-  disk.ReadPage(a, out);
+  disk->ReadPage(a, out);
   for (size_t i = 0; i < kPageSize; ++i) {
     ASSERT_EQ(out[i], 0) << "at offset " << i;
   }
-  EXPECT_EQ(disk.stats().reads, 2u);
-  EXPECT_EQ(disk.stats().writes, 1u);
-  EXPECT_EQ(disk.stats().allocations, 2u);
+  EXPECT_EQ(disk->stats().reads, 2u);
+  EXPECT_EQ(disk->stats().writes, 1u);
+  EXPECT_EQ(disk->stats().allocations, 2u);
 }
 
 TEST(BufferPoolTest, HitAndMissAccounting) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
-  BufferPool pool(&disk, 4);
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
+  BufferPool pool(disk.get(), 4);
 
-  char* data = pool.FetchPageOrDie(p);
+  char* data = dsks::testing::MustFetch(&pool, p);
   ASSERT_NE(data, nullptr);
   EXPECT_EQ(pool.stats().misses, 1u);
   pool.UnpinPage(p, false);
 
-  pool.FetchPageOrDie(p);
+  dsks::testing::MustFetch(&pool, p);
   EXPECT_EQ(pool.stats().hits, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
   pool.UnpinPage(p, false);
@@ -69,12 +70,12 @@ TEST(BufferPoolTest, HitAndMissAccounting) {
 }
 
 TEST(BufferPoolTest, StatsSnapshotAndReset) {
-  DiskManager disk;
-  const PageId p = disk.AllocatePage();
-  BufferPool pool(&disk, 4);
-  pool.FetchPageOrDie(p);
+  dsks::testing::TestDisk disk;
+  const PageId p = disk->AllocatePage();
+  BufferPool pool(disk.get(), 4);
+  dsks::testing::MustFetch(&pool, p);
   pool.UnpinPage(p, false);
-  pool.FetchPageOrDie(p);
+  dsks::testing::MustFetch(&pool, p);
   pool.UnpinPage(p, false);
 
   // One plain-struct read of all counters together.
@@ -85,80 +86,80 @@ TEST(BufferPoolTest, StatsSnapshotAndReset) {
   EXPECT_EQ(s.accesses(), 2u);
   EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
 
-  const DiskStatsSnapshot d = disk.stats_snapshot();
+  const DiskStatsSnapshot d = disk->stats_snapshot();
   EXPECT_EQ(d.reads, 1u);
   EXPECT_EQ(d.allocations, 1u);
 
   // Reset zeroes the counters so the next phase measures a pure delta.
   pool.ResetStats();
-  disk.ResetStats();
+  disk->ResetStats();
   EXPECT_EQ(pool.stats_snapshot().accesses(), 0u);
   EXPECT_DOUBLE_EQ(pool.stats_snapshot().hit_rate(), 0.0);
-  EXPECT_EQ(disk.stats_snapshot().reads, 0u);
-  pool.FetchPageOrDie(p);
+  EXPECT_EQ(disk->stats_snapshot().reads, 0u);
+  dsks::testing::MustFetch(&pool, p);
   pool.UnpinPage(p, false);
   EXPECT_EQ(pool.stats_snapshot().hits, 1u);
   EXPECT_EQ(pool.stats_snapshot().misses, 0u);
 }
 
 TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   PageId pages[3];
-  for (PageId& p : pages) p = disk.AllocatePage();
-  BufferPool pool(&disk, 2);
+  for (PageId& p : pages) p = disk->AllocatePage();
+  BufferPool pool(disk.get(), 2);
 
-  pool.FetchPageOrDie(pages[0]);
+  dsks::testing::MustFetch(&pool, pages[0]);
   pool.UnpinPage(pages[0], false);
-  pool.FetchPageOrDie(pages[1]);
+  dsks::testing::MustFetch(&pool, pages[1]);
   pool.UnpinPage(pages[1], false);
   // Touch page 0 so page 1 becomes the LRU victim.
-  pool.FetchPageOrDie(pages[0]);
+  dsks::testing::MustFetch(&pool, pages[0]);
   pool.UnpinPage(pages[0], false);
 
-  pool.FetchPageOrDie(pages[2]);  // evicts pages[1]
+  dsks::testing::MustFetch(&pool, pages[2]);  // evicts pages[1]
   pool.UnpinPage(pages[2], false);
   EXPECT_EQ(pool.stats().evictions, 1u);
 
   // pages[0] must still be cached, pages[1] must not.
   const uint64_t misses_before = pool.stats().misses;
-  pool.FetchPageOrDie(pages[0]);
+  dsks::testing::MustFetch(&pool, pages[0]);
   pool.UnpinPage(pages[0], false);
   EXPECT_EQ(pool.stats().misses, misses_before);
-  pool.FetchPageOrDie(pages[1]);
+  dsks::testing::MustFetch(&pool, pages[1]);
   pool.UnpinPage(pages[1], false);
   EXPECT_EQ(pool.stats().misses, misses_before + 1);
 }
 
 TEST(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
-  DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  const PageId b = disk.AllocatePage();
-  BufferPool pool(&disk, 1);
+  dsks::testing::TestDisk disk;
+  const PageId a = disk->AllocatePage();
+  const PageId b = disk->AllocatePage();
+  BufferPool pool(disk.get(), 1);
 
-  char* data = pool.FetchPageOrDie(a);
+  char* data = dsks::testing::MustFetch(&pool, a);
   data[0] = 'x';
   pool.UnpinPage(a, /*dirty=*/true);
 
-  pool.FetchPageOrDie(b);  // evicts a, forcing the write-back
+  dsks::testing::MustFetch(&pool, b);  // evicts a, forcing the write-back
   pool.UnpinPage(b, false);
 
   char out[kPageSize];
-  disk.ReadPage(a, out);
+  disk->ReadPage(a, out);
   EXPECT_EQ(out[0], 'x');
 }
 
 TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   PageId pages[4];
-  for (PageId& p : pages) p = disk.AllocatePage();
-  BufferPool pool(&disk, 2);
+  for (PageId& p : pages) p = disk->AllocatePage();
+  BufferPool pool(disk.get(), 2);
 
-  char* pinned = pool.FetchPageOrDie(pages[0]);
+  char* pinned = dsks::testing::MustFetch(&pool, pages[0]);
   pinned[1] = 'p';
   // Cycle other pages through the remaining frame.
   for (int round = 0; round < 3; ++round) {
     for (int i = 1; i < 4; ++i) {
-      pool.FetchPageOrDie(pages[i]);
+      dsks::testing::MustFetch(&pool, pages[i]);
       pool.UnpinPage(pages[i], false);
     }
   }
@@ -168,8 +169,8 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
 }
 
 TEST(BufferPoolTest, NewPageIsPinnedAndZeroed) {
-  DiskManager disk;
-  BufferPool pool(&disk, 2);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 2);
   PageId id;
   char* data = pool.NewPage(&id);
   for (size_t i = 0; i < kPageSize; ++i) {
@@ -179,13 +180,13 @@ TEST(BufferPoolTest, NewPageIsPinnedAndZeroed) {
   pool.UnpinPage(id, true);
   pool.FlushAll();
   char out[kPageSize];
-  disk.ReadPage(id, out);
+  disk->ReadPage(id, out);
   EXPECT_EQ(out[7], 'z');
 }
 
 TEST(BufferPoolTest, SetCapacityEvictsDown) {
-  DiskManager disk;
-  BufferPool pool(&disk, 8);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 8);
   for (int i = 0; i < 8; ++i) {
     PageId id;
     pool.NewPage(&id);
@@ -198,8 +199,8 @@ TEST(BufferPoolTest, SetCapacityEvictsDown) {
 }
 
 TEST(BufferPoolTest, ClearDropsCleanAndDirtyFrames) {
-  DiskManager disk;
-  BufferPool pool(&disk, 4);
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 4);
   PageId id;
   char* data = pool.NewPage(&id);
   data[0] = 'c';
@@ -207,7 +208,7 @@ TEST(BufferPoolTest, ClearDropsCleanAndDirtyFrames) {
   pool.Clear();
   EXPECT_EQ(pool.num_frames_in_use(), 0u);
   char out[kPageSize];
-  disk.ReadPage(id, out);
+  disk->ReadPage(id, out);
   EXPECT_EQ(out[0], 'c');  // dirty content persisted
 }
 
@@ -215,15 +216,15 @@ TEST(BufferPoolTest, ClearDropsCleanAndDirtyFrames) {
 // CHECK-fail ("buffer pool exhausted"); the pool now over-allocates
 // temporary frames and trims back as pins drain.
 TEST(BufferPoolTest, AllPinnedOverflowsInsteadOfAborting) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   constexpr size_t kCapacity = 2;
   PageId pages[kCapacity + 1];
-  for (PageId& p : pages) p = disk.AllocatePage();
-  BufferPool pool(&disk, kCapacity);
+  for (PageId& p : pages) p = disk->AllocatePage();
+  BufferPool pool(disk.get(), kCapacity);
 
   char* data[kCapacity + 1];
   for (size_t i = 0; i <= kCapacity; ++i) {
-    data[i] = pool.FetchPageOrDie(pages[i]);
+    data[i] = dsks::testing::MustFetch(&pool, pages[i]);
     ASSERT_NE(data[i], nullptr);
     data[i][0] = static_cast<char>('a' + i);
   }
@@ -240,7 +241,7 @@ TEST(BufferPoolTest, AllPinnedOverflowsInsteadOfAborting) {
   pool.FlushAll();
   char out[kPageSize];
   for (size_t i = 0; i <= kCapacity; ++i) {
-    disk.ReadPage(pages[i], out);
+    disk->ReadPage(pages[i], out);
     EXPECT_EQ(out[0], static_cast<char>('a' + i)) << "page " << i;
   }
 }
@@ -248,13 +249,13 @@ TEST(BufferPoolTest, AllPinnedOverflowsInsteadOfAborting) {
 // Regression: shrinking below the pinned set used to CHECK-fail; the
 // shrink is now deferred and completes as pins drain.
 TEST(BufferPoolTest, SetCapacityBelowPinnedSetDefersShrink) {
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   PageId pages[3];
-  for (PageId& p : pages) p = disk.AllocatePage();
-  BufferPool pool(&disk, 4);
+  for (PageId& p : pages) p = disk->AllocatePage();
+  BufferPool pool(disk.get(), 4);
 
   for (PageId p : pages) {
-    pool.FetchPageOrDie(p);  // pinned
+    dsks::testing::MustFetch(&pool, p);  // pinned
   }
   pool.SetCapacity(1);  // survives: 3 pages are pinned
   EXPECT_EQ(pool.capacity(), 1u);
@@ -269,47 +270,47 @@ TEST(BufferPoolTest, SetCapacityBelowPinnedSetDefersShrink) {
 
 TEST(BufferPoolDeathTest, DoubleUnpinIsFatal) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  BufferPool pool(&disk, 2);
-  pool.FetchPageOrDie(a);
+  dsks::testing::TestDisk disk;
+  const PageId a = disk->AllocatePage();
+  BufferPool pool(disk.get(), 2);
+  dsks::testing::MustFetch(&pool, a);
   pool.UnpinPage(a, false);
   EXPECT_DEATH(pool.UnpinPage(a, false), "unpin of unpinned page");
 }
 
 TEST(DiskManagerDeathTest, ReadOfUnallocatedPageIsFatal) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  DiskManager disk;
+  dsks::testing::TestDisk disk;
   char buf[kPageSize];
-  EXPECT_DEATH(disk.ReadPage(7, buf), "unallocated");
+  EXPECT_DEATH(disk->ReadPage(7, buf), "unallocated");
 }
 
 TEST(PageGuardTest, ReleasesOnDestruction) {
-  DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  BufferPool pool(&disk, 1);
+  dsks::testing::TestDisk disk;
+  const PageId a = disk->AllocatePage();
+  BufferPool pool(disk.get(), 1);
   {
-    PageGuard guard(&pool, a);
+    PageGuard guard = FetchForBuild(&pool, a);
     ASSERT_TRUE(guard.valid());
     guard.data()[3] = 'g';
     guard.MarkDirty();
   }
   // The pin is gone: the single frame can be reused.
-  PageId b = disk.AllocatePage();
-  PageGuard other(&pool, b);
+  PageId b = disk->AllocatePage();
+  PageGuard other = FetchForBuild(&pool, b);
   EXPECT_TRUE(other.valid());
   other.Release();
   char out[kPageSize];
   pool.FlushAll();
-  disk.ReadPage(a, out);
+  disk->ReadPage(a, out);
   EXPECT_EQ(out[3], 'g');
 }
 
 TEST(PageGuardTest, MoveTransfersOwnership) {
-  DiskManager disk;
-  const PageId a = disk.AllocatePage();
-  BufferPool pool(&disk, 2);
-  PageGuard g1(&pool, a);
+  dsks::testing::TestDisk disk;
+  const PageId a = disk->AllocatePage();
+  BufferPool pool(disk.get(), 2);
+  PageGuard g1 = FetchForBuild(&pool, a);
   PageGuard g2 = std::move(g1);
   EXPECT_FALSE(g1.valid());  // NOLINT(bugprone-use-after-move): intended
   EXPECT_TRUE(g2.valid());

@@ -39,6 +39,16 @@ for san in "${sanitizers[@]}"; do
   echo "=== $san sanitizer: chaos (storage faults under $san) ==="
   (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ./tests/chaos_test \
       --gtest_brief=1)
+  # Storage and chaos suites again with pages on a real file: the ctest
+  # pass above covered the sim backend (the default); DSKS_TEST_BACKEND
+  # reruns the same binaries against pread/pwrite + CRC sidecar, so both
+  # backends face the same faults under the same sanitizer.
+  echo "=== $san sanitizer: storage + chaos suites on the file backend ==="
+  for t in storage_test fault_injection_test buffer_pool_concurrency_test \
+           durability_test obs_test chaos_test; do
+    (cd "$dir" && DSKS_TEST_BACKEND=file TSAN_OPTIONS="die_after_fork=0" \
+        "./tests/$t" --gtest_brief=1)
+  done
   echo "=== $san sanitizer: OK ==="
 done
 
@@ -76,4 +86,23 @@ if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
   ./build-perf/tools/dsks_cli chaos --queries 128 --threads 8 \
     --read-fault-p 0.002 --retries 2 --seed 42
   echo "=== chaos smoke: OK ==="
+
+  # File-backend smoke: a small bench run with pages on a real file must
+  # produce a schema-valid artifact stamped "backend":"file" (kept in a
+  # separate cwd so it can never be confused with the sim artifact or fed
+  # to the sim perf gate), and chaos must survive on real files too.
+  echo "=== file-backend smoke: bench_throughput + dsks_cli chaos ==="
+  mkdir -p build-perf/file-smoke
+  (cd build-perf/file-smoke && DSKS_IO_DELAY_US=0 DSKS_BENCH_SCALE=0.3 \
+      DSKS_BENCH_QUERIES=40 DSKS_BENCH_THREADS=1,2 \
+      ../bench/bench_throughput --backend=file)
+  python3 tools/perf_gate.py validate-bench \
+    build-perf/file-smoke/BENCH_throughput.json
+  grep -q '"backend":"file"' build-perf/file-smoke/BENCH_throughput.json || {
+    echo "file-backend smoke: artifact is missing \"backend\":\"file\"" >&2
+    exit 1
+  }
+  ./build-perf/tools/dsks_cli chaos --backend file --queries 128 \
+    --threads 8 --read-fault-p 0.002 --retries 2 --seed 42
+  echo "=== file-backend smoke: OK ==="
 fi

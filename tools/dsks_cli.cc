@@ -27,6 +27,8 @@
 //       Run a concurrent workload with storage fault injection armed and
 //       prove the process survives: failed queries are counted per Status
 //       code (never aborting), transient read faults optionally retried.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -159,9 +161,53 @@ int Usage() {
                "  dsks_cli chaos [--scale 0.03] [--index sif] [--queries 256]\n"
                "           [--threads 8] [--read-fault-p 0.001]\n"
                "           [--write-fault-p 0] [--corrupt-p 0] [--seed 42]\n"
-               "           [--retries 0]\n");
+               "           [--retries 0]\n"
+               "query/metrics/chaos also accept storage-backend flags:\n"
+               "           [--backend sim|file] [--backend-path PATH]\n"
+               "           [--o-direct]\n");
   return 2;
 }
+
+/// Shared storage-backend flags: `--backend sim|file` selects where pages
+/// live, `--backend-path PATH` names the index file (file backend only;
+/// defaults to a fresh /tmp file that is removed on exit), `--o-direct`
+/// asks the file backend to bypass the OS page cache.
+class CliBackend {
+ public:
+  explicit CliBackend(const Args& args) {
+    const std::string name = args.Get("backend", "sim");
+    if (name == "file") {
+      options_.backend = DiskBackendKind::kFile;
+      options_.path = args.Get("backend-path", "");
+      if (options_.path.empty()) {
+        options_.path =
+            "/tmp/dsks_cli_" + std::to_string(::getpid()) + ".pages";
+        owns_files_ = true;
+      }
+      options_.o_direct = args.Has("o-direct");
+    } else if (name != "sim") {
+      std::fprintf(stderr, "--backend: want 'sim' or 'file', got '%s'\n",
+                   name.c_str());
+      std::exit(2);
+    }
+  }
+  ~CliBackend() {
+    if (owns_files_) {
+      std::remove(options_.path.c_str());
+      std::remove((options_.path + ".crc").c_str());
+    }
+  }
+
+  CliBackend(const CliBackend&) = delete;
+  CliBackend& operator=(const CliBackend&) = delete;
+
+  const DiskOptions& options() const { return options_; }
+  const char* name() const { return DiskBackendKindName(options_.backend); }
+
+ private:
+  DiskOptions options_;
+  bool owns_files_ = false;
+};
 
 DatasetConfig PresetByName(const std::string& name) {
   for (const DatasetConfig& c : AllPresets()) {
@@ -265,7 +311,8 @@ int CmdQuery(const Args& args) {
     }
   }
 
-  DiskManager disk;
+  CliBackend backend(args);
+  DiskManager disk(backend.options());
   BufferPool pool(&disk, 1u << 16);
   const CcamFile ccam = CcamFileBuilder::Build(*net, &disk);
   CcamGraph graph(&ccam, &pool);
@@ -505,7 +552,9 @@ int CmdMetrics(const Args& args) {
   // Self-contained: a synthetic database plus a short concurrent workload,
   // so there is traffic behind every exposed counter.
   const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
-  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+  CliBackend backend(args);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale),
+              backend.options());
   db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
   db.PrepareForQueries();
 
@@ -555,7 +604,9 @@ int CmdChaos(const Args& args) {
   const size_t num_queries = args.GetSize("queries", 256, 1, 1u << 20);
   const size_t threads = args.GetSize("threads", 8, 1, 1024);
 
-  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale));
+  CliBackend backend(args);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale),
+              backend.options());
   db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
   // Shrink the pool *before* arming the injector: preparation flushes, and
   // an injected write fault there would be a setup failure, not a query
@@ -601,9 +652,9 @@ int CmdChaos(const Args& args) {
 
   std::printf(
       "chaos: %zu queries on %zu threads under read-fault-p=%g "
-      "corrupt-p=%g (seed %llu)\n",
+      "corrupt-p=%g (seed %llu, backend %s)\n",
       m.queries, m.num_threads, read_fault_p, corrupt_p,
-      static_cast<unsigned long long>(seed));
+      static_cast<unsigned long long>(seed), backend.name());
   std::printf("  failed %llu (error rate %.2f%%), retries %llu\n",
               static_cast<unsigned long long>(m.errors),
               100.0 * m.error_rate,

@@ -75,6 +75,10 @@ MEASUREMENT_SCHEMA = {
     "type": "object",
     "required": {
         "bench": {"type": "string"},
+        # which storage backend served the pages ("sim" or "file"): numbers
+        # from different backends are different experiments and must never
+        # be pooled, so every record has to say which one it came from
+        "backend": {"type": "string"},
         "workload": {"type": "string"},
         "threads": {"type": "integer", "min": 1},
         "queries": {"type": "integer", "min": 1},
@@ -100,6 +104,7 @@ PHASE_PROFILE_SCHEMA = {
     "type": "object",
     "required": {
         "bench": {"type": "string"},
+        "backend": {"type": "string"},
         "workload": {"type": "string"},
         "queries": {"type": "integer", "min": 1},
         "phase_profile": {
@@ -202,7 +207,14 @@ def validate_metrics(path) -> int:
 
 def perf_gate(baseline_path, smoke_path) -> int:
     with open(baseline_path, encoding="utf-8") as f:
-        baseline = json.load(f)["qps"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["qps"]
+    # The baseline was measured on one specific backend (sim unless it says
+    # otherwise). Records from any other backend are a different experiment
+    # — a real-file run must not be graded against sim numbers, nor mask a
+    # sim regression by happening to be fast. Skip them loudly.
+    baseline_backend = baseline_doc.get("backend", "sim")
+    skipped_backends: dict[str, int] = {}
     best: dict[str, float] = {}
     with open(smoke_path, encoding="utf-8") as f:
         for line in f:
@@ -212,8 +224,17 @@ def perf_gate(baseline_path, smoke_path) -> int:
             rec = json.loads(line)
             if rec.get("threads") != 1:
                 continue
+            backend = rec.get("backend", "sim")
+            if backend != baseline_backend:
+                skipped_backends[backend] = skipped_backends.get(backend, 0) + 1
+                continue
             wl = rec["workload"]
             best[wl] = max(best.get(wl, 0.0), rec["qps"])
+    for backend, n in sorted(skipped_backends.items()):
+        print(
+            f"perf gate: skipped {n} record(s) from backend '{backend}' "
+            f"(baseline is '{baseline_backend}')"
+        )
 
     failed = False
     for wl, base_qps in baseline.items():
