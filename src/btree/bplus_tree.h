@@ -57,6 +57,21 @@ class BPlusTree {
     return result;
   }
 
+  /// Looks up the same key in several trees at once, descending them in
+  /// lockstep: before any node of a level is fetched, the whole level is
+  /// offered to the pool as one speculative batch, so T point lookups cost
+  /// one batched read per level on a cold pool instead of T blocking reads
+  /// per level. The inverted file uses this to probe every query keyword's
+  /// tree for one edge key in a handful of round trips.
+  ///
+  /// `results[i]` matches what `BPlusTree(pool, roots[i]).Get(key)` would
+  /// produce; a root of kInvalidPageId yields nullopt without I/O. With
+  /// prefetching disabled on the pool this degenerates to T independent
+  /// descents with identical read counts. On a disk error the partial
+  /// results are meaningless; discard them.
+  static Status MultiGet(BufferPool* pool, std::span<const PageId> roots,
+                         Key key, std::span<std::optional<Value>> results);
+
   /// Visits all entries with lo <= key <= hi in key order. The visitor
   /// returns false to stop early (that is not an error). Disk errors
   /// during the scan are returned; entries already visited stand.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "obs/trace.h"
@@ -17,6 +19,28 @@ namespace {
 /// Pairs inside the margin simply take the fallback field — correctness is
 /// unaffected, only the sharing rate.
 constexpr double kCertSlack = 1e-9;
+
+/// Every kPrefetchInterval settles, hand the buffer pool the CCAM pages of
+/// the heap's shallow layers — a sample of the nodes this Dijkstra pass
+/// settles next. Purely advisory: the pool drops failures and the pass
+/// never waits, so settled distances are bit-identical either way.
+constexpr size_t kPrefetchInterval = 32;
+constexpr size_t kFrontierSample = 16;
+
+void PrefetchFrontier(const CcamGraph& graph,
+                      const ReusableMinHeap<std::pair<double, uint32_t>>& heap) {
+  const std::vector<std::pair<double, uint32_t>>& entries = heap.storage();
+  const size_t n =
+      entries.size() < kFrontierSample ? entries.size() : kFrontierSample;
+  if (n == 0) {
+    return;
+  }
+  NodeId nodes[kFrontierSample];
+  for (size_t i = 0; i < n; ++i) {
+    nodes[i] = entries[i].second;
+  }
+  graph.PrefetchNodes(std::span<const NodeId>(nodes, n));
+}
 
 }  // namespace
 
@@ -88,6 +112,7 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
   relax(a.n1, a.w1);
   relax(a.n2, a.edge_weight - a.w1);
 
+  size_t settles = 0;
   while (!o_->heap.empty()) {
     const auto [d, v] = o_->heap.top();
     o_->heap.pop();
@@ -95,6 +120,9 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
       continue;
     }
     field.try_emplace(v, d);
+    if (++settles % kPrefetchInterval == 0) {
+      PrefetchFrontier(*graph_, o_->heap);
+    }
     if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {
       if (status_.ok()) {
         status_ = s;
@@ -164,6 +192,9 @@ void PairwiseDistanceOracle::BuildSharedField() {
     o_->parent_local.push_back(parent == kInvalidNodeId
                                    ? UINT32_MAX
                                    : o_->local_index.Get(parent));
+    if (o_->order.size() % kPrefetchInterval == 0) {
+      PrefetchFrontier(*graph_, o_->heap);
+    }
     if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {
       if (status_.ok()) {
         status_ = s;

@@ -2,11 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "obs/trace.h"
 
 namespace dsks {
+
+namespace {
+
+/// Every kPrefetchInterval settles, hand the buffer pool the CCAM pages of
+/// the heap's shallow layers — a sample of the nodes Dijkstra settles next.
+/// Purely advisory: the pool drops failures and the expansion never waits,
+/// so settled distances are bit-identical with prefetching on or off.
+constexpr uint64_t kPrefetchInterval = 32;
+constexpr size_t kFrontierSample = 16;
+
+void PrefetchFrontier(const CcamGraph& graph,
+                      const ReusableMinHeap<std::pair<double, uint32_t>>& heap) {
+  const std::vector<std::pair<double, uint32_t>>& entries = heap.storage();
+  const size_t n =
+      entries.size() < kFrontierSample ? entries.size() : kFrontierSample;
+  if (n == 0) {
+    return;
+  }
+  NodeId nodes[kFrontierSample];
+  for (size_t i = 0; i < n; ++i) {
+    nodes[i] = entries[i].second;
+  }
+  graph.PrefetchNodes(std::span<const NodeId>(nodes, n));
+}
+
+}  // namespace
 
 IncrementalSkSearch::IncrementalSkSearch(const CcamGraph* graph,
                                          ObjectIndex* index,
@@ -186,6 +215,9 @@ bool IncrementalSkSearch::ExpandOneNode() {
   s_->node_heap.pop();
   s_->settled.Set(v, d);
   ++stats_.nodes_settled;
+  if (stats_.nodes_settled % kPrefetchInterval == 0) {
+    PrefetchFrontier(*graph_, s_->node_heap);
+  }
 
   status_ = graph_->GetAdjacency(v, &s_->adjacency);
   if (!status_.ok()) {

@@ -156,13 +156,51 @@ Status InvertedFileIndex::LoadObjects(EdgeId edge,
   };
 
   uint64_t loaded_here = 0;
+  // Resolve every term's run locator up front. With prefetching enabled
+  // the per-keyword B+trees are descended in lockstep — one batched read
+  // per level instead of one blocking miss per tree per level — and the
+  // surviving runs' pages are pulled in a single speculative batch so the
+  // ReadRun calls below hit the pool. With prefetching disabled this is
+  // the classic one-tree-at-a-time probe with identical read counts.
+  std::vector<std::optional<PostingFile::Locator>> locs(terms.size());
+  if (pool_->prefetch_enabled() && terms.size() > 1) {
+    std::vector<PageId> roots(terms.size(), kInvalidPageId);
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i] < term_roots_.size()) {
+        roots[i] = term_roots_[terms[i]];
+      }
+    }
+    DSKS_RETURN_IF_ERROR(BPlusTree::MultiGet(
+        pool_, roots, EdgeKey(edge_zcode_[edge], edge),
+        std::span<std::optional<uint64_t>>(locs.data(), locs.size())));
+    // Prefetch only the prefix up to the first absent term: the
+    // intersection loop below stops there, and runs past it are never
+    // read.
+    std::vector<PostingFile::Locator> present;
+    present.reserve(terms.size());
+    for (const auto& l : locs) {
+      if (!l.has_value()) {
+        break;
+      }
+      present.push_back(*l);
+    }
+    if (present.size() > 1) {
+      postings_->PrefetchRuns(present);
+    }
+  } else {
+    for (size_t i = 0; i < terms.size(); ++i) {
+      DSKS_RETURN_IF_ERROR(FindRun(terms[i], edge, &locs[i]));
+      if (!locs[i].has_value()) {
+        break;  // the intersection is already empty; skip the other trees
+      }
+    }
+  }
+
   // Candidate map: position -> (entry, number of terms matched so far).
   std::vector<PostingFile::Entry> run;
   std::vector<PostingFile::Entry> candidates;
   bool first = true;
-  for (TermId t : terms) {
-    std::optional<PostingFile::Locator> loc;
-    DSKS_RETURN_IF_ERROR(FindRun(t, edge, &loc));
+  for (const std::optional<PostingFile::Locator>& loc : locs) {
     if (!loc.has_value()) {
       candidates.clear();
       break;

@@ -46,6 +46,13 @@ class PostingFile {
   /// holds the entries read so far; discard it.
   Status ReadRun(Locator locator, std::vector<Entry>* out) const;
 
+  /// Best-effort speculative read of several runs' pages as one batched
+  /// request, so subsequent ReadRun calls hit the pool instead of paying
+  /// one blocking miss per run. A run's page extent is fully determined by
+  /// its locator, so no I/O is needed to plan the batch. Failures are
+  /// dropped (never surfaced); the later ReadRun reports them.
+  void PrefetchRuns(std::span<const Locator> locators) const;
+
   /// Number of entries in a run without reading it.
   static uint32_t RunLength(Locator locator);
 

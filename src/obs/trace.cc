@@ -63,6 +63,8 @@ IoCounters QueryTrace::ReadIo() const {
   if (pool_stats_ != nullptr) {
     io.pool_hits = pool_stats_->hits.load(std::memory_order_relaxed);
     io.pool_misses = pool_stats_->misses.load(std::memory_order_relaxed);
+    io.prefetched_pages =
+        pool_stats_->prefetch_issued.load(std::memory_order_relaxed);
   }
   if (disk_stats_ != nullptr) {
     io.disk_reads = disk_stats_->reads.load(std::memory_order_relaxed);
@@ -162,19 +164,22 @@ std::string QueryTrace::ToText() const {
     AppendF(&out, "ERROR %s (spans below = work done before the failure)\n",
             error_code_name_);
   }
-  AppendF(&out, "%-48s %8s %12s %12s %9s %9s %9s %9s\n", "span", "count",
-          "incl ms", "own ms", "hits", "misses", "reads", "writes");
+  AppendF(&out, "%-48s %8s %12s %12s %9s %9s %9s %9s %9s\n", "span", "count",
+          "incl ms", "own ms", "hits", "misses", "reads", "writes",
+          "prefetch");
   for (const TreeNode& n : nodes) {
     std::string label(static_cast<size_t>(n.depth) * 2, ' ');
     label += PhaseName(n.phase);
     const IoCounters own = n.exclusive_io();
-    AppendF(&out, "%-48s %8llu %12.3f %12.3f %9llu %9llu %9llu %9llu\n",
+    AppendF(&out,
+            "%-48s %8llu %12.3f %12.3f %9llu %9llu %9llu %9llu %9llu\n",
             label.c_str(), static_cast<unsigned long long>(n.count),
             Ms(n.inclusive_ns), Ms(n.exclusive_ns()),
             static_cast<unsigned long long>(own.pool_hits),
             static_cast<unsigned long long>(own.pool_misses),
             static_cast<unsigned long long>(own.disk_reads),
-            static_cast<unsigned long long>(own.disk_writes));
+            static_cast<unsigned long long>(own.disk_writes),
+            static_cast<unsigned long long>(own.prefetched_pages));
   }
   return out;
 }
@@ -198,7 +203,8 @@ std::string QueryTrace::ToJson() const {
             "{\"phase\":\"%s\",\"depth\":%u,\"parent\":%lld,"
             "\"count\":%llu,\"ms\":%.6f,\"own_ms\":%.6f,"
             "\"pool_hits\":%llu,\"pool_misses\":%llu,"
-            "\"disk_reads\":%llu,\"disk_writes\":%llu}",
+            "\"disk_reads\":%llu,\"disk_writes\":%llu,"
+            "\"prefetched_pages\":%llu}",
             PhaseName(n.phase), n.depth,
             n.parent == TreeNode::kNoParent ? -1LL
                                             : static_cast<long long>(n.parent),
@@ -207,7 +213,8 @@ std::string QueryTrace::ToJson() const {
             static_cast<unsigned long long>(own.pool_hits),
             static_cast<unsigned long long>(own.pool_misses),
             static_cast<unsigned long long>(own.disk_reads),
-            static_cast<unsigned long long>(own.disk_writes));
+            static_cast<unsigned long long>(own.disk_writes),
+            static_cast<unsigned long long>(own.prefetched_pages));
   }
   out.append("],\"phases\":{");
   const auto totals = AggregateByPhase();
@@ -223,13 +230,15 @@ std::string QueryTrace::ToJson() const {
     first = false;
     AppendF(&out,
             "\"%s\":{\"spans\":%llu,\"ms\":%.6f,\"pool_hits\":%llu,"
-            "\"pool_misses\":%llu,\"disk_reads\":%llu,\"disk_writes\":%llu}",
+            "\"pool_misses\":%llu,\"disk_reads\":%llu,\"disk_writes\":%llu,"
+            "\"prefetched_pages\":%llu}",
             PhaseName(static_cast<Phase>(p)),
             static_cast<unsigned long long>(t.spans), Ms(t.exclusive_ns),
             static_cast<unsigned long long>(t.io.pool_hits),
             static_cast<unsigned long long>(t.io.pool_misses),
             static_cast<unsigned long long>(t.io.disk_reads),
-            static_cast<unsigned long long>(t.io.disk_writes));
+            static_cast<unsigned long long>(t.io.disk_writes),
+            static_cast<unsigned long long>(t.io.prefetched_pages));
   }
   out.append("}}");
   return out;

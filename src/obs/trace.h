@@ -40,16 +40,23 @@ struct IoCounters {
   uint64_t pool_misses = 0;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
+  /// Pages the pool read speculatively (Prefetch) during the span. These
+  /// reads also appear in disk_reads when they reach the backend; this
+  /// counter attributes them, since a prefetched read is not a blocking
+  /// miss even though it touches the disk.
+  uint64_t prefetched_pages = 0;
 
   IoCounters operator-(const IoCounters& o) const {
     return {pool_hits - o.pool_hits, pool_misses - o.pool_misses,
-            disk_reads - o.disk_reads, disk_writes - o.disk_writes};
+            disk_reads - o.disk_reads, disk_writes - o.disk_writes,
+            prefetched_pages - o.prefetched_pages};
   }
   IoCounters& operator+=(const IoCounters& o) {
     pool_hits += o.pool_hits;
     pool_misses += o.pool_misses;
     disk_reads += o.disk_reads;
     disk_writes += o.disk_writes;
+    prefetched_pages += o.prefetched_pages;
     return *this;
   }
   bool operator==(const IoCounters& o) const = default;

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "obs/metrics.h"
@@ -31,6 +33,22 @@ BufferPool::Frame* BufferPool::GetFrameLocked(PageId id) {
   return it == frames_.end() ? nullptr : &it->second;
 }
 
+char* BufferPool::PinHitLocked(Frame* frame) {
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (frame->prefetched) {
+    // First demand touch of a speculatively read page: the prefetch paid
+    // off. The flag resolves exactly once per issued prefetch.
+    frame->prefetched = false;
+    stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+  ++frame->pin_count;
+  return frame->data.get();
+}
+
 Status BufferPool::FetchPage(PageId id, char** out) {
   std::unique_lock<std::mutex> lock(latch_);
   for (;;) {
@@ -46,13 +64,7 @@ Status BufferPool::FetchPage(PageId id, char** out) {
       io_done_.wait(lock);
       continue;
     }
-    stats_.hits.fetch_add(1, std::memory_order_relaxed);
-    if (frame->in_lru) {
-      lru_.erase(frame->lru_pos);
-      frame->in_lru = false;
-    }
-    ++frame->pin_count;
-    *out = frame->data.get();
+    *out = PinHitLocked(frame);
     return Status::Ok();
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +100,172 @@ Status BufferPool::FetchPage(PageId id, char** out) {
   return Status::Ok();
 }
 
+Status BufferPool::FetchPages(std::span<const PageId> ids,
+                              std::span<char*> outs) {
+  DSKS_CHECK_MSG(ids.size() == outs.size(),
+                 "FetchPages needs one output slot per page id");
+#ifndef NDEBUG
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      DSKS_DCHECK_MSG(ids[i] != ids[j], "FetchPages ids must be distinct");
+    }
+  }
+#endif
+  if (ids.empty()) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(latch_);
+  // nullptr in outs[i] marks "not pinned by this call (yet)" for the
+  // all-or-nothing rollback below.
+  for (char*& out : outs) {
+    out = nullptr;
+  }
+  // Classification never blocks: a page in flight on *another* thread is
+  // deferred to a plain FetchPage after our own batch resolves. Waiting
+  // here would deadlock two concurrent FetchPages calls that each hold
+  // not-yet-started in-flight frames the other is waiting on.
+  std::vector<size_t> miss_index;
+  std::vector<size_t> deferred_index;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Frame* frame = GetFrameLocked(ids[i]);
+    if (frame != nullptr) {
+      if (frame->io_in_progress) {
+        deferred_index.push_back(i);
+      } else {
+        outs[i] = PinHitLocked(frame);
+      }
+      continue;
+    }
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
+      TryEvictOneLocked();
+    }
+    Frame& f = frames_[ids[i]];
+    f.data = std::make_unique<char[]>(kPageSize);
+    f.page_id = ids[i];
+    f.pin_count = 1;
+    f.dirty = false;
+    f.in_lru = false;
+    f.io_in_progress = true;
+    miss_index.push_back(i);
+  }
+  Status first = Status::Ok();
+  if (!miss_index.empty()) {
+    // One batched disk round trip for every miss, outside the latch; the
+    // in-flight frames are pinned and off the LRU, so nothing evicts them.
+    std::vector<PageReadRequest> reqs(miss_index.size());
+    for (size_t k = 0; k < miss_index.size(); ++k) {
+      reqs[k].id = ids[miss_index[k]];
+      reqs[k].out = frames_[reqs[k].id].data.get();
+    }
+    lock.unlock();
+    disk_->ReadPages(std::span<PageReadRequest>(reqs));
+    lock.lock();
+    for (size_t k = 0; k < miss_index.size(); ++k) {
+      const size_t i = miss_index[k];
+      Frame* frame = GetFrameLocked(ids[i]);
+      DSKS_CHECK(frame != nullptr);
+      if (reqs[k].status.ok()) {
+        frame->io_in_progress = false;
+        outs[i] = frame->data.get();
+      } else {
+        frames_.erase(ids[i]);
+        if (first.ok()) {
+          first = std::move(reqs[k].status);
+        }
+      }
+    }
+    io_done_.notify_all();
+  }
+  if (first.ok() && !deferred_index.empty()) {
+    // Safe to block now: this call holds no unresolved in-flight frames.
+    lock.unlock();
+    for (size_t i : deferred_index) {
+      const Status s = FetchPage(ids[i], &outs[i]);
+      if (!s.ok()) {
+        first = s;
+        break;
+      }
+    }
+    lock.lock();
+  }
+  if (!first.ok()) {
+    // All-or-nothing: release every pin this call took so the caller has
+    // nothing to clean up (the per-page contract of FetchPage, batched).
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (outs[i] != nullptr) {
+        UnpinPageLocked(ids[i], /*dirty=*/false);
+        outs[i] = nullptr;
+      }
+    }
+    return first;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Prefetch(std::span<const PageId> ids) {
+  if (ids.empty() || !prefetch_enabled_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const size_t allocated = disk_->num_pages();
+  std::unique_lock<std::mutex> lock(latch_);
+  std::vector<PageReadRequest> reqs;
+  reqs.reserve(ids.size());
+  for (PageId id : ids) {
+    if (id >= allocated) {
+      continue;  // speculative callers may guess past the watermark
+    }
+    if (GetFrameLocked(id) != nullptr) {
+      // Resident or already in flight (ours or another thread's): nothing
+      // to do, and never wait — prefetch must not block.
+      continue;
+    }
+    if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
+      TryEvictOneLocked();
+    }
+    Frame& f = frames_[id];
+    f.data = std::make_unique<char[]>(kPageSize);
+    f.page_id = id;
+    // Pinned while in flight so eviction/Clear can't touch the frame; the
+    // pin drops when the read resolves below.
+    f.pin_count = 1;
+    f.dirty = false;
+    f.in_lru = false;
+    f.io_in_progress = true;
+    PageReadRequest req;
+    req.id = id;
+    req.out = f.data.get();
+    reqs.push_back(req);
+  }
+  if (reqs.empty()) {
+    return;
+  }
+  stats_.prefetch_issued.fetch_add(reqs.size(), std::memory_order_relaxed);
+  lock.unlock();
+  disk_->ReadPages(std::span<PageReadRequest>(reqs));
+  lock.lock();
+  for (PageReadRequest& req : reqs) {
+    Frame* frame = GetFrameLocked(req.id);
+    DSKS_CHECK(frame != nullptr);
+    if (req.status.ok()) {
+      frame->io_in_progress = false;
+      frame->pin_count = 0;
+      frame->prefetched = true;
+      lru_.push_back(req.id);
+      frame->lru_pos = std::prev(lru_.end());
+      frame->in_lru = true;
+    } else {
+      // Fault-silent by design: drop the frame, count it, and let any
+      // later demand fetch re-read and surface its own error. A query
+      // never fails because of a speculative read it didn't ask for.
+      frames_.erase(req.id);
+      stats_.prefetch_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  io_done_.notify_all();
+  TrimToCapacityLocked();
+}
+
 char* BufferPool::NewPage(PageId* id) {
   *id = disk_->AllocatePage();
   std::lock_guard<std::mutex> lock(latch_);
@@ -106,6 +284,10 @@ char* BufferPool::NewPage(PageId* id) {
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
   std::lock_guard<std::mutex> lock(latch_);
+  UnpinPageLocked(id, dirty);
+}
+
+void BufferPool::UnpinPageLocked(PageId id, bool dirty) {
   Frame* frame = GetFrameLocked(id);
   DSKS_CHECK_MSG(frame != nullptr, "unpin of page not in pool");
   DSKS_CHECK_MSG(frame->pin_count > 0, "unpin of unpinned page");
@@ -135,6 +317,11 @@ bool BufferPool::TryEvictOneLocked() {
         ++it;
         continue;
       }
+    }
+    if (f.prefetched) {
+      // Evicted without ever being demanded: the speculative read was
+      // wasted work.
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
     }
     lru_.erase(it);
     frames_.erase(fit);
@@ -184,6 +371,9 @@ Status BufferPool::Clear() {
   const Status status = FlushAllLocked();
   for (auto& [id, frame] : frames_) {
     DSKS_CHECK_MSG(frame.pin_count == 0, "Clear with pinned pages");
+    if (frame.prefetched) {
+      stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+    }
     (void)id;
   }
   frames_.clear();
@@ -204,6 +394,14 @@ void BufferPool::BindMetrics(obs::MetricsRegistry* registry,
   registry->BindSource(prefix + ".hits", counter(&stats_.hits));
   registry->BindSource(prefix + ".misses", counter(&stats_.misses));
   registry->BindSource(prefix + ".evictions", counter(&stats_.evictions));
+  registry->BindSource(prefix + ".prefetch.issued",
+                       counter(&stats_.prefetch_issued));
+  registry->BindSource(prefix + ".prefetch.hits",
+                       counter(&stats_.prefetch_hits));
+  registry->BindSource(prefix + ".prefetch.wasted",
+                       counter(&stats_.prefetch_wasted));
+  registry->BindSource(prefix + ".prefetch.dropped",
+                       counter(&stats_.prefetch_dropped));
   registry->BindSource(prefix + ".capacity_frames",
                        [this] { return static_cast<uint64_t>(capacity()); });
   registry->BindSource(prefix + ".frames_in_use", [this] {

@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,10 @@ struct BufferPoolStatsSnapshot {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_dropped = 0;
 
   uint64_t accesses() const { return hits + misses; }
   double hit_rate() const {
@@ -50,11 +55,26 @@ struct BufferPoolStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> evictions{0};
+  /// Prefetch lifecycle counters. Every *started* speculative read counts
+  /// in `issued`; each issued page is later accounted exactly once as a
+  /// `hit` (its first demand fetch found it resident), `wasted` (evicted
+  /// or cleared before any demand touch), or `dropped` (the speculative
+  /// read itself failed — injected fault, real errno, corruption). At
+  /// quiescence (no frame still carrying its prefetched flag):
+  /// issued == hits + wasted + dropped.
+  std::atomic<uint64_t> prefetch_issued{0};
+  std::atomic<uint64_t> prefetch_hits{0};
+  std::atomic<uint64_t> prefetch_wasted{0};
+  std::atomic<uint64_t> prefetch_dropped{0};
 
   void Reset() {
     hits.store(0, std::memory_order_relaxed);
     misses.store(0, std::memory_order_relaxed);
     evictions.store(0, std::memory_order_relaxed);
+    prefetch_issued.store(0, std::memory_order_relaxed);
+    prefetch_hits.store(0, std::memory_order_relaxed);
+    prefetch_wasted.store(0, std::memory_order_relaxed);
+    prefetch_dropped.store(0, std::memory_order_relaxed);
   }
 
   BufferPoolStatsSnapshot Snapshot() const {
@@ -62,6 +82,10 @@ struct BufferPoolStats {
     s.hits = hits.load(std::memory_order_relaxed);
     s.misses = misses.load(std::memory_order_relaxed);
     s.evictions = evictions.load(std::memory_order_relaxed);
+    s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.prefetch_wasted = prefetch_wasted.load(std::memory_order_relaxed);
+    s.prefetch_dropped = prefetch_dropped.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -112,6 +136,36 @@ class BufferPool {
   /// status (IOError / Corruption from the disk read) means the page is
   /// NOT pinned and `*out` is untouched, so there is nothing to unpin.
   Status FetchPage(PageId id, char** out);
+
+  /// Batched FetchPage: pins every page of `ids` (same contract per page
+  /// as FetchPage) resolving all misses with a single DiskManager batch
+  /// read and one latch pass, so K cold pages cost one device round trip
+  /// instead of K. All-or-nothing: on any page's failure every pin this
+  /// call took is released and the first error is returned (`outs` is then
+  /// unspecified, nothing is left pinned). `ids` must be duplicate-free —
+  /// a duplicate would wait on its own in-flight read.
+  Status FetchPages(std::span<const PageId> ids, std::span<char*> outs);
+
+  /// Best-effort, non-blocking readahead: starts one batched speculative
+  /// read for the pages of `ids` not already resident or in flight, and
+  /// publishes whatever succeeds as unpinned LRU frames. Failures of any
+  /// kind — injected faults, real I/O errors, corruption — are dropped
+  /// (counted in prefetch_dropped) and never surfaced: a later demand
+  /// fetch of that page retries from scratch and reports its own error.
+  /// Never waits on other threads' in-flight reads, skips unallocated ids,
+  /// and is a no-op while prefetching is disabled. Results of queries are
+  /// bit-identical with prefetch on or off; only cache temperature moves.
+  void Prefetch(std::span<const PageId> ids);
+
+  /// Kill switch for Prefetch (default on). Tests that need exact demand
+  /// I/O sequences (one-shot fault placement) turn it off; `--prefetch`
+  /// flags on the CLI/bench A/B the two modes.
+  void set_prefetch_enabled(bool enabled) {
+    prefetch_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool prefetch_enabled() const {
+    return prefetch_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Allocates a fresh page on disk and returns it pinned; `*id` receives
   /// the new page id.
@@ -175,6 +229,10 @@ class BufferPool {
     /// True while the owning fetch reads the page from disk outside the
     /// latch; concurrent fetchers of the same page wait on io_done_.
     bool io_in_progress = false;
+    /// Set when a speculative read published this frame; cleared (counting
+    /// a prefetch hit) by the first demand fetch, or counted as wasted if
+    /// the frame is evicted/cleared still carrying it.
+    bool prefetched = false;
     /// Position in lru_ when pin_count == 0.
     std::list<PageId>::iterator lru_pos;
     bool in_lru = false;
@@ -195,10 +253,19 @@ class BufferPool {
   /// Requires latch_ held.
   Frame* GetFrameLocked(PageId id);
 
+  /// Pins `*frame` as a demand hit: hit accounting (including the
+  /// prefetched-flag resolution), LRU removal, pin count. Requires latch_
+  /// held and the frame not in flight.
+  char* PinHitLocked(Frame* frame);
+
+  /// UnpinPage's body; requires latch_ held.
+  void UnpinPageLocked(PageId id, bool dirty);
+
   Status FlushAllLocked();
 
   DiskManager* disk_;
   std::atomic<size_t> capacity_;
+  std::atomic<bool> prefetch_enabled_{true};
 
   mutable std::mutex latch_;
   /// Signalled when a frame's in-flight disk read completes.

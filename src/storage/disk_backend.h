@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/status.h"
@@ -43,6 +44,18 @@ struct DiskOptions {
 /// pages by every backend.
 uint32_t ZeroPageCrc();
 
+/// One page of a batched read (DiskBackend::ReadPages / DiskManager::
+/// ReadPages). The caller fills `id` and `out`; the backend fills
+/// `expected_crc` and `status` with exactly the values the equivalent
+/// single-page ReadPage would have produced. Statuses are per page: one
+/// failed page does not poison its batch mates.
+struct PageReadRequest {
+  PageId id = kInvalidPageId;
+  char* out = nullptr;
+  uint32_t expected_crc = 0;
+  Status status;
+};
+
 /// Storage medium behind a DiskManager: raw page images plus their
 /// out-of-line per-page checksums. Implementations do their own locking.
 /// Everything policy-level — fault injection, checksum computation and
@@ -68,6 +81,19 @@ class DiskBackend {
   /// a short read past the end of a torn file. The caller verifies `out`
   /// against `*expected_crc`; the backend does not.
   virtual Status ReadPage(PageId id, char* out, uint32_t* expected_crc) = 0;
+
+  /// Batched ReadPage: fills every request's `expected_crc`/`status` (and
+  /// `out` on success) with the same values a per-page loop would, but in
+  /// one device round trip where the medium allows it. The file backend
+  /// merges contiguous page-id runs into single preadv calls; the sim
+  /// backend charges its simulated latency once per batch instead of once
+  /// per page. This base implementation is the per-page loop, so custom
+  /// backends get correct (if unbatched) behaviour for free.
+  virtual void ReadPages(std::span<PageReadRequest> batch) {
+    for (PageReadRequest& r : batch) {
+      r.status = ReadPage(r.id, r.out, &r.expected_crc);
+    }
+  }
 
   /// Stores `in` as page `id` and records `crc` as its checksum. On error
   /// the recorded checksum is untouched (the page image may be torn on a

@@ -1,6 +1,7 @@
 #include "storage/disk_manager.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/crc32c.h"
 #include "common/macros.h"
@@ -91,6 +92,73 @@ Status DiskManager::ReadPage(PageId id, char* out) {
                               std::to_string(id));
   }
   return Status::Ok();
+}
+
+void DiskManager::ReadPages(std::span<PageReadRequest> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  const bool armed = fault_injector_.armed();
+  // Per-page policy after the backend filled a request. `armed` is passed
+  // down so the corrupt-read draw sequence matches a sequential loop:
+  // pages whose backend read failed never draw (ReadPage returns before
+  // ShouldCorruptRead in that case too).
+  auto finish = [this, armed](PageReadRequest* r) {
+    if (!r->status.ok()) {
+      if (r->status.IsCorruption()) {
+        stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    if (armed) {
+      uint32_t bit_index = 0;
+      if (fault_injector_.ShouldCorruptRead(r->id, &bit_index)) {
+        r->out[bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
+      }
+    }
+    if (crc32c::Value(r->out, kPageSize) != r->expected_crc) {
+      stats_.corruptions_detected.fetch_add(1, std::memory_order_relaxed);
+      r->status = Status::Corruption("checksum mismatch on page " +
+                                     std::to_string(r->id));
+    }
+  };
+  if (!armed) {
+    backend_->ReadPages(batch);
+    for (PageReadRequest& r : batch) {
+      finish(&r);
+    }
+    return;
+  }
+  // Armed: draw the read-fault decision for every page first (batch order
+  // == loop order, so seeded fault counts are unchanged), then hand only
+  // the survivors to the backend.
+  std::vector<PageReadRequest> device;
+  std::vector<size_t> device_index;
+  device.reserve(batch.size());
+  device_index.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PageReadRequest& r = batch[i];
+    if (fault_injector_.ShouldFailRead(r.id)) {
+      stats_.read_faults.fetch_add(1, std::memory_order_relaxed);
+      r.status = Status::IOError("injected read fault on page " +
+                                 std::to_string(r.id));
+      continue;
+    }
+    device.push_back(r);
+    device_index.push_back(i);
+  }
+  if (!device.empty()) {
+    backend_->ReadPages(std::span<PageReadRequest>(device));
+  }
+  for (size_t k = 0; k < device.size(); ++k) {
+    PageReadRequest& r = batch[device_index[k]];
+    r.expected_crc = device[k].expected_crc;
+    r.status = std::move(device[k].status);
+    finish(&r);
+  }
 }
 
 Status DiskManager::WritePage(PageId id, const char* in) {

@@ -122,6 +122,14 @@ class DiskManager {
   /// verification or the backing file ends mid-page.
   Status ReadPage(PageId id, char* out);
 
+  /// Batched ReadPage: one backend round trip for the whole batch, with
+  /// the full per-page policy applied to every request — fault-injection
+  /// draws, stats accounting, bit-flip corruption and CRC verification all
+  /// happen per page, in batch order, so each request's `status` equals
+  /// what a sequential ReadPage loop would have returned (and seeded chaos
+  /// draw sequences are identical, batched or not).
+  void ReadPages(std::span<PageReadRequest> batch);
+
   /// Copies `in` (exactly kPageSize bytes) into page `id` and records its
   /// checksum. Returns IOError on a write fault (injected or real errno);
   /// the recorded checksum is untouched in that case, so a torn physical

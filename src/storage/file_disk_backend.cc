@@ -1,7 +1,9 @@
 #include "storage/file_disk_backend.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,6 +29,16 @@ static_assert(sizeof(CrcHeader) == 16, "sidecar header must be packed");
 /// Grow the physical file in chunks so page allocation stays O(1)
 /// amortised even for multi-GiB index builds.
 constexpr size_t kMinPhysicalPages = 256;  // 1 MiB
+
+/// Longest contiguous run merged into one vectored read: 64 pages
+/// (256 KiB) is deep enough to amortise the syscall while staying well
+/// under every platform's IOV_MAX.
+constexpr size_t kMaxRunPages =
+#ifdef IOV_MAX
+    IOV_MAX < 64 ? IOV_MAX : 64;
+#else
+    16;
+#endif
 
 std::string ErrnoMessage(const char* op, const std::string& path, int err) {
   return std::string(op) + " " + path + ": " + std::strerror(err);
@@ -169,6 +181,8 @@ Status FileDiskBackend::Open(const DiskOptions& options,
   std::unique_ptr<FileDiskBackend> backend(
       new FileDiskBackend(options.path, data_fd, crc_fd, o_direct));
   backend->checksums_.resize(header.num_pages);
+  // The sidecar on disk is authoritative for everything just loaded.
+  backend->crc_dirty_.assign(header.num_pages, false);
   if (header.num_pages > 0) {
     const size_t bytes = header.num_pages * sizeof(uint32_t);
     const ssize_t n = FullPread(
@@ -195,6 +209,8 @@ PageId FileDiskBackend::AllocatePage() {
   std::lock_guard<std::mutex> lock(mutex_);
   const PageId id = static_cast<PageId>(checksums_.size());
   checksums_.push_back(ZeroPageCrc());
+  crc_dirty_.push_back(true);
+  ++dirty_crc_count_;
   if (checksums_.size() > physical_pages_) {
     // Double the physical extent; ftruncate'd holes read back zeroed,
     // matching the checksum just recorded, so no page write is needed.
@@ -261,6 +277,85 @@ Status FileDiskBackend::ReadPage(PageId id, char* out,
   return PreadPage(id, out);
 }
 
+void FileDiskBackend::ReadContiguousRun(PageReadRequest* run, size_t n) {
+  if (n == 1) {
+    run->status = PreadPage(run->id, run->out);
+    return;
+  }
+  const off_t offset = static_cast<off_t>(run->id) * kPageSize;
+  size_t full = 0;  // pages completely delivered by the vectored call
+  if (!o_direct_) {
+    struct iovec iov[kMaxRunPages];
+    for (size_t k = 0; k < n; ++k) {
+      iov[k].iov_base = run[k].out;
+      iov[k].iov_len = kPageSize;
+    }
+    ssize_t got;
+    do {
+      got = ::preadv(data_fd_, iov, static_cast<int>(n), offset);
+    } while (got < 0 && errno == EINTR);
+    if (got > 0) {
+      full = static_cast<size_t>(got) / kPageSize;
+    }
+  } else {
+    // O_DIRECT transfers need an aligned buffer; one run-sized buffer and
+    // a scatter copy keeps callers on ordinary heap frames.
+    std::unique_ptr<char, decltype(&std::free)> buf(
+        static_cast<char*>(std::aligned_alloc(kPageSize, n * kPageSize)),
+        &std::free);
+    DSKS_CHECK_MSG(buf != nullptr, "aligned_alloc failed");
+    const ssize_t got = FullPread(data_fd_, buf.get(), n * kPageSize, offset);
+    if (got > 0) {
+      full = static_cast<size_t>(got) / kPageSize;
+      for (size_t k = 0; k < full; ++k) {
+        std::memcpy(run[k].out, buf.get() + k * kPageSize, kPageSize);
+      }
+    }
+  }
+  for (size_t k = 0; k < full; ++k) {
+    run[k].status = Status::Ok();
+  }
+  // Pages the vectored call did not fully deliver — a device error, a
+  // partial transfer, or a foreign-truncated file — retry one at a time so
+  // each gets the single-page path's exact IOError/Corruption semantics.
+  for (size_t k = full; k < n; ++k) {
+    run[k].status = PreadPage(run[k].id, run[k].out);
+  }
+}
+
+void FileDiskBackend::ReadPages(std::span<PageReadRequest> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  size_t physical;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PageReadRequest& r : batch) {
+      DSKS_CHECK_MSG(r.id < checksums_.size(), "read of unallocated page");
+      r.expected_crc = checksums_[r.id];
+    }
+    physical = physical_pages_;
+  }
+  size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].id >= physical) {
+      // Same contract as ReadPage: allocated but past the physical end
+      // reads back as the zero page.
+      std::memset(batch[i].out, 0, kPageSize);
+      batch[i].status = Status::Ok();
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < batch.size() && j - i < kMaxRunPages &&
+           batch[j].id == batch[j - 1].id + 1 && batch[j].id < physical) {
+      ++j;
+    }
+    ReadContiguousRun(&batch[i], j - i);
+    i = j;
+  }
+}
+
 Status FileDiskBackend::WritePage(PageId id, const char* in, uint32_t crc) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -271,6 +366,10 @@ Status FileDiskBackend::WritePage(PageId id, const char* in, uint32_t crc) {
   // torn one leaves the stale CRC to flag the page on its next cold read.
   std::lock_guard<std::mutex> lock(mutex_);
   checksums_[id] = crc;
+  if (!crc_dirty_[id]) {
+    crc_dirty_[id] = true;
+    ++dirty_crc_count_;
+  }
   return Status::Ok();
 }
 
@@ -278,7 +377,11 @@ Status FileDiskBackend::TruncatePages(size_t new_num_pages) {
   std::lock_guard<std::mutex> lock(mutex_);
   DSKS_CHECK_MSG(new_num_pages <= checksums_.size(),
                  "truncate beyond the allocation watermark");
+  for (size_t i = new_num_pages; i < crc_dirty_.size(); ++i) {
+    if (crc_dirty_[i]) --dirty_crc_count_;
+  }
   checksums_.resize(new_num_pages);
+  crc_dirty_.resize(new_num_pages);
   if (::ftruncate(data_fd_,
                   static_cast<off_t>(new_num_pages) * kPageSize) != 0) {
     return Status::IOError(ErrnoMessage("ftruncate", path_, errno));
@@ -304,11 +407,35 @@ Status FileDiskBackend::Flush() {
                  sizeof(header), 0) != 0) {
     return Status::IOError(ErrnoMessage("pwrite", crc_path_, errno));
   }
-  if (!checksums_.empty() &&
-      FullPwrite(crc_fd_, reinterpret_cast<const char*>(checksums_.data()),
-                 checksums_.size() * sizeof(uint32_t),
-                 sizeof(CrcHeader)) != 0) {
-    return Status::IOError(ErrnoMessage("pwrite", crc_path_, errno));
+  // Rewrite only the entries dirtied since the last flush, coalescing
+  // them into contiguous pwrites. Entries never flushed before are dirty
+  // by construction (AllocatePage marks them), so skipping clean ones can
+  // never leave a hole in the sidecar. A flush after W page writes costs
+  // O(W), not O(all pages) — the difference between a checkpoint and a
+  // full sidecar rewrite on a big index.
+  if (dirty_crc_count_ > 0) {
+    size_t i = 0;
+    const size_t n = checksums_.size();
+    while (i < n) {
+      if (!crc_dirty_[i]) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && crc_dirty_[j]) {
+        ++j;
+      }
+      if (FullPwrite(
+              crc_fd_,
+              reinterpret_cast<const char*>(checksums_.data() + i),
+              (j - i) * sizeof(uint32_t),
+              static_cast<off_t>(sizeof(CrcHeader) + i * sizeof(uint32_t))) !=
+          0) {
+        return Status::IOError(ErrnoMessage("pwrite", crc_path_, errno));
+      }
+      crc_entries_rewritten_ += j - i;
+      i = j;
+    }
   }
   const off_t crc_size = static_cast<off_t>(
       sizeof(CrcHeader) + checksums_.size() * sizeof(uint32_t));
@@ -321,7 +448,16 @@ Status FileDiskBackend::Flush() {
   if (::fsync(crc_fd_) != 0) {
     return Status::IOError(ErrnoMessage("fsync", crc_path_, errno));
   }
+  // Entries are clean only once they are durable: clearing the bits after
+  // the fsyncs means a failed flush retries every still-dirty entry.
+  crc_dirty_.assign(crc_dirty_.size(), false);
+  dirty_crc_count_ = 0;
   return Status::Ok();
+}
+
+uint64_t FileDiskBackend::crc_entries_rewritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crc_entries_rewritten_;
 }
 
 void FileDiskBackend::CorruptStoredPage(PageId id, uint32_t bit_index) {

@@ -53,6 +53,12 @@ class FileDiskBackend : public DiskBackend {
 
   PageId AllocatePage() override;
   Status ReadPage(PageId id, char* out, uint32_t* expected_crc) override;
+  /// Batched read: requests whose page ids form contiguous ascending runs
+  /// are merged into single preadv calls (scattering straight into the
+  /// callers' buffers, or through one aligned run buffer under O_DIRECT).
+  /// Any page a vectored call could not fully serve falls back to the
+  /// single-page path, so per-page error semantics match ReadPage exactly.
+  void ReadPages(std::span<PageReadRequest> batch) override;
   Status WritePage(PageId id, const char* in, uint32_t crc) override;
   Status TruncatePages(size_t new_num_pages) override;
   Status Flush() override;
@@ -63,6 +69,11 @@ class FileDiskBackend : public DiskBackend {
   /// Whether O_DIRECT actually took (false after the tmpfs fallback).
   bool o_direct_active() const { return o_direct_; }
 
+  /// CRC sidecar entries rewritten by all Flush() calls so far. A flush
+  /// after writing W pages rewrites O(W) entries, not O(all pages); the
+  /// flush-cost regression test pins this down.
+  uint64_t crc_entries_rewritten() const;
+
  private:
   FileDiskBackend(std::string path, int data_fd, int crc_fd, bool o_direct);
 
@@ -72,6 +83,11 @@ class FileDiskBackend : public DiskBackend {
   Status PreadPage(PageId id, char* out);
   Status PwritePage(PageId id, const char* in);
 
+  /// Reads `n` physically contiguous pages (run[0].id .. run[0].id+n-1)
+  /// with one vectored call, falling back to PreadPage for any page the
+  /// vectored call did not fully deliver. Fills each request's status.
+  void ReadContiguousRun(PageReadRequest* run, size_t n);
+
   const std::string path_;
   const std::string crc_path_;
   int data_fd_;
@@ -79,8 +95,17 @@ class FileDiskBackend : public DiskBackend {
   bool o_direct_;
 
   mutable std::mutex mutex_;
-  /// In-memory copy of the sidecar CRCs; persisted wholesale by Flush().
+  /// In-memory copy of the sidecar CRCs; Flush() persists the entries
+  /// dirtied since the last flush (plus the header).
   std::vector<uint32_t> checksums_;
+  /// Per-entry dirty bits for the sidecar: set by AllocatePage/WritePage/
+  /// TruncatePages, cleared by a successful Flush. `dirty_crc_count_`
+  /// caches the number of set bits so Flush can skip a full scan when the
+  /// sidecar is clean.
+  std::vector<bool> crc_dirty_;
+  size_t dirty_crc_count_ = 0;
+  /// Cumulative sidecar entries rewritten by Flush (see accessor).
+  uint64_t crc_entries_rewritten_ = 0;
   /// Pages the data file is physically sized for; grown in chunks so
   /// AllocatePage is O(1) amortised (ftruncate'd zeros read back as the
   /// zero page, matching the checksum recorded at allocation).

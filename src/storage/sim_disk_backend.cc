@@ -54,6 +54,36 @@ Status SimDiskBackend::ReadPage(PageId id, char* out,
   return Status::Ok();
 }
 
+void SimDiskBackend::ReadPages(std::span<PageReadRequest> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  std::vector<const char*> srcs(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      DSKS_CHECK_MSG(batch[i].id < pages_.size(), "read of unallocated page");
+      srcs[i] = pages_[batch[i].id].get();
+      batch[i].expected_crc = checksums_[batch[i].id];
+    }
+  }
+  // One simulated device round trip for the whole batch: this latency
+  // discount is exactly what batched I/O buys on a real disk.
+  const double delay = read_delay_us_.load(std::memory_order_relaxed);
+  if (delay > 0.0) {
+    if (read_delay_yields_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(delay));
+    } else {
+      SpinForMicros(delay);
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(batch[i].out, srcs[i], kPageSize);
+    batch[i].status = Status::Ok();
+  }
+}
+
 Status SimDiskBackend::WritePage(PageId id, const char* in, uint32_t crc) {
   char* dst;
   {

@@ -28,6 +28,10 @@ class SimDiskBackend : public DiskBackend {
 
   PageId AllocatePage() override;
   Status ReadPage(PageId id, char* out, uint32_t* expected_crc) override;
+  /// Batched read: one directory pass under the mutex, then the simulated
+  /// latency is charged once for the whole batch — the model of a single
+  /// vectored device request — before all pages are copied.
+  void ReadPages(std::span<PageReadRequest> batch) override;
   Status WritePage(PageId id, const char* in, uint32_t crc) override;
   Status TruncatePages(size_t new_num_pages) override;
   Status Flush() override { return Status::Ok(); }

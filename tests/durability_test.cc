@@ -17,6 +17,7 @@
 #include "harness/database.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
+#include "storage/file_disk_backend.h"
 #include "storage_test_util.h"
 
 namespace dsks {
@@ -217,6 +218,38 @@ TEST(DurabilityTest, ReadDelayKnobIsANoOpOnFileBackend) {
   disk.set_read_delay_yields(true);
   EXPECT_EQ(disk.read_delay_us(), 0.0);
   EXPECT_FALSE(disk.read_delay_yields());
+  testing::RemoveDiskFiles(options);
+}
+
+// --- flush cost -----------------------------------------------------------
+
+TEST(DurabilityTest, FlushRewritesOnlyDirtyCrcEntries) {
+  const DiskOptions options = testing::FileDiskOptions("dirtycrc");
+  std::unique_ptr<FileDiskBackend> backend;
+  ASSERT_TRUE(FileDiskBackend::Create(options, &backend).ok());
+
+  constexpr size_t kPages = 64;
+  std::vector<char> page(kPageSize, 'x');
+  for (size_t i = 0; i < kPages; ++i) {
+    const PageId id = backend->AllocatePage();
+    ASSERT_TRUE(
+        backend->WritePage(id, page.data(), static_cast<uint32_t>(i)).ok());
+  }
+  ASSERT_TRUE(backend->Flush().ok());
+  EXPECT_EQ(backend->crc_entries_rewritten(), kPages)
+      << "the first flush persists every allocated entry";
+
+  // A clean flush rewrites nothing (only the header).
+  ASSERT_TRUE(backend->Flush().ok());
+  EXPECT_EQ(backend->crc_entries_rewritten(), kPages);
+
+  // One dirtied page costs one sidecar entry, not O(all pages) — the
+  // regression this test pins: Flush used to rewrite the whole sidecar.
+  ASSERT_TRUE(backend->WritePage(kPages / 2, page.data(), 0x5555u).ok());
+  ASSERT_TRUE(backend->Flush().ok());
+  EXPECT_EQ(backend->crc_entries_rewritten(), kPages + 1);
+
+  backend.reset();
   testing::RemoveDiskFiles(options);
 }
 

@@ -45,7 +45,7 @@ for san in "${sanitizers[@]}"; do
   # backends face the same faults under the same sanitizer.
   echo "=== $san sanitizer: storage + chaos suites on the file backend ==="
   for t in storage_test fault_injection_test buffer_pool_concurrency_test \
-           durability_test obs_test chaos_test; do
+           durability_test prefetch_test obs_test chaos_test; do
     (cd "$dir" && DSKS_TEST_BACKEND=file TSAN_OPTIONS="die_after_fork=0" \
         "./tests/$t" --gtest_brief=1)
   done
@@ -105,4 +105,31 @@ if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
   ./build-perf/tools/dsks_cli chaos --backend file --queries 128 \
     --threads 8 --read-fault-p 0.002 --retries 2 --seed 42
   echo "=== file-backend smoke: OK ==="
+
+  # Cold-cache smoke: the prefetch A/B on real files must produce a
+  # schema-valid artifact with cold records, and prefetching must actually
+  # reduce blocking misses there — a silent prefetch regression would
+  # otherwise only show up as slowly eroding cold-start latency.
+  echo "=== cold-cache smoke: bench_throughput --cold on the file backend ==="
+  mkdir -p build-perf/cold-smoke
+  (cd build-perf/cold-smoke && DSKS_IO_DELAY_US=0 DSKS_BENCH_SCALE=0.3 \
+      DSKS_BENCH_QUERIES=40 ../bench/bench_throughput --backend=file --cold)
+  python3 tools/perf_gate.py validate-bench \
+    build-perf/cold-smoke/BENCH_throughput.json
+  grep -q '"cold":1' build-perf/cold-smoke/BENCH_throughput.json || {
+    echo "cold-cache smoke: artifact is missing \"cold\":1 records" >&2
+    exit 1
+  }
+  python3 - build-perf/cold-smoke/BENCH_throughput.json <<'EOF'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+for wl in ("sk", "div-com"):
+    misses = {r["prefetch"]: r["pool_misses"] for r in recs
+              if r.get("cold") == 1 and r.get("workload") == wl}
+    if misses.get(1, 1) * 2 > misses.get(0, 0):
+        sys.exit(f"cold-cache smoke: {wl}: prefetch-on misses {misses.get(1)} "
+                 f"not < half of prefetch-off misses {misses.get(0)}")
+    print(f"cold-cache smoke: {wl}: misses {misses[0]} -> {misses[1]}")
+EOF
+  echo "=== cold-cache smoke: OK ==="
 fi

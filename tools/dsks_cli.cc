@@ -156,6 +156,7 @@ int Usage() {
                "           [--mode boolean|knn|ranked|div-seq|div-com]\n"
                "           [--lambda 0.8] [--alpha 0.5]\n"
                "           [--threads 4] [--repeat 64] [--trace [json]]\n"
+               "           [--prefetch on|off]\n"
                "  dsks_cli metrics [--scale 0.03] [--index sif]\n"
                "           [--queries 32] [--threads 2] [--format json|prom]\n"
                "  dsks_cli chaos [--scale 0.03] [--index sif] [--queries 256]\n"
@@ -314,6 +315,15 @@ int CmdQuery(const Args& args) {
   CliBackend backend(args);
   DiskManager disk(backend.options());
   BufferPool pool(&disk, 1u << 16);
+  // --prefetch off pins the pool to demand-only reads — the A/B knob for
+  // attributing a query's I/O behavior to speculative batching.
+  const std::string prefetch = args.Get("prefetch", "on");
+  if (prefetch != "on" && prefetch != "off") {
+    std::fprintf(stderr, "--prefetch: want 'on' or 'off', got '%s'\n",
+                 prefetch.c_str());
+    return 2;
+  }
+  pool.set_prefetch_enabled(prefetch == "on");
   const CcamFile ccam = CcamFileBuilder::Build(*net, &disk);
   CcamGraph graph(&ccam, &pool);
 
@@ -369,6 +379,7 @@ int CmdQuery(const Args& args) {
   cli_ctx.trace = trace_ptr;
 
   const uint64_t reads_before = disk.stats().reads.load();
+  const uint64_t prefetched_before = pool.stats().prefetch_issued.load();
   Timer timer;
   uint32_t root_span = 0;
   if (trace_ptr != nullptr) {
@@ -439,8 +450,10 @@ int CmdQuery(const Args& args) {
   }
   const double query_millis = timer.ElapsedMillis();
   const uint64_t query_reads = disk.stats().reads.load() - reads_before;
-  std::printf("query time %.1f ms, %lu page reads\n", query_millis,
-              static_cast<unsigned long>(query_reads));
+  std::printf("query time %.1f ms, %lu page reads, %lu prefetched\n",
+              query_millis, static_cast<unsigned long>(query_reads),
+              static_cast<unsigned long>(
+                  pool.stats().prefetch_issued.load() - prefetched_before));
   if (traced) {
     if (args.Get("trace", "") == "json") {
       std::printf("%s\n", trace.ToJson().c_str());

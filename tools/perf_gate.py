@@ -80,6 +80,13 @@ MEASUREMENT_SCHEMA = {
         # be pooled, so every record has to say which one it came from
         "backend": {"type": "string"},
         "workload": {"type": "string"},
+        # cache regime: 1 when the pool was cleared before every query
+        # (cold-cache A/B runs), 0 for the steady-state warm series. The
+        # perf gate refuses to grade one regime against the other.
+        "cold": {"type": "integer", "min": 0},
+        # 1 when speculative prefetching was enabled for the run; cold
+        # records come in off/on pairs so the miss reduction is auditable
+        "prefetch": {"type": "integer", "min": 0},
         "threads": {"type": "integer", "min": 1},
         "queries": {"type": "integer", "min": 1},
         "wall_ms": NUM,
@@ -117,6 +124,7 @@ PHASE_PROFILE_SCHEMA = {
                     "pool_hits": {"type": "integer", "min": 0},
                     "pool_misses": {"type": "integer", "min": 0},
                     "disk_reads": {"type": "integer", "min": 0},
+                    "prefetched_pages": {"type": "integer", "min": 0},
                 },
             },
         },
@@ -184,6 +192,25 @@ def validate_bench(path) -> int:
                     f"$[{i}]: fault-free bench reports error_rate "
                     f"{rec['error_rate']}"
                 )
+            # Cold records exist to audit the prefetch miss reduction, so
+            # they must carry the counters that reduction is computed from.
+            if rec.get("cold") == 1:
+                for key in (
+                    "pool_misses",
+                    "disk_reads",
+                    "prefetch_issued",
+                    "prefetch_hits",
+                    "prefetch_wasted",
+                    "prefetch_dropped",
+                ):
+                    if key not in rec:
+                        errors.append(f"$[{i}]: cold record missing '{key}'")
+                    else:
+                        errors += validate(
+                            rec[key],
+                            {"type": "integer", "min": 0},
+                            f"$[{i}].{key}",
+                        )
     if profiles == 0:
         errors.append("$: no phase_profile record found")
     return report(f"validate-bench {path} ({len(records)} records)", errors)
@@ -214,7 +241,14 @@ def perf_gate(baseline_path, smoke_path) -> int:
     # — a real-file run must not be graded against sim numbers, nor mask a
     # sim regression by happening to be fast. Skip them loudly.
     baseline_backend = baseline_doc.get("backend", "sim")
+    # Same for the cache regime: a cold-cache record (the pool cleared
+    # before every query) measures a different experiment than the warm
+    # steady state the baseline describes. Mixing them either hides a real
+    # regression or flags a phantom one, so mismatched records are skipped
+    # just as loudly.
+    baseline_cold = baseline_doc.get("cold", 0)
     skipped_backends: dict[str, int] = {}
+    skipped_cold = 0
     best: dict[str, float] = {}
     with open(smoke_path, encoding="utf-8") as f:
         for line in f:
@@ -228,12 +262,21 @@ def perf_gate(baseline_path, smoke_path) -> int:
             if backend != baseline_backend:
                 skipped_backends[backend] = skipped_backends.get(backend, 0) + 1
                 continue
+            if rec.get("cold", 0) != baseline_cold:
+                skipped_cold += 1
+                continue
             wl = rec["workload"]
             best[wl] = max(best.get(wl, 0.0), rec["qps"])
     for backend, n in sorted(skipped_backends.items()):
         print(
             f"perf gate: skipped {n} record(s) from backend '{backend}' "
             f"(baseline is '{baseline_backend}')"
+        )
+    if skipped_cold:
+        regime = "cold" if baseline_cold else "warm"
+        print(
+            f"perf gate: skipped {skipped_cold} record(s) from the other "
+            f"cache regime (baseline is {regime})"
         )
 
     failed = False
