@@ -6,25 +6,38 @@
 //
 // Knobs: DSKS_BENCH_SCALE, DSKS_BENCH_QUERIES (as everywhere),
 // DSKS_BENCH_THREADS (comma list, default "1,2,4,8"),
-// DSKS_IO_DELAY_US (per-read simulated latency, default 50).
+// DSKS_IO_DELAY_US (per-read simulated latency, default 50),
+// DSKS_BENCH_SAMPLE (trace 1-in-N queries on the timed path, default 0 =
+// off so the perf baseline stays comparable; the check.sh overhead gate
+// compares a sampled run against the unsampled smoke),
+// DSKS_BENCH_STATS_PORT (serve /metrics, /varz, /tracez on that port
+// while the bench runs; 0 picks an ephemeral port, printed as a "STATS
+// http://..." line), DSKS_BENCH_STATS_LINGER_MS (keep serving that long
+// after the benches finish, so scrapers never race bench exit).
 //
 // Besides the table, every measurement is emitted as one JSON line
 // (prefix "JSON ") for scripted consumption. The measured series run
-// untraced (tracing must not be on the timed path); a separate
-// single-threaded traced pass per workload emits a "phase_profile" record
-// attributing time and I/O to the query phases.
+// untraced unless DSKS_BENCH_SAMPLE is set (each record says so via
+// "sample_rate"/"sampled_queries"); a separate single-threaded traced
+// pass per workload emits a "phase_profile" record attributing time and
+// I/O to the query phases.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/macros.h"
 #include "harness/query_executor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 
 using namespace dsks;         // NOLINT
@@ -65,6 +78,67 @@ std::vector<std::string>& JsonRecords() {
 /// sim and file numbers can never be compared silently.
 const char* g_backend_name = "sim";
 
+/// Sampled-tracing policy for the measured series, from DSKS_BENCH_SAMPLE.
+/// Off by default: a sampled run is a different experiment than the perf
+/// baseline, and every record says which one it was.
+obs::TraceSamplerConfig g_sampling;
+
+/// Sink for the sampled queries' summaries; also what /tracez serves when
+/// the stats server is up. Null when neither is enabled.
+obs::FlightRecorder* g_recorder = nullptr;
+
+/// Live stats endpoint over GlobalMetrics + the flight recorder, gated on
+/// DSKS_BENCH_STATS_PORT. Construction binds the db's pool/disk counters
+/// into the registry and prints one discoverable "STATS http://..." line;
+/// destruction optionally lingers (DSKS_BENCH_STATS_LINGER_MS) so external
+/// scrapers started against that line never race bench exit.
+class ScopedStatsServer {
+ public:
+  ScopedStatsServer(Database* db, const obs::FlightRecorder* recorder) {
+    const char* port_env = std::getenv("DSKS_BENCH_STATS_PORT");
+    if (port_env == nullptr) {
+      return;
+    }
+    db_ = db;
+    db_->BindMetrics(&obs::GlobalMetrics());
+    server_ = std::make_unique<obs::StatsServer>(&obs::GlobalMetrics(),
+                                                 recorder);
+    const Status started =
+        server_->Start(static_cast<uint16_t>(std::atoi(port_env)));
+    if (!started.ok()) {
+      std::fprintf(stderr, "stats server failed to start: %s\n",
+                   started.message().c_str());
+      server_.reset();
+      return;
+    }
+    std::printf("STATS http://127.0.0.1:%u\n",
+                static_cast<unsigned>(server_->port()));
+    std::fflush(stdout);
+  }
+
+  ~ScopedStatsServer() {
+    if (server_ != nullptr) {
+      // Flush before the linger opens: with stdout redirected to a file the
+      // bench's final lines are fully buffered, and scrapers keyed off that
+      // file must see them while the server is still answering.
+      std::fflush(stdout);
+      if (const char* linger = std::getenv("DSKS_BENCH_STATS_LINGER_MS");
+          linger != nullptr && std::atoi(linger) > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::atoi(linger)));
+      }
+      server_->Stop();
+    }
+    if (db_ != nullptr) {
+      db_->UnbindMetrics(&obs::GlobalMetrics());
+    }
+  }
+
+ private:
+  Database* db_ = nullptr;
+  std::unique_ptr<obs::StatsServer> server_;
+};
+
 void EmitJson(const char* workload, const ThroughputMetrics& m,
               double speedup) {
   // hist_* come from the merged per-worker histograms (bucketed, so upper
@@ -79,13 +153,15 @@ void EmitJson(const char* workload, const ThroughputMetrics& m,
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
       "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f,"
       "\"errors\":%llu,\"error_rate\":%.6f,"
-      "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f}",
+      "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f,"
+      "\"sample_rate\":%u,\"sampled_queries\":%llu}",
       g_backend_name, workload, m.num_threads, m.queries, m.wall_millis, m.qps,
       m.avg_millis,
       m.p50_millis, m.p95_millis, m.p99_millis, speedup,
       static_cast<unsigned long long>(m.errors), m.error_rate,
       static_cast<unsigned long long>(m.histogram.count),
-      m.histogram.Percentile(50), m.histogram.Percentile(99));
+      m.histogram.Percentile(50), m.histogram.Percentile(99), m.sample_rate,
+      static_cast<unsigned long long>(m.sampled));
   std::printf("JSON %s\n", buf);
   JsonRecords().push_back(buf);
 }
@@ -163,6 +239,7 @@ void RunColdSeries(const char* workload, Database* db, const Workload& wl,
         "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":1.00,"
         "\"errors\":0,\"error_rate\":0,"
         "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f,"
+        "\"sample_rate\":0,\"sampled_queries\":0,"
         "\"pool_misses\":%llu,\"disk_reads\":%llu,"
         "\"prefetch_issued\":%llu,\"prefetch_hits\":%llu,"
         "\"prefetch_wasted\":%llu,\"prefetch_dropped\":%llu}",
@@ -266,8 +343,10 @@ void RunSeries(const char* workload, Database* db, const Workload& wl,
     db->ResetCounters();
     const ThroughputMetrics m =
         div ? RunDivWorkloadConcurrent(db, wl, /*k=*/10, /*lambda=*/0.8,
-                                       /*use_com=*/true, threads, repeat)
-            : RunSkWorkloadConcurrent(db, wl, threads, repeat);
+                                       /*use_com=*/true, threads, repeat,
+                                       g_sampling, g_recorder)
+            : RunSkWorkloadConcurrent(db, wl, threads, repeat, g_sampling,
+                                      g_recorder);
     if (base_qps == 0.0) {
       base_qps = m.qps;
     }
@@ -312,11 +391,29 @@ int main(int argc, char** argv) {
   // qps) are directly comparable across rows.
   const size_t repeat = 4;
 
+  if (const char* env = std::getenv("DSKS_BENCH_SAMPLE");
+      env != nullptr && std::atoi(env) > 0) {
+    g_sampling.sample_every = static_cast<uint32_t>(std::atoi(env));
+    g_sampling.seed = 42;
+    std::printf("sampled tracing: 1 in %u\n", g_sampling.sample_every);
+  }
+
   Database db(Scaled(PresetNA()), backend.options());
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
   db.PrepareForQueries();
+
+  // The recorder exists whenever something consumes it: the sampling
+  // policy files summaries into it, and /tracez serves it.
+  obs::FlightRecorder recorder;
+  if (g_sampling.sample_every > 0 ||
+      std::getenv("DSKS_BENCH_STATS_PORT") != nullptr) {
+    recorder.set_occupancy_gauge(
+        &obs::GlobalMetrics().gauge("dsks.flight_recorder.entries"));
+    g_recorder = &recorder;
+  }
+  ScopedStatsServer stats(&db, g_recorder);
 
   WorkloadConfig wc;
   wc.num_queries = num_queries;

@@ -8,6 +8,7 @@
 #include "common/flat_containers.h"
 #include "graph/types.h"
 #include "index/object_index.h"
+#include "obs/io_account.h"
 
 namespace dsks {
 
@@ -101,6 +102,15 @@ struct QueryContext {
   /// search phases record spans into it. The pointer is borrowed — the
   /// trace must outlive the query that uses this context.
   obs::QueryTrace* trace = nullptr;
+
+  /// Per-query I/O attribution account. Database::Run* installs it as the
+  /// thread's charge target (obs::ScopedIoAccount) for the query's
+  /// duration, so the storage layer adds exactly this query's pool/disk
+  /// events here — concurrent queries charge their own contexts. The
+  /// counters accumulate across queries on this context (like the global
+  /// stats do); consumers snapshot before/after and difference. Only the
+  /// thread running the context's query may touch them.
+  obs::IoCounters io;
 
   // Debug-build guards against two live consumers sharing one section.
   bool sk_search_in_use = false;

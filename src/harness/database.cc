@@ -198,6 +198,13 @@ Status Database::RunSkQuery(const SkQuery& query, const QueryEdgeInfo& edge,
   SkQuery q = query;
   DSKS_RETURN_IF_ERROR(NormalizeSkQuery(&q));
   DSKS_RETURN_IF_ERROR(CheckQueryEdge(q, edge));
+  // Charge this query's storage I/O to its context; with a trace attached,
+  // snapshot those per-context counters so span deltas stay exact under
+  // concurrency (other queries charge their own contexts).
+  obs::ScopedIoAccount io_account(ctx == nullptr ? nullptr : &ctx->io);
+  if (ctx != nullptr && ctx->trace != nullptr) {
+    ctx->trace->BindContextIo(&ctx->io);
+  }
   // Root span: the search constructor already does keyword I/O, so the
   // span must open before it.
   obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
@@ -272,6 +279,10 @@ Status Database::RunDivQuery(const DivQuery& query, const QueryEdgeInfo& edge,
   DivQuery q = query;
   DSKS_RETURN_IF_ERROR(NormalizeDivQuery(&q));
   DSKS_RETURN_IF_ERROR(CheckQueryEdge(q.sk, edge));
+  obs::ScopedIoAccount io_account(ctx == nullptr ? nullptr : &ctx->io);
+  if (ctx != nullptr && ctx->trace != nullptr) {
+    ctx->trace->BindContextIo(&ctx->io);
+  }
   obs::ScopedSpan root(ctx == nullptr ? nullptr : ctx->trace,
                        obs::Phase::kQuery);
   IncrementalSkSearch search(ccam_graph_.get(), index_.get(), q.sk, edge,

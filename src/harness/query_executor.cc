@@ -15,12 +15,18 @@ QueryExecutor::QueryExecutor(const ExecutorConfig& config)
     : queue_capacity_(config.queue_capacity),
       max_retries_(config.max_retries),
       retry_backoff_millis_(config.retry_backoff_millis),
-      metrics_(config.metrics) {
+      metrics_(config.metrics),
+      sampling_(config.sampling),
+      flight_recorder_(config.flight_recorder) {
   DSKS_CHECK_MSG(config.num_threads > 0, "executor needs at least one thread");
   DSKS_CHECK_MSG(config.queue_capacity > 0, "queue capacity must be positive");
+  if (metrics_ != nullptr) {
+    in_flight_ = &metrics_->gauge("dsks.query.in_flight");
+  }
   samples_.resize(config.num_threads);
   errors_.assign(config.num_threads, {});
   retries_.assign(config.num_threads, 0);
+  sampled_.assign(config.num_threads, 0);
   hists_.reserve(config.num_threads);
   contexts_.reserve(config.num_threads);
   for (size_t i = 0; i < config.num_threads; ++i) {
@@ -60,11 +66,16 @@ void QueryExecutor::SubmitWithContext(
 }
 
 void QueryExecutor::SubmitQuery(std::function<Status(QueryContext*)> task) {
+  SubmitQuery(QueryTag{}, std::move(task));
+}
+
+void QueryExecutor::SubmitQuery(const QueryTag& tag,
+                                std::function<Status(QueryContext*)> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_not_full_.wait(lock,
                          [this] { return queue_.size() < queue_capacity_; });
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{tag, std::move(task)});
   }
   queue_not_empty_.notify_one();
 }
@@ -95,10 +106,17 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
       result.retries += r;
       r = 0;
     }
+    for (uint64_t& s : sampled_) {
+      result.sampled += s;
+      s = 0;
+    }
   }
   if (metrics_ != nullptr && result.latency.count > 0) {
     metrics_->histogram("executor.query_ms").MergeFrom(result.latency);
     metrics_->counter("executor.queries").Add(result.latency.count);
+  }
+  if (metrics_ != nullptr && result.sampled > 0) {
+    metrics_->counter("dsks.query.sampled").Add(result.sampled);
   }
   if (metrics_ != nullptr) {
     for (size_t c = 0; c < Status::kNumCodes; ++c) {
@@ -118,8 +136,14 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
 
 void QueryExecutor::WorkerLoop(size_t worker_id) {
   QueryContext* ctx = contexts_[worker_id].get();
+  // Reusable per-worker trace sink (capacity survives Clear) bound to this
+  // worker's context counters, plus this worker's slice of the sampling
+  // stream. Both are worker-private: no locks on the trace path.
+  obs::QueryTrace trace;
+  trace.BindContextIo(&ctx->io);
+  obs::TraceSampler sampler(sampling_, worker_id);
   for (;;) {
-    std::function<Status(QueryContext*)> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(lock,
@@ -132,9 +156,20 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
       ++active_tasks_;
     }
     queue_not_full_.notify_one();
+    const bool traced = sampler.ShouldTrace();
+    if (traced) {
+      trace.Clear();
+      ctx->trace = &trace;
+    }
+    if (in_flight_ != nullptr) {
+      in_flight_->Add(1.0);
+    }
+    // Snapshot the context's attribution counters so the delta across the
+    // task is this query's exact I/O — with or without a trace.
+    const obs::IoCounters io_before = ctx->io;
     // The sample covers retries too — that time was spent on the query.
     Timer timer;
-    Status status = task(ctx);
+    Status status = task.fn(ctx);
     uint64_t task_retries = 0;
     while (status.IsIOError() && task_retries < max_retries_) {
       ++task_retries;
@@ -142,9 +177,34 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
             retry_backoff_millis_ * static_cast<double>(task_retries)));
       }
-      status = task(ctx);
+      status = task.fn(ctx);
     }
     const double millis = timer.ElapsedMillis();
+    if (in_flight_ != nullptr) {
+      in_flight_->Sub(1.0);
+    }
+    if (traced) {
+      ctx->trace = nullptr;
+    }
+    if (flight_recorder_ != nullptr &&
+        sampler.ShouldRecord(traced, status.ok(), millis)) {
+      obs::QuerySummary summary;
+      summary.kind = task.tag.kind;
+      summary.terms = task.tag.terms;
+      summary.status = status.ok() ? "OK" : status.code_name();
+      summary.error = !status.ok();
+      summary.traced = traced;
+      summary.total_ms = millis;
+      summary.total_io = ctx->io - io_before;
+      if (traced && trace.open_depth() == 0) {
+        const auto totals = trace.AggregateByPhase();
+        for (size_t p = 0; p < obs::kNumPhases; ++p) {
+          summary.phase_exclusive_ns[p] = totals[p].exclusive_ns;
+          summary.phase_io[p] = totals[p].io;
+        }
+      }
+      flight_recorder_->Record(summary);
+    }
     hists_[worker_id]->Record(millis);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -153,6 +213,7 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
         ++errors_[worker_id][static_cast<size_t>(status.code())];
       }
       retries_[worker_id] += task_retries;
+      sampled_[worker_id] += traced ? 1 : 0;
       --active_tasks_;
       if (queue_.empty() && active_tasks_ == 0) {
         all_idle_.notify_all();
@@ -194,6 +255,8 @@ namespace {
 
 ThroughputMetrics RunConcurrent(
     Database* db, const Workload& workload, size_t num_threads, size_t repeat,
+    const obs::TraceSamplerConfig& sampling, obs::FlightRecorder* recorder,
+    const char* kind,
     const std::function<Status(const WorkloadQuery&, QueryContext*)>&
         run_one) {
   DSKS_CHECK_MSG(!workload.queries.empty(), "empty workload");
@@ -203,12 +266,18 @@ ThroughputMetrics RunConcurrent(
   ScopedIoDelay delay(db, /*yielding=*/true);
   ExecutorConfig config;
   config.num_threads = num_threads;
+  config.sampling = sampling;
+  config.flight_recorder = recorder;
   QueryExecutor exec(config);
   Timer wall;
   for (size_t r = 0; r < repeat; ++r) {
     for (const WorkloadQuery& wq : workload.queries) {
-      exec.SubmitQuery(
-          [&run_one, &wq](QueryContext* ctx) { return run_one(wq, ctx); });
+      QueryTag tag;
+      tag.kind = kind;
+      tag.terms = static_cast<uint32_t>(wq.sk.terms.size());
+      exec.SubmitQuery(tag, [&run_one, &wq](QueryContext* ctx) {
+        return run_one(wq, ctx);
+      });
     }
   }
   QueryExecutor::DrainResult drained = exec.Drain();
@@ -217,28 +286,32 @@ ThroughputMetrics RunConcurrent(
                           std::move(drained.samples), drained.total_errors());
   m.errors_by_code = drained.errors;
   m.retries = drained.retries;
+  m.sampled = drained.sampled;
+  m.sample_rate = sampling.sample_every;
   m.histogram = drained.latency;
   return m;
 }
 
 }  // namespace
 
-ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
-                                          const Workload& workload,
-                                          size_t num_threads, size_t repeat) {
-  return RunConcurrent(db, workload, num_threads, repeat,
+ThroughputMetrics RunSkWorkloadConcurrent(
+    Database* db, const Workload& workload, size_t num_threads, size_t repeat,
+    const obs::TraceSamplerConfig& sampling, obs::FlightRecorder* recorder) {
+  return RunConcurrent(db, workload, num_threads, repeat, sampling, recorder,
+                       "sk",
                        [db](const WorkloadQuery& wq, QueryContext* ctx) {
                          std::vector<SkResult> results;
                          return db->RunSkQuery(wq.sk, wq.edge, &results, ctx);
                        });
 }
 
-ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
-                                           const Workload& workload, size_t k,
-                                           double lambda, bool use_com,
-                                           size_t num_threads, size_t repeat) {
+ThroughputMetrics RunDivWorkloadConcurrent(
+    Database* db, const Workload& workload, size_t k, double lambda,
+    bool use_com, size_t num_threads, size_t repeat,
+    const obs::TraceSamplerConfig& sampling, obs::FlightRecorder* recorder) {
   return RunConcurrent(
-      db, workload, num_threads, repeat,
+      db, workload, num_threads, repeat, sampling, recorder,
+      use_com ? "div-com" : "div-seq",
       [db, k, lambda, use_com](const WorkloadQuery& wq, QueryContext* ctx) {
         DivQuery dq;
         dq.sk = wq.sk;

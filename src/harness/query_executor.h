@@ -16,7 +16,10 @@
 #include "core/query_context.h"
 #include "datagen/workload.h"
 #include "harness/database.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 
 namespace dsks {
 
@@ -39,6 +42,24 @@ struct ExecutorConfig {
   size_t max_retries = 0;
   /// Backoff before retry r (1-based) is r * this many milliseconds.
   double retry_backoff_millis = 0.1;
+  /// Always-on sampled tracing: each worker traces a deterministic
+  /// 1-in-N subset of the queries it runs (sampling.sample_every; worker
+  /// id is the sampler stream) into a reusable per-worker QueryTrace.
+  /// Defaults to off, which keeps the per-query cost at one branch.
+  obs::TraceSamplerConfig sampling;
+  /// Sink for completed-query summaries: every sampled query, every
+  /// errored query, and every query slower than sampling.slow_ms records
+  /// one entry (see TraceSampler::ShouldRecord). Null disables recording;
+  /// the recorder must outlive the executor.
+  obs::FlightRecorder* flight_recorder = nullptr;
+};
+
+/// Identity carried alongside a submitted query into its flight-recorder
+/// entry. Both fields are optional; `kind` must be a static-lifetime
+/// string (a literal, a workload label).
+struct QueryTag {
+  const char* kind = "query";
+  uint32_t terms = 0;
 };
 
 /// Aggregate results of a concurrent batch: throughput plus the latency
@@ -64,6 +85,10 @@ struct ThroughputMetrics {
   std::array<uint64_t, Status::kNumCodes> errors_by_code{};
   /// Transient-fault re-runs that happened under the retry policy.
   uint64_t retries = 0;
+  /// Queries that ran traced under the sampling policy (0 when off).
+  uint64_t sampled = 0;
+  /// The sampling config's 1-in-N (0 when sampling was off).
+  uint32_t sample_rate = 0;
   /// Merge of the per-worker latency histograms for the batch; lets benches
   /// report the full distribution without keeping every raw sample.
   obs::HistogramSnapshot histogram;
@@ -107,6 +132,11 @@ class QueryExecutor {
   /// be safe to re-run from scratch — every Run*Query is.
   void SubmitQuery(std::function<Status(QueryContext*)> task);
 
+  /// Like SubmitQuery, with an identity tag that shows up in the query's
+  /// flight-recorder entry (when the sampling/recording policy keeps one).
+  void SubmitQuery(const QueryTag& tag,
+                   std::function<Status(QueryContext*)> task);
+
   /// What one Drain hands back: every per-thread latency sample plus the
   /// merge of the per-worker histograms over the same tasks (so
   /// latency.count == samples.size() always), plus the failure tallies of
@@ -118,6 +148,8 @@ class QueryExecutor {
     std::array<uint64_t, Status::kNumCodes> errors{};
     /// Transient-fault re-runs performed by the retry policy.
     uint64_t retries = 0;
+    /// Queries of the batch that ran traced under the sampling policy.
+    uint64_t sampled = 0;
 
     uint64_t total_errors() const {
       uint64_t n = 0;
@@ -149,7 +181,11 @@ class QueryExecutor {
   std::condition_variable all_idle_;
   /// Queued tasks report through a Status; void submissions are wrapped to
   /// return OK so one queue serves both.
-  std::deque<std::function<Status(QueryContext*)>> queue_;
+  struct Task {
+    QueryTag tag;
+    std::function<Status(QueryContext*)> fn;
+  };
+  std::deque<Task> queue_;
   size_t active_tasks_ = 0;
   bool stopping_ = false;
 
@@ -164,10 +200,16 @@ class QueryExecutor {
   /// samples_[i]: written by worker i under mu_, read by Drain when idle.
   std::vector<std::array<uint64_t, Status::kNumCodes>> errors_;
   std::vector<uint64_t> retries_;
+  /// sampled_[i]: queries worker i ran traced; same discipline as retries_.
+  std::vector<uint64_t> sampled_;
   /// contexts_[i] is touched only by worker i.
   std::vector<std::unique_ptr<QueryContext>> contexts_;
   std::vector<std::thread> workers_;
   obs::MetricsRegistry* metrics_;
+  const obs::TraceSamplerConfig sampling_;
+  obs::FlightRecorder* const flight_recorder_;
+  /// Resolved once at construction; workers Add/Sub around each task.
+  obs::Gauge* in_flight_ = nullptr;
 };
 
 /// Computes the latency distribution of `samples` plus queries/sec from
@@ -180,17 +222,19 @@ ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
 /// Runs `repeat` passes over the workload's SK queries on `num_threads`
 /// workers sharing `db` and reports aggregate throughput. Applies the same
 /// ScopedIoDelay as the sequential harness so numbers are comparable.
-ThroughputMetrics RunSkWorkloadConcurrent(Database* db,
-                                          const Workload& workload,
-                                          size_t num_threads,
-                                          size_t repeat = 1);
+/// `sampling`/`recorder` feed the executor's sampled-tracing policy (both
+/// default to off/none).
+ThroughputMetrics RunSkWorkloadConcurrent(
+    Database* db, const Workload& workload, size_t num_threads,
+    size_t repeat = 1, const obs::TraceSamplerConfig& sampling = {},
+    obs::FlightRecorder* recorder = nullptr);
 
 /// Concurrent counterpart of RunDivWorkload.
-ThroughputMetrics RunDivWorkloadConcurrent(Database* db,
-                                           const Workload& workload, size_t k,
-                                           double lambda, bool use_com,
-                                           size_t num_threads,
-                                           size_t repeat = 1);
+ThroughputMetrics RunDivWorkloadConcurrent(
+    Database* db, const Workload& workload, size_t k, double lambda,
+    bool use_com, size_t num_threads, size_t repeat = 1,
+    const obs::TraceSamplerConfig& sampling = {},
+    obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace dsks
 

@@ -51,12 +51,27 @@ double HistogramSnapshot::Percentile(int pct) const {
   DSKS_CHECK_MSG(pct >= 0 && pct <= 100, "percentile must be in [0, 100]");
   const uint64_t rank = std::max<uint64_t>(
       1, (count * static_cast<uint64_t>(pct) + 99) / 100);  // ceil, 1-based
-  uint64_t cum = 0;
+  // The extreme ranks are known exactly — the histogram tracks min/max.
+  if (rank == 1) {
+    return min;
+  }
+  if (rank >= count) {
+    return max;
+  }
+  uint64_t cum = 0;  // samples in buckets before bucket i
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    cum += buckets[i];
-    if (cum >= rank) {
-      return std::min(Histogram::BucketUpperBound(i), max);
+    if (cum + buckets[i] >= rank) {
+      // Interpolate: model the bucket's samples as evenly spread, each at
+      // the midpoint of its 1/n slice, and read the rank-th one. Clamp to
+      // the observed range so a lone outlier bucket cannot report a value
+      // no sample reached.
+      const double lo = i == 0 ? 0.0 : Histogram::BucketUpperBound(i - 1);
+      const double hi = Histogram::BucketUpperBound(i);
+      const double pos = (static_cast<double>(rank - cum) - 0.5) /
+                         static_cast<double>(buckets[i]);
+      return std::clamp(lo + pos * (hi - lo), min, max);
     }
+    cum += buckets[i];
   }
   return max;  // unreachable: bucket counts always sum to count
 }

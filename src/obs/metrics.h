@@ -34,10 +34,19 @@ class Counter {
   std::atomic<uint64_t> v_{0};
 };
 
-/// Last-write-wins instantaneous value (pool capacity, frames in use, ...).
+/// Instantaneous value (pool capacity, frames in use, queries in flight).
+/// Set is last-write-wins; Add/Sub are atomic CAS deltas, so concurrent
+/// up/down movers (in-flight counts, ring occupancy) need no counter pair.
 class Gauge {
  public:
   void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double v) { Add(-v); }
   double value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0.0, std::memory_order_relaxed); }
 
@@ -59,9 +68,15 @@ struct HistogramSnapshot {
 
   double avg() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 
-  /// Nearest-rank percentile over the bucket counts. The answer is the
-  /// upper bound of the bucket holding the rank (clamped to the observed
-  /// max), so it overestimates by at most one bucket width (~25%).
+  /// Nearest-rank percentile over the bucket counts, linearly interpolated
+  /// within the bucket holding the rank: the rank-th sample is modelled at
+  /// its proportional position inside the bucket (mid-offset, so a
+  /// one-sample bucket reads its midpoint), clamped to the observed
+  /// [min, max]. Worst-case error is one bucket width (~25% of the value)
+  /// when the samples inside the bucket are maximally skewed, but unbiased
+  /// in expectation — unlike the upper-bound rule this replaced, which
+  /// always overestimated. pct 0 and 100 return the exact observed
+  /// min/max.
   double Percentile(int pct) const;
 
   void MergeFrom(const HistogramSnapshot& other);

@@ -1,0 +1,177 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace dsks::obs {
+
+namespace {
+
+/// Largest request head we accept; a scrape's GET line + headers is far
+/// smaller, anything bigger is garbage.
+constexpr size_t kMaxRequestBytes = 4096;
+
+void SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status_line;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size());
+  SendAll(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+StatsServer::StatsServer(const MetricsRegistry* metrics,
+                         const FlightRecorder* recorder)
+    : metrics_(metrics), recorder_(recorder) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("stats server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("stats server socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("stats server bind/listen: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("stats server getsockname: " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void StatsServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void StatsServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll with a timeout instead of blocking in accept() so Stop() is
+    // honored within one tick without needing a self-connect wakeup.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR; re-check stop_
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    // A stuck or malicious client must not wedge the accept loop forever.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  // Parse "<METHOD> <path> HTTP/1.x" from the request line.
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendResponse(fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  if (method != "GET") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain",
+                 "GET only\n");
+    return;
+  }
+  if (path == "/metrics" && metrics_ != nullptr) {
+    SendResponse(fd, "200 OK", "text/plain; version=0.0.4",
+                 metrics_->ToPrometheus());
+  } else if (path == "/varz" && metrics_ != nullptr) {
+    SendResponse(fd, "200 OK", "application/json", metrics_->ToJson());
+  } else if (path == "/tracez" && recorder_ != nullptr) {
+    SendResponse(fd, "200 OK", "application/json", recorder_->ToJson());
+  } else if (path == "/healthz") {
+    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+  } else {
+    SendResponse(fd, "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace dsks::obs

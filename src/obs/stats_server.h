@@ -1,0 +1,65 @@
+#ifndef DSKS_OBS_STATS_SERVER_H_
+#define DSKS_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace dsks::obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+/// Minimal embedded HTTP/1.1 server exposing the process's telemetry for
+/// live scraping — the operational front door that precedes the real
+/// query service (ROADMAP item 2). GET-only, Connection: close, one
+/// blocking accept loop on its own thread; request handling reads the
+/// registry/recorder snapshots, so a scrape never blocks a query beyond
+/// the snapshot mutex holds they already pay.
+///
+/// Routes:
+///   /metrics — MetricsRegistry::ToPrometheus (text/plain)
+///   /varz    — MetricsRegistry::ToJson (application/json)
+///   /tracez  — FlightRecorder::ToJson (application/json)
+///   /healthz — "ok"
+///
+/// Either source may be null; its routes then answer 404.
+class StatsServer {
+ public:
+  StatsServer(const MetricsRegistry* metrics, const FlightRecorder* recorder);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds 127.0.0.1:port (0 picks an ephemeral port, readable from
+  /// port() afterwards) and starts the accept thread.
+  Status Start(uint16_t port = 0);
+
+  /// Stops the accept loop and joins the thread. Idempotent; also run by
+  /// the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port; 0 before a successful Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const MetricsRegistry* metrics_;
+  const FlightRecorder* recorder_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dsks::obs
+
+#endif  // DSKS_OBS_STATS_SERVER_H_

@@ -45,6 +45,12 @@ const char* PhaseName(Phase p) {
   return "?";
 }
 
+void QueryTrace::BindContextIo(const IoCounters* io) {
+  DSKS_CHECK_MSG(open_.empty(),
+                 "rebinding the trace I/O source with spans open");
+  context_io_ = io;
+}
+
 void QueryTrace::BindIoSources(const BufferPoolStats* pool,
                                const DiskStats* disk) {
   pool_stats_ = pool;
@@ -59,6 +65,11 @@ void QueryTrace::Clear() {
 }
 
 IoCounters QueryTrace::ReadIo() const {
+  if (context_io_ != nullptr) {
+    // The context's counters are only written by the thread running its
+    // query — this thread — so a plain copy is an exact snapshot.
+    return *context_io_;
+  }
   IoCounters io;
   if (pool_stats_ != nullptr) {
     io.pool_hits = pool_stats_->hits.load(std::memory_order_relaxed);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/io_account.h"
+
 namespace dsks {
 
 struct BufferPoolStats;
@@ -31,37 +33,6 @@ inline constexpr size_t kNumPhases = 6;
 
 const char* PhaseName(Phase p);
 
-/// Buffer-pool/disk counter values at one instant; span deltas are the
-/// difference of two of these. With concurrent queries running against the
-/// same pool the deltas include the other threads' traffic — exact
-/// attribution needs a single-threaded run (see DESIGN.md Observability).
-struct IoCounters {
-  uint64_t pool_hits = 0;
-  uint64_t pool_misses = 0;
-  uint64_t disk_reads = 0;
-  uint64_t disk_writes = 0;
-  /// Pages the pool read speculatively (Prefetch) during the span. These
-  /// reads also appear in disk_reads when they reach the backend; this
-  /// counter attributes them, since a prefetched read is not a blocking
-  /// miss even though it touches the disk.
-  uint64_t prefetched_pages = 0;
-
-  IoCounters operator-(const IoCounters& o) const {
-    return {pool_hits - o.pool_hits, pool_misses - o.pool_misses,
-            disk_reads - o.disk_reads, disk_writes - o.disk_writes,
-            prefetched_pages - o.prefetched_pages};
-  }
-  IoCounters& operator+=(const IoCounters& o) {
-    pool_hits += o.pool_hits;
-    pool_misses += o.pool_misses;
-    disk_reads += o.disk_reads;
-    disk_writes += o.disk_writes;
-    prefetched_pages += o.prefetched_pages;
-    return *this;
-  }
-  bool operator==(const IoCounters& o) const = default;
-};
-
 /// One recorded phase span. `inclusive_*` covers the span's whole
 /// lifetime; `child_*` is the part spent inside nested spans, so
 /// exclusive = inclusive - child is the span's own share and per-phase
@@ -84,19 +55,31 @@ struct TraceSpan {
 };
 
 /// Per-query trace sink: phase spans with monotonic-clock timings and
-/// delta-snapshots of the bound buffer-pool/disk counters. A query runs
-/// traced when its QueryContext carries a non-null `trace` pointer;
-/// otherwise every hook is an inlined null check and nothing else — the
-/// hot paths stay at their untraced cost.
+/// delta-snapshots of an I/O counter source. A query runs traced when its
+/// QueryContext carries a non-null `trace` pointer; otherwise every hook
+/// is an inlined null check and nothing else — the hot paths stay at
+/// their untraced cost.
 ///
 /// One QueryTrace belongs to one thread (like the QueryContext carrying
-/// it); bind it to the stats of the pool/disk the queries run against.
-/// Tracing several queries into one trace is fine — each becomes another
-/// kQuery root and the aggregates accumulate.
+/// it). Bind it to the query's per-context counters with BindContextIo —
+/// Database::Run* does this automatically when the context carries a
+/// trace — and the span I/O deltas are exact regardless of how many other
+/// queries run concurrently, because the storage layer charges each
+/// query's I/O to its own context (see obs/io_account.h). BindIoSources
+/// (global pool/disk stats) remains as the fallback for consumers with no
+/// QueryContext; those deltas absorb other threads' traffic and are only
+/// exact single-threaded. Tracing several queries into one trace is fine —
+/// each becomes another kQuery root and the aggregates accumulate.
 class QueryTrace {
  public:
-  /// Counter sources snapshotted per span; either may be null (those
-  /// deltas then stay zero).
+  /// Snapshots the query context's own attribution counters per span;
+  /// takes precedence over BindIoSources. Null unbinds. Must not be
+  /// called while spans are open — an open span's delta would mix
+  /// snapshots of different counters.
+  void BindContextIo(const IoCounters* io);
+
+  /// Fallback counter sources snapshotted per span when no context
+  /// counters are bound; either may be null (those deltas then stay zero).
   void BindIoSources(const BufferPoolStats* pool, const DiskStats* disk);
 
   /// Drops all recorded spans (keeps capacity and the bound sources).
@@ -158,6 +141,7 @@ class QueryTrace {
   IoCounters ReadIo() const;
   int64_t NowNs() const;
 
+  const IoCounters* context_io_ = nullptr;
   const BufferPoolStats* pool_stats_ = nullptr;
   const DiskStats* disk_stats_ = nullptr;
   std::vector<TraceSpan> spans_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/io_account.h"
 #include "obs/metrics.h"
 
 namespace dsks {
@@ -35,6 +36,7 @@ BufferPool::Frame* BufferPool::GetFrameLocked(PageId id) {
 
 char* BufferPool::PinHitLocked(Frame* frame) {
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  obs::ChargePoolHit();
   if (frame->prefetched) {
     // First demand touch of a speculatively read page: the prefetch paid
     // off. The flag resolves exactly once per issued prefetch.
@@ -68,6 +70,7 @@ Status BufferPool::FetchPage(PageId id, char** out) {
     return Status::Ok();
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  obs::ChargePoolMiss();
   if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
     // Best effort: when every frame is pinned this fails and the pool
     // temporarily runs over capacity (UnpinPage trims back down).
@@ -137,6 +140,7 @@ Status BufferPool::FetchPages(std::span<const PageId> ids,
       continue;
     }
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    obs::ChargePoolMiss();
     if (frames_.size() >= capacity_.load(std::memory_order_relaxed)) {
       TryEvictOneLocked();
     }
@@ -241,6 +245,7 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
     return;
   }
   stats_.prefetch_issued.fetch_add(reqs.size(), std::memory_order_relaxed);
+  obs::ChargePrefetchIssued(reqs.size());
   lock.unlock();
   disk_->ReadPages(std::span<PageReadRequest>(reqs));
   lock.lock();

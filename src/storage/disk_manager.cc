@@ -5,6 +5,7 @@
 
 #include "common/crc32c.h"
 #include "common/macros.h"
+#include "obs/io_account.h"
 #include "obs/metrics.h"
 #include "storage/file_disk_backend.h"
 
@@ -77,6 +78,7 @@ Status DiskManager::ReadPage(PageId id, char* out) {
     return s;
   }
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  obs::ChargeDiskRead();
   if (armed) {
     uint32_t bit_index = 0;
     if (fault_injector_.ShouldCorruptRead(id, &bit_index)) {
@@ -113,6 +115,7 @@ void DiskManager::ReadPages(std::span<PageReadRequest> batch) {
       return;
     }
     stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    obs::ChargeDiskRead();
     if (armed) {
       uint32_t bit_index = 0;
       if (fault_injector_.ShouldCorruptRead(r->id, &bit_index)) {
@@ -174,6 +177,7 @@ Status DiskManager::WritePage(PageId id, const char* in) {
     return s;
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  obs::ChargeDiskWrite();
   return Status::Ok();
 }
 

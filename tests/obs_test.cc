@@ -3,12 +3,14 @@
 // per-query phase trace with I/O attribution against a real buffer pool
 // and a real Database.
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/presets.h"
 #include "datagen/workload.h"
 #include "gtest/gtest.h"
 #include "harness/database.h"
+#include "obs/io_account.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
@@ -87,11 +89,17 @@ TEST(HistogramTest, RecordAndSnapshotSummary) {
   EXPECT_DOUBLE_EQ(s.max, 10.0);
   EXPECT_NEAR(s.avg(), 13.0 / 3.0, 1e-12);
 
-  // Bucketed percentile: at most one bucket width (25%) above the true
-  // value, and clamped to the observed max.
-  const double p50 = s.Percentile(50);
-  EXPECT_GE(p50, 2.0);
-  EXPECT_LE(p50, 2.0 * 1.25);
+  // Bucketed percentile with linear interpolation: rank 2 of 3 lands on
+  // the 2.0 sample, whose bucket holds exactly one sample, so the
+  // midpoint rule puts the estimate at the middle of 2.0's bucket —
+  // within half a bucket width of the true value instead of the old
+  // whole-bucket upward bias.
+  const size_t bi = obs::Histogram::BucketIndex(2.0);
+  const double lo = bi == 0 ? 0.0 : obs::Histogram::BucketUpperBound(bi - 1);
+  const double hi = obs::Histogram::BucketUpperBound(bi);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), (lo + hi) / 2.0);
+  // Extreme ranks bypass interpolation and report the observed extremes.
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1.0);
   EXPECT_DOUBLE_EQ(s.Percentile(100), 10.0);
 
   h.Reset();
@@ -206,6 +214,30 @@ TEST(MetricsRegistryTest, StorageBindMetricsExposesLiveCounters) {
   EXPECT_NE(json.find("\"db.disk.pages\":1"), std::string::npos) << json;
 
   reg.UnbindSourcesWithPrefix("db.");
+}
+
+TEST(MetricsRegistryTest, GaugeAddSubIsAtomic) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("dsks.query.in_flight");
+  g.Add(3.0);
+  g.Sub(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+
+  // Concurrent balanced Add/Sub pairs must cancel exactly (the CAS loop
+  // loses no update), leaving the prior value.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 10000; ++i) {
+        g.Add(1.0);
+        g.Sub(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +402,61 @@ TEST(QueryTraceTest, TracedDivQueryBalancesAgainstRootTotals) {
   EXPECT_GT(totals[static_cast<size_t>(P::kKeywordLookup)].spans, 0u);
   EXPECT_GT(totals[static_cast<size_t>(P::kNetworkExpansion)].spans, 0u);
   EXPECT_GT(totals[static_cast<size_t>(P::kGreedySelection)].spans, 0u);
+}
+
+TEST(QueryTraceTest, ContextBoundTraceIgnoresForeignTraffic) {
+  // A context-bound trace reads thread-charged counters, so another
+  // thread hammering the same pool mid-span must not leak into its
+  // deltas — the flaw the old shared-counter binding had by design.
+  dsks::testing::TestDisk disk;
+  BufferPool pool(disk.get(), 4);
+
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    PageId id;
+    pool.NewPage(&id);
+    pool.UnpinPage(id, true);
+    pages.push_back(id);
+  }
+  pool.Clear();
+  const BufferPoolStatsSnapshot pool_before = pool.stats_snapshot();
+
+  obs::IoCounters io;
+  obs::QueryTrace trace;
+  trace.BindContextIo(&io);
+  obs::ScopedIoAccount account(&io);
+
+  const uint32_t root = trace.OpenSpan(obs::Phase::kQuery);
+  // Foreign traffic concurrent with the open span, on disjoint pages so
+  // this thread's hit/miss pattern stays deterministic.
+  std::thread foreign([&pool, &pages] {
+    for (int i = 0; i < 8; ++i) {
+      dsks::testing::MustFetch(&pool, pages[2 + i % 2]);
+      pool.UnpinPage(pages[2 + i % 2], false);
+    }
+  });
+  dsks::testing::MustFetch(&pool, pages[0]);
+  pool.UnpinPage(pages[0], false);
+  dsks::testing::MustFetch(&pool, pages[0]);
+  pool.UnpinPage(pages[0], false);
+  dsks::testing::MustFetch(&pool, pages[1]);
+  pool.UnpinPage(pages[1], false);
+  foreign.join();
+  trace.CloseSpan(root);
+
+  // Exactly this thread's I/O: two cold misses, one repeat hit.
+  const obs::TraceSpan& rs = trace.spans().front();
+  EXPECT_EQ(rs.inclusive_io.pool_misses, 2u);
+  EXPECT_EQ(rs.inclusive_io.pool_hits, 1u);
+  EXPECT_EQ(rs.inclusive_io.disk_reads, 2u);
+  EXPECT_EQ(io, rs.inclusive_io);
+
+  // The foreign thread's fetches really happened — they landed in the
+  // shared pool counters, just not in this context's account.
+  const BufferPoolStatsSnapshot pool_after = pool.stats_snapshot();
+  EXPECT_EQ(pool_after.hits + pool_after.misses -
+                (pool_before.hits + pool_before.misses),
+            3u + 8u);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 // Database — every worker must see exactly the results the sequential
 // harness produces.
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "datagen/presets.h"
@@ -211,6 +213,99 @@ TEST(QueryExecutorTest, ConcurrentTracedQueriesNestAndBalance) {
     EXPECT_EQ(exclusive_ns, root.inclusive_ns);
     EXPECT_EQ(exclusive_io, root.inclusive_io);
   }
+}
+
+TEST(QueryExecutorTest, SampledTracingIsExactAndFeedsTheRecorder) {
+  setenv("DSKS_IO_DELAY_US", "0", /*overwrite=*/1);
+  Database db(TinyPreset());
+  IndexOptions opts;
+  opts.kind = IndexKind::kSIF;
+  db.BuildIndex(opts);
+  db.PrepareForQueries();
+
+  WorkloadConfig wc;
+  wc.num_queries = 16;
+  wc.num_keywords = 2;
+  wc.seed = 37;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+
+  obs::TraceSamplerConfig sampling;
+  sampling.sample_every = 4;
+  obs::FlightRecorder recorder;
+  // One worker, so the countdown sampler's schedule is exact: 64 queries
+  // at 1-in-4 trace exactly 16 — by construction, not by expectation.
+  const ThroughputMetrics m = RunSkWorkloadConcurrent(
+      &db, wl, /*num_threads=*/1, /*repeat=*/4, sampling, &recorder);
+  EXPECT_EQ(m.queries, 64u);
+  EXPECT_EQ(m.sampled, 16u);
+  EXPECT_EQ(m.sample_rate, 4u);
+  EXPECT_EQ(recorder.recorded(), 16u);
+
+  // Every recorded summary is a traced, tagged OK query whose per-phase
+  // I/O telescopes exactly to the context-charged total.
+  const obs::FlightRecorder::Snapshot snap = recorder.TakeSnapshot();
+  ASSERT_EQ(snap.recent.size(), 16u);
+  for (const obs::QuerySummary& s : snap.recent) {
+    EXPECT_STREQ(s.kind, "sk");
+    EXPECT_STREQ(s.status, "OK");
+    EXPECT_TRUE(s.traced);
+    EXPECT_GT(s.terms, 0u);
+    obs::IoCounters phase_io;
+    for (size_t p = 0; p < obs::kNumPhases; ++p) {
+      phase_io += s.phase_io[p];
+    }
+    EXPECT_EQ(phase_io, s.total_io);
+  }
+  unsetenv("DSKS_IO_DELAY_US");
+}
+
+TEST(QueryExecutorTest, ErrorsAndSlowQueriesAreRecordedWithoutSampling) {
+  obs::TraceSamplerConfig sampling;  // sample_every = 0: tracing off
+  sampling.slow_ms = 5.0;
+  obs::FlightRecorder recorder;
+  ExecutorConfig config;
+  config.num_threads = 2;
+  config.metrics = nullptr;
+  config.sampling = sampling;
+  config.flight_recorder = &recorder;
+  QueryExecutor exec(config);
+
+  for (int i = 0; i < 4; ++i) {
+    exec.SubmitQuery(QueryTag{"fail", 1}, [](QueryContext*) {
+      return Status::IOError("injected");
+    });
+  }
+  exec.SubmitQuery(QueryTag{"slow", 2}, [](QueryContext*) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::Ok();
+  });
+  for (int i = 0; i < 8; ++i) {
+    exec.SubmitQuery(QueryTag{"fast", 3},
+                     [](QueryContext*) { return Status::Ok(); });
+  }
+  const QueryExecutor::DrainResult res = exec.Drain();
+  EXPECT_EQ(res.sampled, 0u);  // nothing traced, yet plenty recorded
+
+  // 4 errors + 1 over-threshold query; the fast OK queries left no trace.
+  EXPECT_EQ(recorder.recorded(), 5u);
+  const obs::FlightRecorder::Snapshot snap = recorder.TakeSnapshot();
+  size_t errors = 0;
+  size_t slow = 0;
+  for (const obs::QuerySummary& s : snap.recent) {
+    EXPECT_FALSE(s.traced);
+    if (s.error) {
+      ++errors;
+      EXPECT_STREQ(s.kind, "fail");
+      EXPECT_STREQ(s.status, "IO_ERROR");
+    } else {
+      ++slow;
+      EXPECT_STREQ(s.kind, "slow");
+      EXPECT_GE(s.total_ms, 5.0);
+    }
+  }
+  EXPECT_EQ(errors, 4u);
+  EXPECT_EQ(slow, 1u);
+  EXPECT_EQ(snap.errors.size(), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// StatsServer: a real client over a real loopback socket must get valid
+// responses from every route, correct errors for everything else, and a
+// clean idempotent shutdown.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+
+namespace dsks {
+namespace {
+
+/// One raw HTTP exchange against 127.0.0.1:port; returns the full
+/// response (status line, headers, body) or "" on connect failure.
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return HttpExchange(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+TEST(StatsServerTest, ServesMetricsVarzTracezOnEphemeralPort) {
+  obs::MetricsRegistry reg;
+  reg.counter("executor.queries").Add(5);
+  reg.histogram("executor.query_ms").Record(2.0);
+  obs::FlightRecorder rec;
+  obs::QuerySummary s;
+  s.total_ms = 7.0;
+  rec.Record(s);
+
+  obs::StatsServer server(&reg, &rec);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos) << health;
+
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("# TYPE dsks_executor_queries counter"),
+            std::string::npos)
+      << metrics;
+
+  // Query strings are stripped before routing (scrapers add them).
+  const std::string varz = Get(server.port(), "/varz?pretty=1");
+  EXPECT_NE(varz.find("200 OK"), std::string::npos) << varz;
+  EXPECT_NE(varz.find("\"executor.queries\":5"), std::string::npos) << varz;
+
+  const std::string tracez = Get(server.port(), "/tracez");
+  EXPECT_NE(tracez.find("200 OK"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"recorded\":1"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"ms\":7.000000"), std::string::npos) << tracez;
+
+  EXPECT_NE(Get(server.port(), "/nope").find("404"), std::string::npos);
+  const std::string post =
+      HttpExchange(server.port(),
+                   "POST /metrics HTTP/1.1\r\nHost: x\r\n"
+                   "Connection: close\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(StatsServerTest, NullSourcesServe404ButStayHealthy) {
+  obs::StatsServer server(nullptr, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(Get(server.port(), "/healthz").find("200 OK"), std::string::npos);
+  EXPECT_NE(Get(server.port(), "/metrics").find("404"), std::string::npos);
+  EXPECT_NE(Get(server.port(), "/tracez").find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServerTest, TwoServersCoexistOnDistinctPorts) {
+  obs::MetricsRegistry reg;
+  obs::StatsServer a(&reg, nullptr);
+  obs::StatsServer b(&reg, nullptr);
+  ASSERT_TRUE(a.Start(0).ok());
+  ASSERT_TRUE(b.Start(0).ok());
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(Get(a.port(), "/healthz").find("200"), std::string::npos);
+  EXPECT_NE(Get(b.port(), "/healthz").find("200"), std::string::npos);
+  // Destructors stop both; `a` explicitly, `b` via RAII.
+  a.Stop();
+}
+
+}  // namespace
+}  // namespace dsks

@@ -45,7 +45,8 @@ for san in "${sanitizers[@]}"; do
   # backends face the same faults under the same sanitizer.
   echo "=== $san sanitizer: storage + chaos suites on the file backend ==="
   for t in storage_test fault_injection_test buffer_pool_concurrency_test \
-           durability_test prefetch_test obs_test chaos_test; do
+           durability_test prefetch_test obs_test trace_attribution_test \
+           chaos_test; do
     (cd "$dir" && DSKS_TEST_BACKEND=file TSAN_OPTIONS="die_after_fork=0" \
         "./tests/$t" --gtest_brief=1)
   done
@@ -68,6 +69,67 @@ if [ "$#" -eq 0 ] && [ "${DSKS_SKIP_PERF:-0}" != "1" ]; then
   python3 tools/perf_gate.py bench/baseline_throughput.json \
     build-perf/perf_smoke.jsonl
   echo "=== perf smoke: OK ==="
+
+  # Tracing-overhead gate: the same bench re-run with 1-in-16 sampled
+  # tracing must stay inside the noise band of the unsampled smoke above.
+  # "Always-on sampled tracing" is only honest if sampling is ~free.
+  echo "=== tracing-overhead gate: 3 sampled runs vs the unsampled smoke ==="
+  : > build-perf/perf_sampled.jsonl
+  for _ in 1 2 3; do
+    (cd build-perf && DSKS_IO_DELAY_US=0 DSKS_BENCH_QUERIES=100 \
+        DSKS_BENCH_THREADS=1 DSKS_BENCH_SAMPLE=16 ./bench/bench_throughput) |
+      sed -n 's/^JSON //p' >> build-perf/perf_sampled.jsonl
+  done
+  python3 tools/perf_gate.py overhead build-perf/perf_smoke.jsonl \
+    build-perf/perf_sampled.jsonl
+  echo "=== tracing-overhead gate: OK ==="
+
+  # Stats-endpoint smoke: a bench run serving its live stats must answer
+  # scrapes of all three endpoints with valid payloads. /healthz is hit
+  # while the benches still run; the full scrape happens in the linger
+  # window after the last drain, so it sees complete metrics and cannot
+  # race bench exit.
+  echo "=== stats smoke: scraping /metrics /varz /tracez from a bench run ==="
+  rm -f build-perf/stats_smoke.out
+  (cd build-perf && DSKS_IO_DELAY_US=0 DSKS_BENCH_QUERIES=64 \
+      DSKS_BENCH_THREADS=2 DSKS_BENCH_SAMPLE=8 DSKS_BENCH_STATS_PORT=0 \
+      DSKS_BENCH_STATS_LINGER_MS=8000 ./bench/bench_throughput \
+      > stats_smoke.out) &
+  stats_pid=$!
+  stats_url=""
+  for _ in $(seq 1 150); do
+    stats_url="$(sed -n 's/^STATS //p' build-perf/stats_smoke.out 2>/dev/null |
+      head -1)"
+    [ -n "$stats_url" ] && break
+    sleep 0.2
+  done
+  if [ -z "$stats_url" ]; then
+    echo "stats smoke: bench never printed a STATS line" >&2
+    cat build-perf/stats_smoke.out >&2
+    exit 1
+  fi
+  curl -fsS "$stats_url/healthz" > /dev/null   # live while benches run
+  for _ in $(seq 1 300); do
+    grep -q 'Expected:' build-perf/stats_smoke.out && break
+    sleep 0.2
+  done
+  curl -fsS "$stats_url/metrics" | grep -q '^# TYPE ' || {
+    echo "stats smoke: /metrics has no Prometheus TYPE lines" >&2
+    exit 1
+  }
+  curl -fsS "$stats_url/varz" > build-perf/varz_smoke.json
+  python3 tools/perf_gate.py validate-metrics build-perf/varz_smoke.json
+  curl -fsS "$stats_url/tracez" > build-perf/tracez_smoke.json
+  python3 - build-perf/tracez_smoke.json <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+if snap["recorded"] == 0 or not snap["recent"]:
+    sys.exit("stats smoke: /tracez recorded no queries")
+print(f"stats smoke: /tracez recorded {snap['recorded']} queries, "
+      f"{len(snap['slowest'])} slowest retained")
+EOF
+  wait "$stats_pid"
+  echo "=== stats smoke: OK ==="
 
   # Observability smoke: the bench artifact must match the schema
   # (including the merged-histogram fields and a per-phase profile), and

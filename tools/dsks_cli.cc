@@ -21,6 +21,13 @@
 //       Build a synthetic database, run a small concurrent workload, and
 //       dump the metrics registry (storage counters bound as live sources
 //       plus the executor's latency histogram).
+//   dsks_cli serve-stats [--port P] [--scale F] [--index sif] [--threads N]
+//             [--queries N] [--sample N] [--slow-ms F] [--duration-ms N]
+//       Build a synthetic database, run a continuous sampled-traced
+//       workload, and serve live telemetry over HTTP: /metrics
+//       (Prometheus), /varz (JSON registry), /tracez (flight recorder),
+//       /healthz. --port 0 picks an ephemeral port (printed on stdout);
+//       --duration-ms 0 serves until killed.
 //   dsks_cli chaos [--scale F] [--index sif] [--queries N] [--threads N]
 //             [--read-fault-p P] [--write-fault-p P] [--corrupt-p P]
 //             [--seed S] [--retries R]
@@ -30,6 +37,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +45,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -60,25 +69,32 @@
 #include "datagen/network_generator.h"
 #include "datagen/object_generator.h"
 #include "index/query_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 
 namespace dsks {
 namespace {
 
-/// Minimal --flag value parser: flags precede their single value. A flag
-/// followed by another flag (or by nothing) is boolean — present with an
-/// empty value — so `--trace` and `--trace json` both work.
+/// Minimal --flag value parser. Both spellings work: `--flag value` and
+/// `--flag=value`. A flag followed by another flag (or by nothing) is
+/// boolean — present with an empty value — so `--trace` and `--trace json`
+/// both work.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 0; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) == 0) {
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-          values_[argv[i] + 2] = argv[i + 1];
+        const char* key = argv[i] + 2;
+        if (const char* eq = std::strchr(key, '=')) {
+          values_[std::string(key, eq - key)] = eq + 1;
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          values_[key] = argv[i + 1];
           ++i;
         } else {
-          values_[argv[i] + 2] = "";
+          values_[key] = "";
         }
       } else {
         positional_.emplace_back(argv[i]);
@@ -158,12 +174,18 @@ int Usage() {
                "           [--threads 4] [--repeat 64] [--trace [json]]\n"
                "           [--prefetch on|off]\n"
                "  dsks_cli metrics [--scale 0.03] [--index sif]\n"
-               "           [--queries 32] [--threads 2] [--format json|prom]\n"
+               "           [--queries 32] [--threads 2]\n"
+               "           [--format=json|prometheus]\n"
+               "  dsks_cli serve-stats [--port 0] [--scale 0.03] "
+               "[--index sif]\n"
+               "           [--threads 2] [--queries 64] [--sample 16]\n"
+               "           [--slow-ms 0] [--duration-ms 0]\n"
                "  dsks_cli chaos [--scale 0.03] [--index sif] [--queries 256]\n"
                "           [--threads 8] [--read-fault-p 0.001]\n"
                "           [--write-fault-p 0] [--corrupt-p 0] [--seed 42]\n"
                "           [--retries 0]\n"
-               "query/metrics/chaos also accept storage-backend flags:\n"
+               "query/metrics/serve-stats/chaos also accept storage-backend "
+               "flags:\n"
                "           [--backend sim|file] [--backend-path PATH]\n"
                "           [--o-direct]\n");
   return 2;
@@ -371,12 +393,16 @@ int CmdQuery(const Args& args) {
   const bool traced = args.Has("trace");
   obs::QueryTrace trace;
   obs::QueryTrace* trace_ptr = nullptr;
+  QueryContext cli_ctx;
   if (traced) {
-    trace.BindIoSources(&pool.stats(), &disk.stats());
+    // The trace snapshots the context's per-query attribution counters,
+    // charged through the thread-affine account installed below — exact
+    // even if other threads shared this pool.
+    trace.BindContextIo(&cli_ctx.io);
     trace_ptr = &trace;
   }
-  QueryContext cli_ctx;
   cli_ctx.trace = trace_ptr;
+  obs::ScopedIoAccount io_account(&cli_ctx.io);
 
   const uint64_t reads_before = disk.stats().reads.load();
   const uint64_t prefetched_before = pool.stats().prefetch_issued.load();
@@ -604,6 +630,94 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+int CmdServeStats(const Args& args) {
+  // A live telemetry demo and the forerunner of the query-service front
+  // end: synthetic database, continuous sampled-traced workload, stats
+  // endpoint on loopback.
+  const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
+  const auto port =
+      static_cast<uint16_t>(args.GetSize("port", 0, 0, 65535));
+  const size_t threads = args.GetSize("threads", 2, 1, 1024);
+  const size_t num_queries = args.GetSize("queries", 64, 1, 1u << 20);
+  const auto sample =
+      static_cast<uint32_t>(args.GetSize("sample", 16, 0, 1u << 20));
+  const double slow_ms = args.GetDouble("slow-ms", 0.0, 0.0, 1e9);
+  const size_t duration_ms = args.GetSize("duration-ms", 0, 0, SIZE_MAX);
+
+  CliBackend backend(args);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale),
+              backend.options());
+  db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
+  db.PrepareForQueries();
+
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  db.BindMetrics(&registry, "db");
+  obs::FlightRecorder recorder;
+  recorder.set_occupancy_gauge(
+      &registry.gauge("dsks.flight_recorder.entries"));
+  obs::StatsServer server(&registry, &recorder);
+  if (const Status s = server.Start(port); !s.ok()) {
+    std::fprintf(stderr, "stats server failed to start: %s\n",
+                 s.ToString().c_str());
+    db.UnbindMetrics(&registry, "db");
+    return 1;
+  }
+  std::printf("serving stats on http://127.0.0.1:%u "
+              "(/metrics /varz /tracez /healthz)\n",
+              server.port());
+  std::fflush(stdout);
+
+  WorkloadConfig wc;
+  wc.num_queries = num_queries;
+  wc.num_keywords = 2;
+  wc.seed = 7;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+  ExecutorConfig config;
+  config.num_threads = threads;
+  config.metrics = &registry;
+  config.sampling.sample_every = sample;
+  config.sampling.slow_ms = slow_ms;
+  config.sampling.seed = 42;
+  config.flight_recorder = &recorder;
+  uint64_t passes = 0;
+  uint64_t sampled = 0;
+  Timer total;
+  {
+    QueryExecutor exec(config);
+    for (;;) {
+      for (const WorkloadQuery& wq : wl.queries) {
+        const WorkloadQuery* q = &wq;
+        QueryTag tag;
+        tag.kind = "sk";
+        tag.terms = static_cast<uint32_t>(q->sk.terms.size());
+        exec.SubmitQuery(tag, [&db, q](QueryContext* ctx) {
+          std::vector<SkResult> results;
+          return db.RunSkQuery(q->sk, q->edge, &results, ctx);
+        });
+      }
+      const QueryExecutor::DrainResult drained = exec.Drain();
+      sampled += drained.sampled;
+      ++passes;
+      if (duration_ms > 0 &&
+          total.ElapsedMillis() >= static_cast<double>(duration_ms)) {
+        break;
+      }
+      // Pace the load so an open-ended serve doesn't pin the CPU; scrapes
+      // between passes still see live counters.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  server.Stop();
+  std::printf("served %.1f s: %llu workload passes, %llu sampled traces, "
+              "%llu recorded\n",
+              total.ElapsedMillis() / 1000.0,
+              static_cast<unsigned long long>(passes),
+              static_cast<unsigned long long>(sampled),
+              static_cast<unsigned long long>(recorder.recorded()));
+  db.UnbindMetrics(&registry, "db");
+  return 0;
+}
+
 int CmdChaos(const Args& args) {
   // Survival demonstration: run a concurrent workload with the storage
   // fault injector armed and show that every failure surfaces as a counted
@@ -711,6 +825,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "metrics") {
     return CmdMetrics(args);
+  }
+  if (cmd == "serve-stats") {
+    return CmdServeStats(args);
   }
   if (cmd == "chaos") {
     return CmdChaos(args);

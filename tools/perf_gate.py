@@ -19,12 +19,23 @@ Usage:
       Validate `dsks_cli metrics` output: all four registry sections, the
       executor's pooled latency histogram, and live db.pool.* / db.disk.*
       sources must be present.
+
+  perf_gate.py overhead <off.jsonl> <on.jsonl>
+      Tracing-overhead gate: compare single-thread qps of a sampled run
+      (sample_rate > 0 on every warm record) against an unsampled run of
+      the same workloads, best-of per workload on both sides. Fails when
+      the sampled side is below OVERHEAD_TOLERANCE of the unsampled side —
+      i.e. when 1-in-N tracing costs more than the perf-gate noise band.
 """
 
 import json
 import sys
 
 TOLERANCE = 0.75  # fail when qps < TOLERANCE * baseline
+# The overhead gate compares two fresh runs on the same machine moments
+# apart, so it can be tighter than the committed-baseline gate — but
+# best-of-3 qps on a small shared box still jitters, hence not 0.95.
+OVERHEAD_TOLERANCE = 0.85
 
 # --- tiny schema validator ---------------------------------------------------
 # Supported keys: "type" ("object"|"array"|"number"|"integer"|"string"),
@@ -100,10 +111,15 @@ MEASUREMENT_SCHEMA = {
         # (checked separately in validate_bench, not just present)
         "errors": {"type": "integer", "min": 0},
         "error_rate": NUM,
-        # merged per-worker histogram fields (bucket upper bounds)
+        # merged per-worker histogram fields (interpolated within buckets)
         "hist_count": {"type": "integer", "min": 1},
         "hist_p50_ms": NUM,
         "hist_p99_ms": NUM,
+        # sampled-tracing regime of the run: 1-in-N (0 = tracing off) and
+        # how many queries actually ran traced. Present on every record so
+        # a sampled run can never masquerade as an unsampled baseline.
+        "sample_rate": {"type": "integer", "min": 0},
+        "sampled_queries": {"type": "integer", "min": 0},
     },
 }
 
@@ -297,11 +313,72 @@ def perf_gate(baseline_path, smoke_path) -> int:
     return 1 if failed else 0
 
 
+def best_qps_by_workload(path, want_sampled):
+    """Best single-thread warm qps per workload; errors for wrong regime.
+
+    `want_sampled` asserts the file really is the regime the caller thinks
+    it is: an unsampled file accidentally passed as the "on" side would
+    make the overhead gate vacuous, so that is an error, not a skip.
+    """
+    best: dict[str, float] = {}
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for n, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("threads") != 1 or rec.get("cold", 0) != 0:
+                continue
+            rate = rec.get("sample_rate", 0)
+            if want_sampled and rate == 0:
+                errors.append(f"{path}:{n}: expected a sampled record")
+            elif not want_sampled and rate != 0:
+                errors.append(
+                    f"{path}:{n}: unsampled side has sample_rate {rate}"
+                )
+            if want_sampled and rate > 0 and rec.get("sampled_queries", 0) == 0:
+                errors.append(f"{path}:{n}: sampled run traced 0 queries")
+            wl = rec["workload"]
+            best[wl] = max(best.get(wl, 0.0), rec["qps"])
+    return best, errors
+
+
+def overhead_gate(off_path, on_path) -> int:
+    off, errors = best_qps_by_workload(off_path, want_sampled=False)
+    on, on_errors = best_qps_by_workload(on_path, want_sampled=True)
+    errors += on_errors
+    for e in errors:
+        print(f"overhead gate: {e}")
+    failed = bool(errors)
+    for wl, off_qps in sorted(off.items()):
+        on_qps = on.get(wl)
+        if on_qps is None:
+            print(f"overhead gate: no sampled measurement for '{wl}'")
+            failed = True
+            continue
+        floor = OVERHEAD_TOLERANCE * off_qps
+        verdict = "OK" if on_qps >= floor else "FAIL"
+        ratio = on_qps / off_qps if off_qps > 0 else 0.0
+        print(
+            f"overhead gate: {wl}: sampled {on_qps:.1f} qps vs unsampled "
+            f"{off_qps:.1f} ({ratio:.2f}x, floor {floor:.1f}) -> {verdict}"
+        )
+        if on_qps < floor:
+            failed = True
+    if not off:
+        print(f"overhead gate: no unsampled threads=1 records in {off_path}")
+        failed = True
+    return 1 if failed else 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] == "validate-bench":
         return validate_bench(sys.argv[2])
     if len(sys.argv) == 3 and sys.argv[1] == "validate-metrics":
         return validate_metrics(sys.argv[2])
+    if len(sys.argv) == 4 and sys.argv[1] == "overhead":
+        return overhead_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) == 3:
         return perf_gate(sys.argv[1], sys.argv[2])
     print(__doc__, file=sys.stderr)
