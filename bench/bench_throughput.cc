@@ -78,6 +78,14 @@ std::vector<std::string>& JsonRecords() {
 /// sim and file numbers can never be compared silently.
 const char* g_backend_name = "sim";
 
+/// The I/O regime ("sync"/"async") and the engine that actually served it
+/// ("sync"/"worker-pool"/"io_uring"), same contract as the backend name:
+/// every record carries them, and perf_gate.py refuses to compare numbers
+/// across regimes. The engine can differ from the requested regime only
+/// by fallback (async on a kernel without io_uring → "worker-pool").
+const char* g_io_name = "sync";
+const char* g_io_engine = "sync";
+
 /// Sampled-tracing policy for the measured series, from DSKS_BENCH_SAMPLE.
 /// Off by default: a sampled run is a different experiment than the perf
 /// baseline, and every record says which one it was.
@@ -148,14 +156,16 @@ void EmitJson(const char* workload, const ThroughputMetrics& m,
   char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"bench\":\"throughput\",\"backend\":\"%s\",\"workload\":\"%s\","
+      "{\"bench\":\"throughput\",\"backend\":\"%s\",\"io\":\"%s\","
+      "\"io_engine\":\"%s\",\"workload\":\"%s\","
       "\"cold\":0,\"prefetch\":1,\"threads\":%zu,"
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
       "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":%.2f,"
       "\"errors\":%llu,\"error_rate\":%.6f,"
       "\"hist_count\":%llu,\"hist_p50_ms\":%.3f,\"hist_p99_ms\":%.3f,"
       "\"sample_rate\":%u,\"sampled_queries\":%llu}",
-      g_backend_name, workload, m.num_threads, m.queries, m.wall_millis, m.qps,
+      g_backend_name, g_io_name, g_io_engine, workload, m.num_threads,
+      m.queries, m.wall_millis, m.qps,
       m.avg_millis,
       m.p50_millis, m.p95_millis, m.p99_millis, speedup,
       static_cast<unsigned long long>(m.errors), m.error_rate,
@@ -173,7 +183,11 @@ void EmitJson(const char* workload, const ThroughputMetrics& m,
 /// on run's pool_misses reduction is judged against (EXPERIMENTS.md).
 void RunColdSeries(const char* workload, Database* db, const Workload& wl,
                    bool div) {
-  ScopedIoDelay delay(db);
+  // Sleeping delay, not the sequential harness's busy-wait: the async
+  // engine always sleeps (a spinning "device" thread would steal the
+  // issuer's core), so the sync side of a cold A/B must pay the same
+  // scheduler wakeup costs or the two regimes simulate different devices.
+  ScopedIoDelay delay(db, /*yielding=*/true);
   TablePrinter table({"prefetch", "queries", "wall ms", "qps", "avg ms",
                       "p95 ms", "misses", "reads", "pf issued", "pf hits",
                       "pf wasted", "pf dropped"});
@@ -233,7 +247,8 @@ void RunColdSeries(const char* workload, Database* db, const Workload& wl,
     char buf[768];
     std::snprintf(
         buf, sizeof(buf),
-        "{\"bench\":\"throughput\",\"backend\":\"%s\",\"workload\":\"%s\","
+        "{\"bench\":\"throughput\",\"backend\":\"%s\",\"io\":\"%s\","
+        "\"io_engine\":\"%s\",\"workload\":\"%s\","
         "\"cold\":1,\"prefetch\":%d,\"threads\":1,"
         "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,\"avg_ms\":%.3f,"
         "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\"speedup\":1.00,"
@@ -243,7 +258,8 @@ void RunColdSeries(const char* workload, Database* db, const Workload& wl,
         "\"pool_misses\":%llu,\"disk_reads\":%llu,"
         "\"prefetch_issued\":%llu,\"prefetch_hits\":%llu,"
         "\"prefetch_wasted\":%llu,\"prefetch_dropped\":%llu}",
-        g_backend_name, workload, prefetch_on ? 1 : 0, n, wall_ms, qps,
+        g_backend_name, g_io_name, g_io_engine, workload, prefetch_on ? 1 : 0,
+        n, wall_ms, qps,
         n > 0 ? sum / n : 0.0, pct(50), pct(95), pct(99),
         static_cast<unsigned long long>(hs.count), hs.Percentile(50),
         hs.Percentile(99), static_cast<unsigned long long>(pool.misses),
@@ -304,9 +320,10 @@ void EmitPhaseProfile(const char* workload, Database* db, const Workload& wl,
   std::string buf;
   char item[256];
   std::snprintf(item, sizeof(item),
-                "{\"bench\":\"throughput\",\"backend\":\"%s\","
+                "{\"bench\":\"throughput\",\"backend\":\"%s\",\"io\":\"%s\","
+                "\"io_engine\":\"%s\","
                 "\"workload\":\"%s\",\"queries\":%zu,\"phase_profile\":{",
-                g_backend_name, workload, n);
+                g_backend_name, g_io_name, g_io_engine, workload, n);
   buf += item;
   bool first = true;
   for (size_t p = 0; p < obs::kNumPhases; ++p) {
@@ -383,6 +400,7 @@ int main(int argc, char** argv) {
               "no paper figure — production-scaling experiment");
   BenchBackend backend(argc, argv);
   g_backend_name = backend.name();
+  g_io_name = backend.io_name();
   std::printf("storage backend: %s%s\n", g_backend_name,
               cold ? " (cold cache)" : "");
   const size_t num_queries = QueriesFromEnv(200);
@@ -399,6 +417,9 @@ int main(int argc, char** argv) {
   }
 
   Database db(Scaled(PresetNA()), backend.options());
+  g_io_engine = db.disk()->io_engine_name();
+  std::printf("io regime: %s (engine %s, depth %zu)\n", g_io_name,
+              g_io_engine, db.disk()->io_depth());
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);

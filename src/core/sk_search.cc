@@ -17,18 +17,29 @@ namespace {
 /// the heap's shallow layers — a sample of the nodes Dijkstra settles next.
 /// Purely advisory: the pool drops failures and the expansion never waits,
 /// so settled distances are bit-identical with prefetching on or off.
-constexpr uint64_t kPrefetchInterval = 32;
-constexpr size_t kFrontierSample = 16;
+/// Under an async disk engine the submission is fire-and-forget, so the
+/// issuer runs further ahead: twice the sample at half the interval keeps
+/// the in-flight window full without ever blocking a settle.
+constexpr uint64_t kPrefetchIntervalSync = 32;
+constexpr uint64_t kPrefetchIntervalAsync = 16;
+constexpr size_t kFrontierSampleSync = 16;
+constexpr size_t kFrontierSampleAsync = 32;
+
+uint64_t PrefetchInterval(const CcamGraph& graph) {
+  return graph.async_prefetch() ? kPrefetchIntervalAsync
+                                : kPrefetchIntervalSync;
+}
 
 void PrefetchFrontier(const CcamGraph& graph,
                       const ReusableMinHeap<std::pair<double, uint32_t>>& heap) {
+  const size_t sample =
+      graph.async_prefetch() ? kFrontierSampleAsync : kFrontierSampleSync;
   const std::vector<std::pair<double, uint32_t>>& entries = heap.storage();
-  const size_t n =
-      entries.size() < kFrontierSample ? entries.size() : kFrontierSample;
+  const size_t n = entries.size() < sample ? entries.size() : sample;
   if (n == 0) {
     return;
   }
-  NodeId nodes[kFrontierSample];
+  NodeId nodes[kFrontierSampleAsync];
   for (size_t i = 0; i < n; ++i) {
     nodes[i] = entries[i].second;
   }
@@ -215,7 +226,7 @@ bool IncrementalSkSearch::ExpandOneNode() {
   s_->node_heap.pop();
   s_->settled.Set(v, d);
   ++stats_.nodes_settled;
-  if (stats_.nodes_settled % kPrefetchInterval == 0) {
+  if (stats_.nodes_settled % PrefetchInterval(*graph_) == 0) {
     PrefetchFrontier(*graph_, s_->node_heap);
   }
 

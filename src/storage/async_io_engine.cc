@@ -1,0 +1,420 @@
+#include "storage/async_io_engine.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+#if defined(__linux__)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define DSKS_HAVE_IO_URING 1
+#endif
+
+namespace dsks {
+
+// ---------------------------------------------------------------------------
+// WorkerPoolIoEngine
+// ---------------------------------------------------------------------------
+
+WorkerPoolIoEngine::WorkerPoolIoEngine(ReadFn read_fn, size_t num_threads)
+    : read_fn_(std::move(read_fn)) {
+  DSKS_CHECK_MSG(num_threads > 0, "worker-pool engine needs a thread");
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPoolIoEngine::~WorkerPoolIoEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  // Workers drain the queue before exiting, so every accepted batch still
+  // gets its completion.
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPoolIoEngine::Submit(AsyncReadBatch batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DSKS_CHECK_MSG(!stop_, "Submit on a stopped engine");
+    queue_.push_back(std::move(batch));
+  }
+  work_ready_.notify_one();
+}
+
+void WorkerPoolIoEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPoolIoEngine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return !queue_.empty() || stop_; });
+    if (queue_.empty()) {
+      return;  // stop_ set and nothing left to service
+    }
+    AsyncReadBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    read_fn_(std::span<PageReadRequest>(batch.reqs));
+    batch.done(std::span<PageReadRequest>(batch.reqs));
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) {
+      idle_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IoUringIoEngine
+// ---------------------------------------------------------------------------
+
+#ifdef DSKS_HAVE_IO_URING
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+/// mmap'd kernel ring views. All pointers live inside the three (or two,
+/// with IORING_FEAT_SINGLE_MMAP) mappings and are fixed for the ring's
+/// lifetime.
+struct IoUringIoEngine::Ring {
+  int ring_fd = -1;
+  unsigned sq_entries = 0;
+  unsigned cq_entries = 0;
+  void* sq_map = nullptr;
+  size_t sq_map_len = 0;
+  void* cq_map = nullptr;  // aliases sq_map under FEAT_SINGLE_MMAP
+  size_t cq_map_len = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  size_t sqes_len = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  struct io_uring_cqe* cqes = nullptr;
+
+  ~Ring() {
+    if (sqes != nullptr) {
+      ::munmap(sqes, sqes_len);
+    }
+    if (cq_map != nullptr && cq_map != sq_map) {
+      ::munmap(cq_map, cq_map_len);
+    }
+    if (sq_map != nullptr) {
+      ::munmap(sq_map, sq_map_len);
+    }
+    if (ring_fd >= 0) {
+      ::close(ring_fd);
+    }
+  }
+};
+
+struct IoUringIoEngine::Batch {
+  struct Tag {
+    Batch* batch = nullptr;
+    uint32_t idx = 0;
+  };
+
+  AsyncReadBatch work;
+  /// Unresolved device reads + one sentinel held by Submit; whoever drops
+  /// the count to zero runs the completion.
+  std::atomic<size_t> pending{1};
+  std::vector<Tag> tags;
+};
+
+std::unique_ptr<IoUringIoEngine> IoUringIoEngine::Probe(int data_fd,
+                                                        size_t queue_depth,
+                                                        FallbackFn fallback) {
+  unsigned entries = 8;
+  while (entries < queue_depth && entries < 512) {
+    entries *= 2;
+  }
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  auto ring = std::make_unique<Ring>();
+  ring->ring_fd = SysIoUringSetup(entries, &params);
+  if (ring->ring_fd < 0) {
+    return nullptr;  // ENOSYS / EPERM / old kernel: fall back to the pool
+  }
+  ring->sq_entries = params.sq_entries;
+  ring->cq_entries = params.cq_entries;
+  size_t sq_len =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  size_t cq_len =
+      params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+  const bool single_mmap =
+      (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    sq_len = cq_len = sq_len > cq_len ? sq_len : cq_len;
+  }
+  ring->sq_map_len = sq_len;
+  ring->sq_map = ::mmap(nullptr, sq_len, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring->ring_fd,
+                        IORING_OFF_SQ_RING);
+  if (ring->sq_map == MAP_FAILED) {
+    ring->sq_map = nullptr;
+    return nullptr;
+  }
+  if (single_mmap) {
+    ring->cq_map = ring->sq_map;
+    ring->cq_map_len = cq_len;
+  } else {
+    ring->cq_map_len = cq_len;
+    ring->cq_map = ::mmap(nullptr, cq_len, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring->ring_fd,
+                          IORING_OFF_CQ_RING);
+    if (ring->cq_map == MAP_FAILED) {
+      ring->cq_map = nullptr;
+      return nullptr;
+    }
+  }
+  ring->sqes_len = params.sq_entries * sizeof(struct io_uring_sqe);
+  void* sqes = ::mmap(nullptr, ring->sqes_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring->ring_fd,
+                      IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    return nullptr;
+  }
+  ring->sqes = static_cast<struct io_uring_sqe*>(sqes);
+
+  char* sq_base = static_cast<char*>(ring->sq_map);
+  ring->sq_head = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  ring->sq_tail = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  ring->sq_mask =
+      *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  ring->sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  char* cq_base = static_cast<char*>(ring->cq_map);
+  ring->cq_head = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  ring->cq_tail = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  ring->cq_mask =
+      *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  ring->cqes = reinterpret_cast<struct io_uring_cqe*>(cq_base +
+                                                      params.cq_off.cqes);
+
+  return std::unique_ptr<IoUringIoEngine>(
+      new IoUringIoEngine(data_fd, std::move(fallback), std::move(ring)));
+}
+
+IoUringIoEngine::IoUringIoEngine(int data_fd, FallbackFn fallback,
+                                 std::unique_ptr<Ring> ring)
+    : data_fd_(data_fd), fallback_(std::move(fallback)),
+      ring_(std::move(ring)) {
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+IoUringIoEngine::~IoUringIoEngine() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    SubmitNopLocked();  // wakes the reaper out of io_uring_enter
+  }
+  reaper_.join();
+}
+
+bool IoUringIoEngine::PushSqeLocked(PageId id, char* out, void* user_data) {
+  const unsigned head = LoadAcquire(ring_->sq_head);
+  const unsigned tail = *ring_->sq_tail;  // sole writer, under mutex_
+  if (tail - head >= ring_->sq_entries) {
+    return false;
+  }
+  const unsigned idx = tail & ring_->sq_mask;
+  struct io_uring_sqe* sqe = &ring_->sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_READ;
+  sqe->fd = data_fd_;
+  sqe->addr = reinterpret_cast<uint64_t>(out);
+  sqe->len = kPageSize;
+  sqe->off = static_cast<uint64_t>(id) * kPageSize;
+  sqe->user_data = reinterpret_cast<uint64_t>(user_data);
+  ring_->sq_array[idx] = idx;
+  StoreRelease(ring_->sq_tail, tail + 1);
+  return true;
+}
+
+void IoUringIoEngine::SubmitNopLocked() {
+  const unsigned head = LoadAcquire(ring_->sq_head);
+  const unsigned tail = *ring_->sq_tail;
+  // The SQ cannot be full here: the destructor drained first, so every
+  // data SQE has been consumed.
+  DSKS_CHECK_MSG(tail - head < ring_->sq_entries, "NOP into a full SQ");
+  const unsigned idx = tail & ring_->sq_mask;
+  struct io_uring_sqe* sqe = &ring_->sqes[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_NOP;
+  sqe->user_data = 0;
+  ring_->sq_array[idx] = idx;
+  StoreRelease(ring_->sq_tail, tail + 1);
+  while (SysIoUringEnter(ring_->ring_fd, 1, 0, 0) < 0 && errno == EINTR) {
+  }
+}
+
+void IoUringIoEngine::Submit(AsyncReadBatch batch) {
+  auto* b = new Batch;
+  b->work = std::move(batch);
+  const size_t n = b->work.reqs.size();
+  b->tags.resize(n);
+  std::vector<size_t> overflow;  // SQ-full pages, read synchronously below
+  unsigned pushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DSKS_CHECK_MSG(!stop_, "Submit on a stopped engine");
+    ++outstanding_batches_;
+    for (size_t i = 0; i < n; ++i) {
+      PageReadRequest& r = b->work.reqs[i];
+      b->tags[i].batch = b;
+      b->tags[i].idx = static_cast<uint32_t>(i);
+      // Count the read before publishing its SQE: the kernel may complete
+      // it (and the reaper drop its reference) before the next statement
+      // runs, and pending must never hit zero while this loop still
+      // touches the batch.
+      b->pending.fetch_add(1, std::memory_order_relaxed);
+      if (PushSqeLocked(r.id, r.out, &b->tags[i])) {
+        ++pushed;
+      } else {
+        b->pending.fetch_sub(1, std::memory_order_relaxed);
+        overflow.push_back(i);
+      }
+    }
+    if (pushed > 0) {
+      while (SysIoUringEnter(ring_->ring_fd, pushed, 0, 0) < 0 &&
+             errno == EINTR) {
+      }
+    }
+  }
+  for (size_t i : overflow) {
+    fallback_(&b->work.reqs[i]);
+  }
+  // Drop the sentinel; if every device read already completed (or none
+  // was needed) the completion runs here, on the submitting thread —
+  // exactly the synchronous rung of the fallback ladder.
+  if (b->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    b->work.done(std::span<PageReadRequest>(b->work.reqs));
+    delete b;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--outstanding_batches_ == 0) {
+      idle_.notify_all();
+    }
+  }
+}
+
+void IoUringIoEngine::ReaperLoop() {
+  for (;;) {
+    unsigned head = LoadAcquire(ring_->cq_head);
+    const unsigned tail = LoadAcquire(ring_->cq_tail);
+    if (head == tail) {
+      const int rc =
+          SysIoUringEnter(ring_->ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
+      if (rc < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+        // Unexpected ring failure: without CQEs no completion can ever
+        // land, so surface it loudly rather than hanging Drain().
+        DSKS_CHECK_MSG(false, "io_uring_enter(GETEVENTS) failed");
+      }
+      continue;
+    }
+    // A CQE can only exist after the Submit that pushed its SQE ran
+    // io_uring_enter inside the mutex_ critical section, so acquiring the
+    // mutex here (after observing the CQ tail) synchronizes-with that
+    // section's release and makes its writes — the Batch, its tags, the
+    // request array — visible to this thread. The kernel's SQ-to-CQ hop
+    // is invisible to the C++ memory model (and to TSan); this edge is
+    // the user-space half of the handoff.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    bool saw_stop_nop = false;
+    while (head != tail) {
+      const struct io_uring_cqe& cqe = ring_->cqes[head & ring_->cq_mask];
+      const uint64_t user_data = cqe.user_data;
+      const int32_t res = cqe.res;
+      ++head;
+      StoreRelease(ring_->cq_head, head);
+      if (user_data == 0) {
+        saw_stop_nop = true;
+        continue;
+      }
+      auto* tag = reinterpret_cast<Batch::Tag*>(
+          static_cast<uintptr_t>(user_data));
+      Batch* b = tag->batch;
+      PageReadRequest& r = b->work.reqs[tag->idx];
+      if (res == static_cast<int32_t>(kPageSize)) {
+        r.status = Status::Ok();
+      } else {
+        // Short read or device/ring error (-EINVAL on an unsupported
+        // opcode included): retry through the backend's single-page path
+        // so the error semantics match the synchronous rung exactly.
+        fallback_(&r);
+      }
+      if (b->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        b->work.done(std::span<PageReadRequest>(b->work.reqs));
+        delete b;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--outstanding_batches_ == 0) {
+          idle_.notify_all();
+        }
+      }
+    }
+    if (saw_stop_nop) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) {
+        return;
+      }
+    }
+  }
+}
+
+void IoUringIoEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return outstanding_batches_ == 0; });
+}
+
+#else  // !DSKS_HAVE_IO_URING
+
+struct IoUringIoEngine::Ring {};
+struct IoUringIoEngine::Batch {};
+
+std::unique_ptr<IoUringIoEngine> IoUringIoEngine::Probe(int, size_t,
+                                                        FallbackFn) {
+  return nullptr;
+}
+
+IoUringIoEngine::~IoUringIoEngine() = default;
+void IoUringIoEngine::Submit(AsyncReadBatch) {}
+void IoUringIoEngine::Drain() {}
+
+#endif  // DSKS_HAVE_IO_URING
+
+}  // namespace dsks

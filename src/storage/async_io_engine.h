@@ -1,0 +1,139 @@
+#ifndef DSKS_STORAGE_ASYNC_IO_ENGINE_H_
+#define DSKS_STORAGE_ASYNC_IO_ENGINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "storage/disk_backend.h"
+
+namespace dsks {
+
+/// One submitted read batch: the engine owns the requests until the
+/// completion callback has returned, so callers can fire and forget.
+struct AsyncReadBatch {
+  std::vector<PageReadRequest> reqs;
+  /// Invoked exactly once, from an engine thread, after every request's
+  /// `out`/`expected_crc`/`status` is final. Runs policy-level work (CRC
+  /// verification, fault draws, buffer-pool publication) — the "reaper"
+  /// context of DESIGN.md's async section. Must not call back into
+  /// Submit/Drain of the same engine.
+  std::function<void(std::span<PageReadRequest>)> done;
+};
+
+/// Asynchronous read service under a DiskBackend: Submit returns before
+/// the pages land; completions run on engine-owned threads. Engines move
+/// raw bytes only — checksum verification, fault injection and statistics
+/// all stay in the DiskManager completion wrapper, exactly as they do on
+/// the synchronous path.
+class AsyncIoEngine {
+ public:
+  virtual ~AsyncIoEngine() = default;
+
+  /// Queues `batch` and returns immediately. The completion fires on an
+  /// engine thread once the whole batch is resolved.
+  virtual void Submit(AsyncReadBatch batch) = 0;
+
+  /// Blocks until every previously submitted batch's completion callback
+  /// has fully returned. New Submit calls racing a Drain are the caller's
+  /// bug (the buffer pool drains only at quiescence points).
+  virtual void Drain() = 0;
+
+  /// Stable engine name for logs and bench JSON: "worker-pool"/"io_uring".
+  virtual const char* name() const = 0;
+};
+
+/// Portable engine: N I/O threads servicing a submission queue. Works for
+/// any backend — the read function is the backend's own (synchronous,
+/// possibly vectored) ReadPages, so batching and error semantics are
+/// inherited unchanged; only the thread it runs on moves.
+class WorkerPoolIoEngine : public AsyncIoEngine {
+ public:
+  using ReadFn = std::function<void(std::span<PageReadRequest>)>;
+
+  WorkerPoolIoEngine(ReadFn read_fn, size_t num_threads);
+  ~WorkerPoolIoEngine() override;
+
+  WorkerPoolIoEngine(const WorkerPoolIoEngine&) = delete;
+  WorkerPoolIoEngine& operator=(const WorkerPoolIoEngine&) = delete;
+
+  void Submit(AsyncReadBatch batch) override;
+  void Drain() override;
+  const char* name() const override { return "worker-pool"; }
+
+ private:
+  void WorkerLoop();
+
+  const ReadFn read_fn_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<AsyncReadBatch> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// True kernel-async engine over one file descriptor, using raw io_uring
+/// syscalls (no liburing dependency). A reaper thread harvests CQEs and
+/// runs completions. Any page a CQE could not fully deliver (short read,
+/// device error) is retried through `fallback` on the reaper thread, so
+/// per-page semantics match the backend's synchronous single-page path
+/// exactly. Created via Probe(); returns null when the kernel lacks
+/// io_uring (ENOSYS, seccomp) and the caller falls back to the worker
+/// pool — the middle rung of the io_uring → worker-pool → sync ladder.
+class IoUringIoEngine : public AsyncIoEngine {
+ public:
+  /// Per-request fallback re-read with single-page semantics (fills
+  /// `status`, may refill `out`).
+  using FallbackFn = std::function<void(PageReadRequest*)>;
+
+  /// Probes io_uring_setup at runtime; null (not an error) when the
+  /// kernel or sandbox refuses. `queue_depth` bounds outstanding SQEs and
+  /// is rounded up to a power of two.
+  static std::unique_ptr<IoUringIoEngine> Probe(int data_fd,
+                                                size_t queue_depth,
+                                                FallbackFn fallback);
+
+  ~IoUringIoEngine() override;
+
+  IoUringIoEngine(const IoUringIoEngine&) = delete;
+  IoUringIoEngine& operator=(const IoUringIoEngine&) = delete;
+
+  void Submit(AsyncReadBatch batch) override;
+  void Drain() override;
+  const char* name() const override { return "io_uring"; }
+
+ private:
+  struct Ring;  // mmap'd SQ/CQ views; hidden so <linux/io_uring.h> stays
+                // out of this header
+  struct Batch;
+
+  IoUringIoEngine(int data_fd, FallbackFn fallback, std::unique_ptr<Ring> ring);
+
+  void ReaperLoop();
+  /// Requires mutex_ held. Pushes one SQE; returns false when the SQ is
+  /// full (caller falls back to a synchronous read for that page).
+  bool PushSqeLocked(PageId id, char* out, void* user_data);
+  void SubmitNopLocked();
+
+  const int data_fd_;
+  const FallbackFn fallback_;
+  std::unique_ptr<Ring> ring_;
+
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  size_t outstanding_batches_ = 0;
+  bool stop_ = false;
+  std::thread reaper_;
+};
+
+}  // namespace dsks
+
+#endif  // DSKS_STORAGE_ASYNC_IO_ENGINE_H_

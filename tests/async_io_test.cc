@@ -1,0 +1,348 @@
+// The asynchronous read path: speculative prefetches submitted to an
+// async engine (io_uring or worker pool) must change *when* pages arrive,
+// never *what* any query computes. Pins: async-vs-sync bit-identical
+// SK/ranked/diversified results; injected-fault draws landing at
+// completion time with counts identical to the sync regime (the injector
+// hashes a per-op counter, so completion order cannot move a draw);
+// corruption caught by the completion-side CRC verify; clean pool
+// destruction and Clear() with reads still in flight; and the engine
+// identity surfaced through DiskManager. Runs against the env-selected
+// backend (DSKS_TEST_BACKEND), so check.sh drills the io_uring rung on
+// file and the worker pool on sim.
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "gtest/gtest.h"
+#include "harness/database.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage_test_util.h"
+
+namespace dsks {
+namespace {
+
+DiskOptions OptionsWithIo(const std::string& tag, IoMode io) {
+  DiskOptions options = testing::TestDiskOptions(tag);
+  options.io = io;
+  return options;
+}
+
+/// Allocates `n` pages with a per-page pattern (same as prefetch_test).
+void FillPages(DiskManager* disk, size_t n) {
+  std::vector<char> buf(kPageSize);
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = disk->AllocatePage();
+    std::memset(buf.data(), static_cast<int>('A' + (i % 23)), kPageSize);
+    ASSERT_TRUE(disk->WritePage(id, buf.data()).ok());
+  }
+}
+
+TEST(AsyncIoEngineTest, EngineIdentityMatchesRequestedRegime) {
+  const DiskOptions sync_opts = OptionsWithIo("engid_s", IoMode::kSync);
+  DiskManager sync_disk(sync_opts);
+  EXPECT_FALSE(sync_disk.async_enabled());
+  EXPECT_STREQ(sync_disk.io_engine_name(), "sync");
+
+  const DiskOptions async_opts = OptionsWithIo("engid_a", IoMode::kAsync);
+  DiskManager async_disk(async_opts);
+  EXPECT_TRUE(async_disk.async_enabled());
+  const std::string engine = async_disk.io_engine_name();
+  EXPECT_TRUE(engine == "io_uring" || engine == "worker-pool") << engine;
+
+  testing::RemoveDiskFiles(sync_opts);
+  testing::RemoveDiskFiles(async_opts);
+}
+
+// A full prefetch → drain cycle on the async engine: the in-flight gauge
+// returns to zero, every page arrives with the right bytes, and the
+// lifecycle counters telescope exactly.
+TEST(AsyncIoEngineTest, PrefetchDrainsCleanAndTelescopes) {
+  const DiskOptions options = OptionsWithIo("drain", IoMode::kAsync);
+  {
+    DiskManager disk(options);
+    constexpr size_t kPages = 48;
+    FillPages(&disk, kPages);
+    BufferPool pool(&disk, kPages + 8);
+
+    std::vector<PageId> ids(kPages);
+    for (size_t i = 0; i < kPages; ++i) {
+      ids[i] = static_cast<PageId>(i);
+    }
+    pool.Prefetch(std::span<const PageId>(ids));
+    pool.DrainPrefetches();
+    EXPECT_EQ(pool.prefetch_inflight(), 0u);
+
+    for (size_t i = 0; i < kPages; ++i) {
+      char* data = testing::MustFetch(&pool, ids[i]);
+      EXPECT_EQ(data[0], static_cast<char>('A' + (i % 23))) << "page " << i;
+      pool.UnpinPage(ids[i], /*dirty=*/false);
+    }
+    ASSERT_TRUE(pool.Clear().ok());
+    const BufferPoolStatsSnapshot s = pool.stats_snapshot();
+    EXPECT_EQ(s.prefetch_issued, kPages);
+    EXPECT_EQ(s.prefetch_hits, kPages);
+    EXPECT_EQ(s.prefetch_issued,
+              s.prefetch_hits + s.prefetch_wasted + s.prefetch_dropped);
+  }
+  testing::RemoveDiskFiles(options);
+}
+
+// Seeded fault draws are a pure function of (seed, op index, p): the same
+// prefetch sequence must consume the same number of injected read faults
+// under sync and async I/O, no matter which thread or order completions
+// ran in. This is what keeps `dsks_cli chaos --io=async` comparable with
+// the sync chaos numbers.
+TEST(AsyncIoEngineTest, FaultDrawsMatchSyncRegimeExactly) {
+  constexpr size_t kPages = 64;
+  uint64_t faults[2];
+  uint64_t dropped[2];
+  const IoMode modes[2] = {IoMode::kSync, IoMode::kAsync};
+  for (int m = 0; m < 2; ++m) {
+    const DiskOptions options = OptionsWithIo("fdraw", modes[m]);
+    {
+      DiskManager disk(options);
+      FillPages(&disk, kPages);
+      BufferPool pool(&disk, kPages + 8);
+
+      FaultInjector::Config cfg;
+      cfg.read_fault_p = 0.25;
+      cfg.seed = 1234;
+      disk.fault_injector()->Configure(cfg);
+
+      std::vector<PageId> ids(kPages);
+      for (size_t i = 0; i < kPages; ++i) {
+        ids[i] = static_cast<PageId>(i);
+      }
+      pool.Prefetch(std::span<const PageId>(ids));
+      pool.DrainPrefetches();
+      disk.fault_injector()->Disarm();
+
+      faults[m] = disk.fault_injector()->stats().read_faults;
+      dropped[m] = pool.stats_snapshot().prefetch_dropped;
+      ASSERT_TRUE(pool.Clear().ok());
+    }
+    testing::RemoveDiskFiles(options);
+  }
+  EXPECT_GT(faults[0], 0u) << "p=0.25 over 64 reads must draw some faults";
+  EXPECT_EQ(faults[0], faults[1]);
+  EXPECT_EQ(dropped[0], dropped[1]);
+}
+
+// At-rest corruption is caught by the CRC verify that runs on the
+// completion path: the poisoned frame is dropped (never published), and
+// the demand fetch reports Corruption instead of serving bad bytes.
+TEST(AsyncIoEngineTest, CorruptionCaughtAtCompletionTime) {
+  const DiskOptions options = OptionsWithIo("ccorr", IoMode::kAsync);
+  {
+    DiskManager disk(options);
+    constexpr size_t kPages = 4;
+    FillPages(&disk, kPages);
+    disk.CorruptStoredPage(2, /*bit_index=*/12345);
+    BufferPool pool(&disk, kPages + 2);
+
+    PageId ids[kPages] = {0, 1, 2, 3};
+    pool.Prefetch(std::span<const PageId>(ids, kPages));
+    pool.DrainPrefetches();
+
+    const BufferPoolStatsSnapshot s = pool.stats_snapshot();
+    EXPECT_EQ(s.prefetch_dropped, 1u);
+    EXPECT_GE(disk.stats_snapshot().corruptions_detected, 1u);
+
+    char* data = nullptr;
+    EXPECT_TRUE(pool.FetchPage(2, &data).IsCorruption());
+    // The healthy batch mates were published normally.
+    data = testing::MustFetch(&pool, 1);
+    EXPECT_EQ(data[0], 'B');
+    pool.UnpinPage(1, /*dirty=*/false);
+    ASSERT_TRUE(pool.Clear().ok());
+  }
+  testing::RemoveDiskFiles(options);
+}
+
+// Destroying the pool (and Clear()) with reads still in flight must drain
+// them first: completions land on live frames, nothing leaks, and the
+// demand path never touches a dead pool. The simulated disk sleeps per
+// async read, so the prefetches are genuinely outstanding when the pool
+// goes down.
+TEST(AsyncIoEngineTest, DestructionWithReadsInFlightDrainsCleanly) {
+  for (int round = 0; round < 3; ++round) {
+    DiskOptions options;  // sim: the only backend with a latency knob
+    options.io = IoMode::kAsync;
+    DiskManager disk(options);
+    constexpr size_t kPages = 24;
+    FillPages(&disk, kPages);
+    disk.set_read_delay_us(500.0);
+
+    {
+      BufferPool pool(&disk, kPages + 4);
+      std::vector<PageId> ids(kPages);
+      for (size_t i = 0; i < kPages; ++i) {
+        ids[i] = static_cast<PageId>(i);
+      }
+      if (round == 1) {
+        // Clear() under fire: in-flight frames are drained, then every
+        // frame (pin 0) is evictable — nothing may survive.
+        pool.Prefetch(std::span<const PageId>(ids));
+        ASSERT_TRUE(pool.Clear().ok());
+        EXPECT_EQ(pool.prefetch_inflight(), 0u);
+      }
+      pool.Prefetch(std::span<const PageId>(ids));
+      // Scope exit: ~BufferPool with (most of) the burst outstanding.
+    }
+    // The disk outlives the pool and stays usable after the drain.
+    std::vector<char> buf(kPageSize);
+    ASSERT_TRUE(disk.ReadPage(0, buf.data()).ok());
+    EXPECT_EQ(buf[0], 'A');
+  }
+}
+
+// Concurrent issuers against a tiny pool while the owner tears it down:
+// 4 threads hammer Prefetch/FetchPage, join, and the pool is destroyed
+// with whatever their last bursts left in flight. Run under TSan by
+// check.sh with DSKS_TEST_IO=async.
+TEST(AsyncIoEngineTest, ConcurrentShutdownStress) {
+  for (int round = 0; round < 2; ++round) {
+    DiskOptions options;
+    options.io = IoMode::kAsync;
+    options.io_depth = 16;  // small window: submit/complete churns
+    DiskManager disk(options);
+    constexpr size_t kPages = 32;
+    FillPages(&disk, kPages);
+    disk.set_read_delay_us(100.0);
+
+    BufferPool pool(&disk, 8);  // eviction pressure
+    constexpr int kThreads = 4;
+    std::atomic<uint32_t> errors{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        uint64_t rng = 0x2545F4914F6CDD1Dull * static_cast<uint64_t>(t + 1);
+        auto next = [&rng] {
+          rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+          return static_cast<size_t>(rng >> 33);
+        };
+        for (int r = 0; r < 50; ++r) {
+          if (t % 2 == 0) {
+            PageId ids[4];
+            for (PageId& id : ids) {
+              id = static_cast<PageId>(next() % kPages);
+            }
+            pool.Prefetch(std::span<const PageId>(ids, 4));
+          } else {
+            const PageId id = static_cast<PageId>(next() % kPages);
+            char* data = nullptr;
+            if (!pool.FetchPage(id, &data).ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            if (data[0] != static_cast<char>('A' + (id % 23))) {
+              errors.fetch_add(1);
+            }
+            pool.UnpinPage(id, /*dirty=*/false);
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+    EXPECT_EQ(errors.load(), 0u);
+    // No drain: ~BufferPool must handle the leftovers itself.
+  }
+}
+
+// --- whole-query equivalence ----------------------------------------------
+
+// SK, ranked and diversified results must be bit-identical under sync and
+// async I/O: the async engine only changes when speculative pages arrive,
+// and every demand read still verifies the same bytes. Two databases are
+// built from the same dataset seed on the env-selected backend, differing
+// only in DiskOptions::io.
+TEST(AsyncIoQueryTest, ResultsBitIdenticalAcrossIoRegimes) {
+  DatasetConfig config = ScalePreset(PresetSYN(), 0.2);
+  config.objects.keywords_per_object = 6;
+
+  struct Run {
+    std::vector<std::vector<SkResult>> sk;
+    std::vector<std::vector<RankedResult>> ranked;
+    std::vector<std::vector<ObjectId>> div;
+  };
+  Run runs[2];
+  const IoMode modes[2] = {IoMode::kSync, IoMode::kAsync};
+  size_t num_queries = 0;
+  for (int m = 0; m < 2; ++m) {
+    const DiskOptions options = OptionsWithIo("ioequiv", modes[m]);
+    {
+      Database db(config, options);
+      IndexOptions opts;
+      opts.kind = IndexKind::kSIF;
+      db.BuildIndex(opts);
+      db.PrepareForQueries();
+
+      WorkloadConfig wc;
+      wc.num_queries = 12;
+      wc.num_keywords = 2;
+      wc.seed = 77;
+      const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+      num_queries = wl.queries.size();
+      ASSERT_TRUE(db.pool()->Clear().ok());  // cold start for both regimes
+      for (const WorkloadQuery& wq : wl.queries) {
+        std::vector<SkResult> sk;
+        ASSERT_TRUE(db.RunSkQuery(wq.sk, wq.edge, &sk).ok());
+        runs[m].sk.push_back(std::move(sk));
+
+        RankedQuery rq;
+        rq.sk = wq.sk;
+        rq.k = 8;
+        std::vector<RankedResult> ranked;
+        ASSERT_TRUE(db.RunRankedQuery(rq, wq.edge, &ranked).ok());
+        runs[m].ranked.push_back(std::move(ranked));
+
+        DivQuery dq;
+        dq.sk = wq.sk;
+        dq.k = 4;
+        dq.lambda = 0.8;
+        DivSearchOutput div;
+        ASSERT_TRUE(db.RunDivQuery(dq, wq.edge, /*use_com=*/true, &div).ok());
+        std::vector<ObjectId> selected;
+        for (const SkResult& r : div.selected) {
+          selected.push_back(r.id);
+        }
+        runs[m].div.push_back(std::move(selected));
+      }
+      // The async run must have genuinely used the engine.
+      EXPECT_EQ(db.disk()->async_enabled(), modes[m] == IoMode::kAsync);
+    }
+    testing::RemoveDiskFiles(options);
+  }
+
+  for (size_t q = 0; q < num_queries; ++q) {
+    ASSERT_EQ(runs[0].sk[q].size(), runs[1].sk[q].size()) << "query " << q;
+    for (size_t i = 0; i < runs[0].sk[q].size(); ++i) {
+      EXPECT_EQ(runs[0].sk[q][i].id, runs[1].sk[q][i].id);
+      EXPECT_EQ(std::memcmp(&runs[0].sk[q][i].dist, &runs[1].sk[q][i].dist,
+                            sizeof(double)),
+                0)
+          << "query " << q << " result " << i;
+    }
+    ASSERT_EQ(runs[0].ranked[q].size(), runs[1].ranked[q].size());
+    for (size_t i = 0; i < runs[0].ranked[q].size(); ++i) {
+      EXPECT_EQ(runs[0].ranked[q][i].id, runs[1].ranked[q][i].id);
+      EXPECT_EQ(std::memcmp(&runs[0].ranked[q][i].score,
+                            &runs[1].ranked[q][i].score, sizeof(double)),
+                0);
+    }
+    EXPECT_EQ(runs[0].div[q], runs[1].div[q]) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace dsks

@@ -36,8 +36,17 @@ Workload MakeWorkload(const Database& db, size_t n, uint64_t seed) {
 }
 
 TEST(ChaosTest, SurvivesSeededReadFaultsWithExactAccounting) {
-  testing::BackendDatabase bdb(TinyPreset());
-  Database& db = *bdb;
+  // Pin the sync regime even under DSKS_TEST_IO=async: this test requires
+  // that injected faults *surface* as query errors, but async prefetch
+  // legitimately absorbs nearly all of them — demand fetches join
+  // in-flight speculative reads instead of drawing their own faults, and
+  // how many demand reads remain is a timing accident (under TSan it can
+  // be zero). Fault accounting on the async path is covered by
+  // fault_injection_test / async_io_test; executor-level accounting needs
+  // the deterministic sync fault surface.
+  DiskOptions disk_options = testing::TestDiskOptions("chaos_acct");
+  disk_options.io = IoMode::kSync;
+  Database db(TinyPreset(), disk_options);
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -47,12 +56,14 @@ TEST(ChaosTest, SurvivesSeededReadFaultsWithExactAccounting) {
 
   // Prefetching deliberately absorbs faults that land on speculative
   // reads (the page is re-read on the demand path, which redraws the
-  // fault), so only demand-read faults surface as query errors. The rate
-  // is set high enough that those still occur by the hundreds — the test
-  // runs with prefetch ON precisely to prove the absorbed faults never
-  // break the error accounting.
+  // fault), so only demand-read faults surface as query errors — and the
+  // demand share of reads is an interleaving accident, down to a few
+  // percent when the batched issuers are ahead. The rate is set high
+  // enough that the *demand* slice alone still faults many times over
+  // (expected dozens, P(zero) negligible) — the test runs with prefetch
+  // ON precisely to prove the absorbed faults never break the accounting.
   FaultInjector::Config fc;
-  fc.read_fault_p = 1e-2;
+  fc.read_fault_p = 5e-2;
   fc.seed = 42;
   db.disk()->fault_injector()->Configure(fc);
 
@@ -104,6 +115,8 @@ TEST(ChaosTest, SurvivesSeededReadFaultsWithExactAccounting) {
   std::vector<SkResult> results;
   EXPECT_TRUE(
       db.RunSkQuery(wl.queries[0].sk, wl.queries[0].edge, &results).ok());
+
+  testing::RemoveDiskFiles(disk_options);
 }
 
 TEST(ChaosTest, TransientFaultIsAbsorbedByRetry) {

@@ -170,6 +170,11 @@ TEST(PrefetchTest, CountersTelescope) {
   EXPECT_EQ(s.prefetch_issued, kPages);
   EXPECT_EQ(s.misses, 0u) << "speculative reads are not demand misses";
 
+  // The in-flight gauge drains to zero once every completion has landed
+  // (trivially immediate under --io=sync).
+  pool.DrainPrefetches();
+  EXPECT_EQ(pool.prefetch_inflight(), 0u);
+
   // Demand-touch the first half: those become prefetch hits.
   for (size_t i = 0; i < kPages / 2; ++i) {
     char* data = testing::MustFetch(&pool, ids[i]);
@@ -197,6 +202,7 @@ TEST(PrefetchTest, InjectedFaultIsDroppedAndNeverFailsTheDemandFetch) {
   disk->fault_injector()->FailPageReads(2, 1);
   PageId ids[kPages] = {0, 1, 2, 3};
   pool.Prefetch(std::span<const PageId>(ids, kPages));
+  pool.DrainPrefetches();  // under --io=async the drop lands on completion
 
   BufferPoolStatsSnapshot s = pool.stats_snapshot();
   EXPECT_EQ(s.prefetch_issued, kPages);
@@ -243,6 +249,43 @@ TEST(PrefetchTest, SkipsResidentAndUnallocatedPages) {
   (void)data;
   pool.UnpinPage(1, /*dirty=*/false);
   ASSERT_TRUE(pool.Clear().ok());
+}
+
+// Regression: a Prefetch naming a page whose frame is currently pinned
+// *and* dirty must be a counted no-op (prefetch_dropped), never a queued
+// read — a speculative disk read of a page the writer is mutating would
+// race the write-back and could clobber the frame with stale bytes.
+TEST(PrefetchTest, PinnedDirtyPageIsACountedNoOp) {
+  testing::TestDisk disk("predirty");
+  constexpr size_t kPages = 4;
+  FillPages(disk.get(), kPages);
+  BufferPool pool(disk.get(), kPages + 2);
+
+  // Make page 1 resident, dirty, and pinned: fetch, unpin dirty, re-pin.
+  char* data = testing::MustFetch(&pool, 1);
+  data[0] = 'z';
+  pool.UnpinPage(1, /*dirty=*/true);
+  data = testing::MustFetch(&pool, 1);
+
+  const uint64_t reads_before = disk->stats_snapshot().reads;
+  const BufferPoolStatsSnapshot before = pool.stats_snapshot();
+  PageId ids[] = {1};
+  pool.Prefetch(std::span<const PageId>(ids, 1));
+  pool.DrainPrefetches();
+
+  const BufferPoolStatsSnapshot after = pool.stats_snapshot();
+  EXPECT_EQ(after.prefetch_issued, before.prefetch_issued + 1);
+  EXPECT_EQ(after.prefetch_dropped, before.prefetch_dropped + 1);
+  EXPECT_EQ(disk->stats_snapshot().reads, reads_before)
+      << "the refusal must not touch the disk";
+  EXPECT_EQ(data[0], 'z') << "the writer's bytes survive";
+
+  pool.UnpinPage(1, /*dirty=*/false);
+  ASSERT_TRUE(pool.Clear().ok());
+  const BufferPoolStatsSnapshot s = pool.stats_snapshot();
+  EXPECT_EQ(s.prefetch_issued,
+            s.prefetch_hits + s.prefetch_wasted + s.prefetch_dropped);
+  EXPECT_EQ(pool.prefetch_inflight(), 0u);
 }
 
 // An 8-thread mix of Prefetch, demand fetches and capacity-pressure

@@ -30,8 +30,14 @@ DatasetConfig TinyPreset() {
 }
 
 TEST(TraceAttributionTest, EightThreadsTelescopeExactlyUnderFaults) {
-  testing::BackendDatabase bdb(TinyPreset(), "attr");
-  Database& db = *bdb;
+  // Pin the sync regime even under DSKS_TEST_IO=async: exact per-query
+  // attribution is defined for reads performed on the query's own thread,
+  // while async completions land on engine threads and are charged to the
+  // global counters only — the "charges sum to the global deltas" identity
+  // this test pins holds only when every read has an owning query.
+  DiskOptions disk_options = testing::TestDiskOptions("attr");
+  disk_options.io = IoMode::kSync;
+  Database db(TinyPreset(), disk_options);
   IndexOptions opts;
   opts.kind = IndexKind::kSIF;
   db.BuildIndex(opts);
@@ -128,6 +134,8 @@ TEST(TraceAttributionTest, EightThreadsTelescopeExactlyUnderFaults) {
   EXPECT_EQ(total.disk_writes, disk_after.writes - disk_before.writes);
   EXPECT_GT(total.pool_hits + total.pool_misses, 0u);
   EXPECT_GT(total.disk_reads, 0u);
+
+  testing::RemoveDiskFiles(disk_options);
 }
 
 TEST(TraceAttributionTest, ScopedAccountRestoresAndNullIsNoop) {
