@@ -18,6 +18,8 @@ const char* Status::CodeName(Code code) {
       return "OUT_OF_RANGE";
     case Code::kIOError:
       return "IO_ERROR";
+    case Code::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -27,9 +27,10 @@ class Status {
     kResourceExhausted,
     kOutOfRange,
     kIOError,
+    kCancelled,
   };
   /// Number of codes, for per-code counter arrays indexed by Code.
-  static constexpr size_t kNumCodes = 7;
+  static constexpr size_t kNumCodes = 8;
 
   Status() = default;
   Status(Status&&) = default;
@@ -62,6 +63,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(Code::kIOError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -72,6 +76,7 @@ class Status {
   }
   bool IsOutOfRange() const { return code() == Code::kOutOfRange; }
   bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsCancelled() const { return code() == Code::kCancelled; }
 
   Code code() const { return rep_ ? rep_->code : Code::kOk; }
   const std::string& message() const {

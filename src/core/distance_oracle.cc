@@ -131,6 +131,15 @@ PairwiseDistanceOracle::FieldMap& PairwiseDistanceOracle::FieldOf(
     }
     field.try_emplace(v, d);
     if (++settles % PrefetchInterval(*graph_) == 0) {
+      // Same settle-batch deadline poll as the SK expansion: a cancelled
+      // query leaves a partial field (safe — distances only fall back to
+      // the radius cap) and a sticky CANCELLED status the caller checks.
+      if (ctx_->DeadlineExceeded()) {
+        if (status_.ok()) {
+          status_ = Status::Cancelled("query deadline exceeded in oracle");
+        }
+        break;
+      }
       PrefetchFrontier(*graph_, o_->heap);
     }
     if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {
@@ -203,6 +212,12 @@ void PairwiseDistanceOracle::BuildSharedField() {
                                    ? UINT32_MAX
                                    : o_->local_index.Get(parent));
     if (o_->order.size() % PrefetchInterval(*graph_) == 0) {
+      if (ctx_->DeadlineExceeded()) {
+        if (status_.ok()) {
+          status_ = Status::Cancelled("query deadline exceeded in oracle");
+        }
+        break;  // partial shared field: fewer pairs certify, none wrongly
+      }
       PrefetchFrontier(*graph_, o_->heap);
     }
     if (const Status s = graph_->GetAdjacency(v, &o_->adjacency); !s.ok()) {

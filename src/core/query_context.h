@@ -1,6 +1,7 @@
 #ifndef DSKS_CORE_QUERY_CONTEXT_H_
 #define DSKS_CORE_QUERY_CONTEXT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -112,10 +113,36 @@ struct QueryContext {
   /// thread running the context's query may touch them.
   obs::IoCounters io;
 
+  /// Cooperative cancellation deadline as a steady-clock timestamp in
+  /// nanoseconds, 0 meaning "no deadline" (the default — benches and tests
+  /// run deadline-free). The query service arms it per request before the
+  /// task runs; the search and oracle expansion loops poll DeadlineExceeded
+  /// once per settle batch and stop with Status::Cancelled, so partial work
+  /// up to the cancellation point stays exactly accounted (trace spans, I/O
+  /// counters).
+  int64_t deadline_steady_ns = 0;
+
+  bool DeadlineExceeded() const {
+    return deadline_steady_ns != 0 &&
+           std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+                   .count() >= deadline_steady_ns;
+  }
+
   // Debug-build guards against two live consumers sharing one section.
   bool sk_search_in_use = false;
   bool oracle_in_use = false;
 };
+
+/// The deadline value for "`millis` from now" on the steady clock; pass the
+/// result to QueryContext::deadline_steady_ns. Non-positive millis arms an
+/// already-expired deadline (the first check cancels).
+inline int64_t DeadlineFromNowMillis(double millis) {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return now + static_cast<int64_t>(millis * 1e6);
+}
 
 }  // namespace dsks
 

@@ -227,6 +227,13 @@ bool IncrementalSkSearch::ExpandOneNode() {
   s_->settled.Set(v, d);
   ++stats_.nodes_settled;
   if (stats_.nodes_settled % PrefetchInterval(*graph_) == 0) {
+    // Deadline poll shares the settle-batch cadence with the prefetch
+    // issuer: one clock read per batch, never per node. The spans and I/O
+    // recorded so far remain as the cancelled query's partial-work account.
+    if (ctx_->DeadlineExceeded()) {
+      status_ = Status::Cancelled("query deadline exceeded during expansion");
+      return false;
+    }
     PrefetchFrontier(*graph_, s_->node_heap);
   }
 
@@ -248,6 +255,12 @@ bool IncrementalSkSearch::ExpandOneNode() {
 
 bool IncrementalSkSearch::Next(SkResult* out) {
   if (terminated_ || !status_.ok()) {
+    return false;
+  }
+  // One poll per pulled result catches deadlines that expire between
+  // settle batches (or before the first one on a tiny expansion).
+  if (ctx_->DeadlineExceeded()) {
+    status_ = Status::Cancelled("query deadline exceeded");
     return false;
   }
   while (true) {

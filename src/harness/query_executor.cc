@@ -25,6 +25,7 @@ QueryExecutor::QueryExecutor(const ExecutorConfig& config)
   }
   samples_.resize(config.num_threads);
   errors_.assign(config.num_threads, {});
+  rejected_.assign(config.num_threads, 0);
   retries_.assign(config.num_threads, 0);
   sampled_.assign(config.num_threads, 0);
   hists_.reserve(config.num_threads);
@@ -80,6 +81,34 @@ void QueryExecutor::SubmitQuery(const QueryTag& tag,
   queue_not_empty_.notify_one();
 }
 
+bool QueryExecutor::TrySubmitQuery(const QueryTag& tag,
+                                   std::function<Status(QueryContext*)> task,
+                                   double wait_millis) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= queue_capacity_) {
+      if (wait_millis <= 0.0) {
+        return false;  // immediate rejection — the producer never blocks
+      }
+      // Bounded submit deadline: wait up to wait_millis for space, then
+      // give up. wait_for re-checks the predicate on spurious wakeups.
+      if (!queue_not_full_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(wait_millis),
+              [this] { return queue_.size() < queue_capacity_; })) {
+        return false;
+      }
+    }
+    queue_.push_back(Task{tag, std::move(task)});
+  }
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+bool QueryExecutor::TrySubmitQuery(std::function<Status(QueryContext*)> task,
+                                   double wait_millis) {
+  return TrySubmitQuery(QueryTag{}, std::move(task), wait_millis);
+}
+
 QueryExecutor::DrainResult QueryExecutor::Drain() {
   DrainResult result;
   {
@@ -101,6 +130,10 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
         result.errors[c] += e[c];
         e[c] = 0;
       }
+    }
+    for (uint64_t& r : rejected_) {
+      result.rejected += r;
+      r = 0;
     }
     for (uint64_t& r : retries_) {
       result.retries += r;
@@ -129,6 +162,9 @@ QueryExecutor::DrainResult QueryExecutor::Drain() {
     }
     if (result.retries > 0) {
       metrics_->counter("dsks.query.retries").Add(result.retries);
+    }
+    if (result.rejected > 0) {
+      metrics_->counter("dsks.query.rejected").Add(result.rejected);
     }
   }
   return result;
@@ -205,10 +241,20 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
       }
       flight_recorder_->Record(summary);
     }
-    hists_[worker_id]->Record(millis);
+    // A query rejected at the validation boundary never ran a search: it
+    // counts as an error (and under `rejected`), but not as served
+    // throughput — no latency sample, no histogram entry, no qps.
+    const bool validation_reject = status.IsInvalidArgument();
+    if (!validation_reject) {
+      hists_[worker_id]->Record(millis);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      samples_[worker_id].push_back(millis);
+      if (!validation_reject) {
+        samples_[worker_id].push_back(millis);
+      } else {
+        ++rejected_[worker_id];
+      }
       if (!status.ok()) {
         ++errors_[worker_id][static_cast<size_t>(status.code())];
       }
@@ -224,17 +270,20 @@ void QueryExecutor::WorkerLoop(size_t worker_id) {
 
 ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
                                       std::vector<double> samples,
-                                      uint64_t errors) {
+                                      uint64_t errors, uint64_t rejected) {
   ThroughputMetrics m;
   m.num_threads = num_threads;
   m.queries = samples.size();
   m.wall_millis = wall_millis;
   m.errors = errors;
+  m.rejected = rejected;
+  if (samples.size() + rejected > 0) {
+    m.error_rate = static_cast<double>(errors) /
+                   static_cast<double>(samples.size() + rejected);
+  }
   if (samples.empty()) {
     return m;
   }
-  m.error_rate =
-      static_cast<double>(errors) / static_cast<double>(samples.size());
   m.qps = wall_millis > 0.0
               ? static_cast<double>(samples.size()) / (wall_millis / 1000.0)
               : 0.0;
@@ -283,7 +332,8 @@ ThroughputMetrics RunConcurrent(
   QueryExecutor::DrainResult drained = exec.Drain();
   ThroughputMetrics m =
       SummarizeThroughput(num_threads, wall.ElapsedMillis(),
-                          std::move(drained.samples), drained.total_errors());
+                          std::move(drained.samples), drained.total_errors(),
+                          drained.rejected);
   m.errors_by_code = drained.errors;
   m.retries = drained.retries;
   m.sampled = drained.sampled;

@@ -76,10 +76,17 @@ struct ThroughputMetrics {
   double p95_millis = 0.0;
   double p99_millis = 0.0;
   /// Queries that ended with a non-OK Status (after any retries). Failed
-  /// queries still count in `queries` and in the latency distribution —
-  /// the time was spent either way.
+  /// queries that actually ran still count in `queries` and in the latency
+  /// distribution — the time was spent either way. Queries rejected at the
+  /// validation boundary (INVALID_ARGUMENT) count here and in `rejected`
+  /// but NOT in `queries`/qps/percentiles: they never ran a search, and
+  /// letting them inflate throughput skews benches under malformed-input
+  /// chaos.
   uint64_t errors = 0;
-  /// errors / queries (0 when the batch is empty).
+  /// Validation-boundary rejections (INVALID_ARGUMENT), a subset of
+  /// `errors`; excluded from `queries` and the latency distribution.
+  uint64_t rejected = 0;
+  /// errors / (queries + rejected) (0 when the batch is empty).
   double error_rate = 0.0;
   /// Failure breakdown indexed by Status::Code.
   std::array<uint64_t, Status::kNumCodes> errors_by_code{};
@@ -137,6 +144,19 @@ class QueryExecutor {
   void SubmitQuery(const QueryTag& tag,
                    std::function<Status(QueryContext*)> task);
 
+  /// Non-blocking admission: enqueues like SubmitQuery but never waits on
+  /// a full queue. `wait_millis` > 0 grants a bounded submit deadline —
+  /// wait that long for space, then give up. Returns false when the task
+  /// was NOT admitted (queue still full); the caller owns the rejection
+  /// (a server answers RESOURCE_EXHAUSTED and counts the shed). This is
+  /// the server-side admission path; the blocking SubmitQuery stays for
+  /// benches, where back-pressure on the producer is the point.
+  bool TrySubmitQuery(const QueryTag& tag,
+                      std::function<Status(QueryContext*)> task,
+                      double wait_millis = 0.0);
+  bool TrySubmitQuery(std::function<Status(QueryContext*)> task,
+                      double wait_millis = 0.0);
+
   /// What one Drain hands back: every per-thread latency sample plus the
   /// merge of the per-worker histograms over the same tasks (so
   /// latency.count == samples.size() always), plus the failure tallies of
@@ -146,6 +166,11 @@ class QueryExecutor {
     obs::HistogramSnapshot latency;
     /// Final (post-retry) failures by Status::Code.
     std::array<uint64_t, Status::kNumCodes> errors{};
+    /// Validation-boundary rejections (INVALID_ARGUMENT results), also
+    /// tallied in errors[kInvalidArgument] but excluded from samples — a
+    /// rejected query never ran a search, so it must not count as served
+    /// throughput.
+    uint64_t rejected = 0;
     /// Transient-fault re-runs performed by the retry policy.
     uint64_t retries = 0;
     /// Queries of the batch that ran traced under the sampling policy.
@@ -199,6 +224,7 @@ class QueryExecutor {
   /// errors_[i]/retries_[i] follow the same ownership discipline as
   /// samples_[i]: written by worker i under mu_, read by Drain when idle.
   std::vector<std::array<uint64_t, Status::kNumCodes>> errors_;
+  std::vector<uint64_t> rejected_;
   std::vector<uint64_t> retries_;
   /// sampled_[i]: queries worker i ran traced; same discipline as retries_.
   std::vector<uint64_t> sampled_;
@@ -217,7 +243,8 @@ class QueryExecutor {
 /// the error-rate fields.
 ThroughputMetrics SummarizeThroughput(size_t num_threads, double wall_millis,
                                       std::vector<double> samples,
-                                      uint64_t errors = 0);
+                                      uint64_t errors = 0,
+                                      uint64_t rejected = 0);
 
 /// Runs `repeat` passes over the workload's SK queries on `num_threads`
 /// workers sharing `db` and reports aggregate throughput. Applies the same

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "obs/flight_recorder.h"
+#include "obs/http.h"
 #include "obs/metrics.h"
 
 namespace dsks::obs {
@@ -20,32 +21,6 @@ namespace {
 /// Largest request head we accept; a scrape's GET line + headers is far
 /// smaller, anything bigger is garbage.
 constexpr size_t kMaxRequestBytes = 4096;
-
-void SendAll(int fd, const char* data, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      return;  // peer went away; nothing useful to do
-    }
-    sent += static_cast<size_t>(n);
-  }
-}
-
-void SendResponse(int fd, const char* status_line, const char* content_type,
-                  const std::string& body) {
-  std::string head = "HTTP/1.1 ";
-  head += status_line;
-  head += "\r\nContent-Type: ";
-  head += content_type;
-  head += "\r\nContent-Length: " + std::to_string(body.size());
-  head += "\r\nConnection: close\r\n\r\n";
-  SendAll(fd, head.data(), head.size());
-  SendAll(fd, body.data(), body.size());
-}
 
 }  // namespace
 
@@ -118,11 +93,10 @@ void StatsServer::AcceptLoop() {
     if (conn < 0) {
       continue;
     }
-    // A stuck or malicious client must not wedge the accept loop forever.
-    timeval tv{};
-    tv.tv_sec = 2;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // Non-blocking I/O with an overall per-connection budget: a stuck,
+    // malicious, or trickle-reading client is dropped after io_timeout_ms_
+    // instead of wedging the accept loop for every other scraper.
+    SetNonBlocking(conn);
     HandleConnection(conn);
     ::close(conn);
   }
@@ -130,48 +104,21 @@ void StatsServer::AcceptLoop() {
 
 void StatsServer::HandleConnection(int fd) {
   std::string request;
-  char buf[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      break;
+  if (!ReadHttpHeadWithDeadline(fd, &request, kMaxRequestBytes,
+                                io_timeout_ms_)) {
+    if (request.empty()) {
+      return;  // nothing arrived within the budget
     }
-    request.append(buf, static_cast<size_t>(n));
   }
-  // Parse "<METHOD> <path> HTTP/1.x" from the request line.
-  const size_t line_end = request.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    SendResponse(fd, "400 Bad Request", "text/plain", "bad request\n");
-    return;
-  }
-  const std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) {
-    path.resize(query);
-  }
-  if (method != "GET") {
-    SendResponse(fd, "405 Method Not Allowed", "text/plain",
-                 "GET only\n");
-    return;
-  }
-  if (path == "/metrics" && metrics_ != nullptr) {
-    SendResponse(fd, "200 OK", "text/plain; version=0.0.4",
-                 metrics_->ToPrometheus());
-  } else if (path == "/varz" && metrics_ != nullptr) {
-    SendResponse(fd, "200 OK", "application/json", metrics_->ToJson());
-  } else if (path == "/tracez" && recorder_ != nullptr) {
-    SendResponse(fd, "200 OK", "application/json", recorder_->ToJson());
-  } else if (path == "/healthz") {
-    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+  HttpRequest parsed;
+  HttpResponse response;
+  if (!ParseHttpRequest(request, &parsed)) {
+    response = {"400 Bad Request", "text/plain", "bad request\n"};
   } else {
-    SendResponse(fd, "404 Not Found", "text/plain", "not found\n");
+    response = RenderObsRoute(parsed, metrics_, recorder_);
   }
+  const std::string wire = FormatHttpResponse(response);
+  SendAllWithDeadline(fd, wire.data(), wire.size(), io_timeout_ms_);
 }
 
 }  // namespace dsks::obs

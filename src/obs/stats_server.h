@@ -47,6 +47,14 @@ class StatsServer {
   /// The bound port; 0 before a successful Start.
   uint16_t port() const { return port_; }
 
+  /// Overall per-connection I/O budget (read the request head, send the
+  /// response), default 2000 ms. A client that cannot take the response
+  /// within the budget is dropped — a per-send SO_SNDTIMEO is defeated by
+  /// a trickle-reading client and every stall wedges the single accept
+  /// loop for all other scrapers. Set before Start; tests shrink it.
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
+  int io_timeout_ms() const { return io_timeout_ms_; }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
@@ -55,6 +63,7 @@ class StatsServer {
   const FlightRecorder* recorder_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int io_timeout_ms_ = 2000;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::thread thread_;

@@ -1,0 +1,130 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace dsks::server {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status QueryClient::Connect(uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("client socket: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("client connect: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  buf_.clear();
+  return Status::Ok();
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status QueryClient::SendLine(const std::string& line) {
+  if (fd_ < 0) {
+    return Status::InvalidArgument("client not connected");
+  }
+  std::string wire = line;
+  wire.push_back('\n');
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError(std::string("client send: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status QueryClient::ReadLine(std::string* line, int timeout_ms) {
+  if (fd_ < 0) {
+    return Status::InvalidArgument("client not connected");
+  }
+  const int64_t deadline = NowMillis() + timeout_ms;
+  while (true) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') {
+        line->pop_back();
+      }
+      return Status::Ok();
+    }
+    const int64_t remaining = deadline - NowMillis();
+    if (remaining <= 0) {
+      return Status::IOError("client read timeout");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno != EINTR) {
+      return Status::IOError(std::string("client poll: ") +
+                             std::strerror(errno));
+    }
+    if (ready <= 0) {
+      continue;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IOError(std::string("client recv: ") +
+                             std::strerror(errno));
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status QueryClient::Request(const std::string& line, std::string* response,
+                            int timeout_ms) {
+  DSKS_RETURN_IF_ERROR(SendLine(line));
+  return ReadLine(response, timeout_ms);
+}
+
+}  // namespace dsks::server

@@ -1,0 +1,47 @@
+#ifndef DSKS_SERVER_CLIENT_H_
+#define DSKS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dsks::server {
+
+/// Minimal blocking NDJSON client for the query server — what the CLI
+/// drill, the chaos socket mode and the tests speak. One TCP connection;
+/// requests go out as lines, responses come back as lines (order not
+/// guaranteed across pipelined requests — match on "id").
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient() { Close(); }
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one request line (terminator appended here).
+  Status SendLine(const std::string& line);
+
+  /// Receives the next response line, waiting up to `timeout_ms`.
+  /// Times out with IOError("client read timeout").
+  Status ReadLine(std::string* line, int timeout_ms = 10000);
+
+  /// SendLine + ReadLine — the simple synchronous round trip.
+  Status Request(const std::string& line, std::string* response,
+                 int timeout_ms = 10000);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last returned line
+};
+
+}  // namespace dsks::server
+
+#endif  // DSKS_SERVER_CLIENT_H_

@@ -1,0 +1,91 @@
+#ifndef DSKS_SERVER_JSON_H_
+#define DSKS_SERVER_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dsks::server {
+
+/// A parsed JSON value — the request side of the wire protocol. This is a
+/// deliberately small recursive-descent parser (no dependencies, RFC 8259
+/// minus \uXXXX surrogate pairs, which the query language never needs):
+/// requests are one short object per line, so parse speed is irrelevant
+/// next to the query they describe. Responses are built by direct string
+/// appends (JsonWriter below), never through this tree.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; null when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Parses exactly one JSON document from `text` (trailing garbage is an
+  /// error). On failure the Status message points at the offending byte.
+  static Status Parse(const std::string& text, JsonValue* out);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& text);
+
+/// Append-only JSON builder for responses: keeps comma state per nesting
+/// level so call sites read like the document they produce.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Starts a keyed member inside an object (call before Begin*/value).
+  JsonWriter& Key(const char* key);
+  JsonWriter& Value(const std::string& s);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+  /// Splices a pre-rendered JSON document in as one value.
+  JsonWriter& Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no member emitted yet
+};
+
+}  // namespace dsks::server
+
+#endif  // DSKS_SERVER_JSON_H_

@@ -308,5 +308,125 @@ TEST(QueryExecutorTest, ErrorsAndSlowQueriesAreRecordedWithoutSampling) {
   EXPECT_EQ(snap.errors.size(), 4u);
 }
 
+TEST(QueryExecutorTest, TrySubmitNeverBlocksOnSaturatedQueue) {
+  // Regression for the server-facing bug: Submit blocks forever when the
+  // queue is full, which on a network thread means one overload wedges
+  // the whole front end. TrySubmitQuery must answer "no" immediately (or
+  // within its bounded wait) instead.
+  ExecutorConfig config;
+  config.num_threads = 1;
+  config.queue_capacity = 2;
+  config.metrics = nullptr;
+  QueryExecutor exec(config);
+
+  // Stall the single worker and wait until it has actually popped the
+  // stall task — only then is "fill to capacity" deterministic (a later
+  // pop would free a queue slot mid-test).
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  exec.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  size_t admitted = 0;
+  for (size_t i = 0; i < config.queue_capacity + 1; ++i) {
+    if (exec.TrySubmitQuery([](QueryContext*) { return Status::Ok(); })) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, config.queue_capacity);
+
+  // Queue is now full: an immediate TrySubmit is rejected without
+  // blocking, and a bounded-wait TrySubmit gives up within its budget.
+  EXPECT_FALSE(
+      exec.TrySubmitQuery([](QueryContext*) { return Status::Ok(); }));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(exec.TrySubmitQuery(
+      [](QueryContext*) { return Status::Ok(); }, /*wait_millis=*/20.0));
+  const double waited =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 15.0);   // honored the bounded wait...
+  EXPECT_LT(waited, 5000.0);  // ...but never blocked indefinitely
+
+  release.store(true);
+  const QueryExecutor::DrainResult res = exec.Drain();
+  // Everything admitted ran; nothing rejected leaked into the queue.
+  EXPECT_EQ(res.samples.size(), 1 + admitted);
+
+  // After the drain there is space again: a bounded-wait submit succeeds.
+  EXPECT_TRUE(exec.TrySubmitQuery(
+      [](QueryContext*) { return Status::Ok(); }, /*wait_millis=*/1000.0));
+  exec.Drain();
+}
+
+TEST(QueryExecutorTest, ValidationRejectsAreNotServedThroughput) {
+  // Regression: queries rejected at the Normalize* validation boundary
+  // used to count toward qps and the latency distribution, so a chaos run
+  // full of malformed input looked *faster*. They must surface only under
+  // errors/rejected.
+  obs::MetricsRegistry registry;
+  ExecutorConfig config;
+  config.num_threads = 2;
+  config.metrics = &registry;
+  QueryExecutor exec(config);
+
+  constexpr size_t kOk = 12;
+  constexpr size_t kRejected = 5;
+  for (size_t i = 0; i < kOk; ++i) {
+    exec.SubmitQuery([](QueryContext*) { return Status::Ok(); });
+  }
+  for (size_t i = 0; i < kRejected; ++i) {
+    exec.SubmitQuery([](QueryContext*) {
+      return Status::InvalidArgument("bad query");
+    });
+  }
+  const QueryExecutor::DrainResult res = exec.Drain();
+  EXPECT_EQ(res.samples.size(), kOk);
+  EXPECT_EQ(res.latency.count, kOk);
+  EXPECT_EQ(res.rejected, kRejected);
+  EXPECT_EQ(res.errors[static_cast<size_t>(Status::Code::kInvalidArgument)],
+            kRejected);
+  EXPECT_EQ(registry.counter("dsks.query.rejected").value(), kRejected);
+  // Served-query metrics exclude the rejects.
+  EXPECT_EQ(registry.counter("executor.queries").value(), kOk);
+  EXPECT_EQ(registry.histogram("executor.query_ms").count(), kOk);
+
+  const ThroughputMetrics m =
+      SummarizeThroughput(2, 100.0, res.samples, res.total_errors(),
+                          res.rejected);
+  EXPECT_EQ(m.queries, kOk);
+  EXPECT_EQ(m.rejected, kRejected);
+  EXPECT_EQ(m.errors, kRejected);
+  EXPECT_DOUBLE_EQ(m.qps, 1000.0 * kOk / 100.0);
+  EXPECT_DOUBLE_EQ(m.error_rate,
+                   static_cast<double>(kRejected) / (kOk + kRejected));
+}
+
+TEST(QueryExecutorTest, RejectedOnlyBatchStillReportsErrorRate) {
+  ExecutorConfig config;
+  config.num_threads = 1;
+  config.metrics = nullptr;
+  QueryExecutor exec(config);
+  for (int i = 0; i < 3; ++i) {
+    exec.SubmitQuery([](QueryContext*) {
+      return Status::InvalidArgument("bad");
+    });
+  }
+  const QueryExecutor::DrainResult res = exec.Drain();
+  const ThroughputMetrics m = SummarizeThroughput(
+      1, 50.0, res.samples, res.total_errors(), res.rejected);
+  EXPECT_EQ(m.queries, 0u);
+  EXPECT_DOUBLE_EQ(m.qps, 0.0);
+  EXPECT_EQ(m.rejected, 3u);
+  EXPECT_DOUBLE_EQ(m.error_rate, 1.0);
+}
+
 }  // namespace
 }  // namespace dsks

@@ -1,0 +1,694 @@
+// Query service + TCP front end: the wire protocol parses and renders
+// correctly, admission control sheds exactly, deadlines cancel
+// cooperatively with partial work accounted, per-tenant quotas hold,
+// micro-batching is result-transparent, and the whole thing survives
+// concurrent clients and malformed input over a real socket.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "datagen/workload.h"
+#include "gtest/gtest.h"
+#include "harness/database.h"
+#include "harness/experiment.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/query_server.h"
+#include "server/query_service.h"
+
+namespace dsks {
+namespace {
+
+using server::JsonValue;
+using server::JsonWriter;
+using server::QueryClient;
+using server::QueryServer;
+using server::QueryService;
+using server::ServerConfig;
+using server::ServiceConfig;
+using server::ServiceCounters;
+
+// ---------------------------------------------------------------------------
+// JSON protocol units
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(
+                  R"({"a":1,"b":-2.5e2,"c":"x","d":true,"e":null,)"
+                  R"("f":[1,2,3],"g":{"h":false}})",
+                  &v)
+                  .ok());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.Find("a")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.Find("b")->number(), -250.0);
+  EXPECT_EQ(v.Find("c")->string_value(), "x");
+  EXPECT_TRUE(v.Find("d")->bool_value());
+  EXPECT_TRUE(v.Find("e")->is_null());
+  ASSERT_TRUE(v.Find("f")->is_array());
+  EXPECT_EQ(v.Find("f")->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("f")->array()[1].number(), 2.0);
+  ASSERT_TRUE(v.Find("g")->is_object());
+  EXPECT_FALSE(v.Find("g")->Find("h")->bool_value());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(
+      JsonValue::Parse(R"({"s":"a\"b\\c\nd\teA"})", &v).ok());
+  EXPECT_EQ(v.Find("s")->string_value(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, RejectsMalformedInputWithBytePosition) {
+  JsonValue v;
+  const Status s = JsonValue::Parse(R"({"a":})", &v);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("at byte"), std::string::npos) << s.ToString();
+
+  EXPECT_TRUE(JsonValue::Parse("", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("{", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("nul", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("1 2", &v).IsInvalidArgument());  // trailing
+  EXPECT_TRUE(JsonValue::Parse(R"({"a":1)", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("[1,]", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("Infinity", &v).IsInvalidArgument());
+  EXPECT_TRUE(JsonValue::Parse("\"unterminated", &v).IsInvalidArgument());
+}
+
+TEST(JsonTest, DepthCapStopsDegenerateNesting) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) {
+    deep += "[";
+  }
+  JsonValue v;
+  const Status s = JsonValue::Parse(deep, &v);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("deep"), std::string::npos);
+}
+
+TEST(JsonTest, WriterRoundTripsThroughParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("n").Value(0.1);
+  w.Key("i").Value(static_cast<uint64_t>(42));
+  w.Key("s").Value(std::string("he said \"hi\"\n"));
+  w.Key("b").Value(true);
+  w.Key("z").Null();
+  w.Key("a").BeginArray().Value(1.5).Value(false).EndArray();
+  w.Key("o").BeginObject().Key("k").Value("v").EndObject();
+  w.EndObject();
+
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(w.str(), &v).ok()) << w.str();
+  EXPECT_DOUBLE_EQ(v.Find("n")->number(), 0.1);  // %.17g is lossless
+  EXPECT_DOUBLE_EQ(v.Find("i")->number(), 42.0);
+  EXPECT_EQ(v.Find("s")->string_value(), "he said \"hi\"\n");
+  EXPECT_TRUE(v.Find("b")->bool_value());
+  EXPECT_TRUE(v.Find("z")->is_null());
+  EXPECT_DOUBLE_EQ(v.Find("a")->array()[0].number(), 1.5);
+  EXPECT_EQ(v.Find("o")->Find("k")->string_value(), "v");
+}
+
+// ---------------------------------------------------------------------------
+// Service + server integration against a shared database
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig c = ScalePreset(PresetSYN(), 0.03);
+    c.objects.keywords_per_object = 6;
+    db_ = new Database(c);
+    IndexOptions opts;
+    opts.kind = IndexKind::kSIF;
+    db_->BuildIndex(opts);
+    db_->PrepareForQueries();
+
+    WorkloadConfig wc;
+    wc.num_queries = 16;
+    wc.num_keywords = 2;
+    wc.seed = 17;
+    workload_ = new Workload(
+        GenerateWorkload(db_->objects(), db_->term_stats(), wc));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete db_;
+    workload_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static std::string RequestLine(const WorkloadQuery& wq,
+                                 const std::string& id,
+                                 double deadline_ms = 0.0,
+                                 bool trace = false) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("op").Value("sk");
+    if (!id.empty()) {
+      w.Key("id").Value(id);
+    }
+    w.Key("terms").BeginArray();
+    for (const TermId t : wq.sk.terms) {
+      w.Value(static_cast<uint64_t>(t));
+    }
+    w.EndArray();
+    w.Key("edge").Value(static_cast<uint64_t>(wq.sk.loc.edge));
+    w.Key("offset").Value(wq.sk.loc.offset);
+    w.Key("delta").Value(wq.sk.delta_max);
+    if (deadline_ms > 0.0) {
+      w.Key("deadline_ms").Value(deadline_ms);
+    }
+    if (trace) {
+      w.Key("trace").Value(true);
+    }
+    w.EndObject();
+    return w.Take();
+  }
+
+  /// Collects completions with a latch so tests can block on "all done".
+  struct Collector {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::string> responses;
+    size_t expected = 0;
+
+    QueryService::Completion Make() {
+      return [this](std::string response) {
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(std::move(response));
+        cv.notify_all();
+      };
+    }
+    void Await(size_t n) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return responses.size() >= n; });
+    }
+  };
+
+  static std::string StatusOf(const std::string& response) {
+    JsonValue doc;
+    if (!JsonValue::Parse(response, &doc).ok()) {
+      return "<unparseable: " + response + ">";
+    }
+    const JsonValue* status = doc.Find("status");
+    return status != nullptr && status->is_string() ? status->string_value()
+                                                    : "<missing>";
+  }
+
+  static Database* db_;
+  static Workload* workload_;
+};
+
+Database* ServerTest::db_ = nullptr;
+Workload* ServerTest::workload_ = nullptr;
+
+TEST_F(ServerTest, ServiceRejectsMalformedRequestsBeforeAdmission) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.metrics = nullptr;
+  QueryService service(db_, config);
+
+  const std::vector<std::string> bad = {
+      "not json at all",
+      "{\"op\":\"sk\"}",                                // missing fields
+      "{\"op\":\"nope\",\"terms\":[1]}",                // unknown op
+      "{\"op\":\"sk\",\"terms\":[],\"edge\":0,\"offset\":0,\"delta\":1}",
+      "{\"op\":\"sk\",\"terms\":[1],\"edge\":0,\"offset\":0,\"delta\":-5}",
+      "{\"op\":\"sk\",\"terms\":[1],\"edge\":99999999,\"offset\":0,"
+      "\"delta\":1}",                                   // edge out of range
+      "{\"op\":\"sk\",\"terms\":[1],\"edge\":0,\"offset\":1e300,"
+      "\"delta\":1}",                                   // offset off the edge
+      "{\"op\":\"div\",\"terms\":[1],\"edge\":0,\"offset\":0,\"delta\":1,"
+      "\"k\":0}",                                       // bad k
+      "{\"op\":\"div\",\"terms\":[1],\"edge\":0,\"offset\":0,\"delta\":1,"
+      "\"lambda\":2}",                                  // bad lambda
+  };
+  Collector col;
+  for (const std::string& line : bad) {
+    service.Submit(line, "t", col.Make());
+  }
+  col.Await(bad.size());
+  for (const std::string& r : col.responses) {
+    EXPECT_EQ(StatusOf(r), "INVALID_ARGUMENT") << r;
+  }
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.requests, bad.size());
+  EXPECT_EQ(c.invalid, bad.size());
+  EXPECT_EQ(c.admitted, 0u);
+  service.Stop();
+}
+
+TEST_F(ServerTest, OverloadShedsExactlyUnderEightSubmitterThreads) {
+  // 8 producer threads race Submit against a 1-worker, tiny-queue service
+  // whose worker is slowed by the simulated disk. Shedding must be exact:
+  // every request is either admitted (and completes) or answers
+  // RESOURCE_EXHAUSTED, and the two tallies meet the counters perfectly.
+  setenv("DSKS_IO_DELAY_US", "200", /*overwrite=*/1);
+  ScopedIoDelay delay(db_, /*yielding=*/true);
+  ServiceConfig config;
+  config.threads = 1;
+  config.queue_capacity = 2;
+  config.metrics = nullptr;
+  QueryService service(db_, config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 16;
+  Collector col;
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const WorkloadQuery& wq =
+            workload_->queries[(t * kPerThread + i) % workload_->queries.size()];
+        service.Submit(RequestLine(wq, ""), "t" + std::to_string(t),
+                       col.Make());
+      }
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  col.Await(kThreads * kPerThread);  // one response per request, always
+  service.Stop();
+  unsetenv("DSKS_IO_DELAY_US");
+
+  uint64_t ok = 0, shed = 0, other = 0;
+  for (const std::string& r : col.responses) {
+    const std::string status = StatusOf(r);
+    if (status == "OK") {
+      ++ok;
+    } else if (status == "RESOURCE_EXHAUSTED") {
+      ++shed;
+    } else {
+      ++other;
+      ADD_FAILURE() << "unexpected response: " << r;
+    }
+  }
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.requests, kThreads * kPerThread);
+  EXPECT_EQ(c.invalid, 0u);
+  EXPECT_EQ(c.quota_denied, 0u);
+  EXPECT_EQ(c.requests, c.admitted + c.shed);  // exact admission arithmetic
+  EXPECT_EQ(c.admitted, c.completed);          // drained: nothing lost
+  EXPECT_EQ(shed, c.shed);                     // client view == server view
+  EXPECT_EQ(ok, c.admitted);
+  EXPECT_GT(c.shed, 0u) << "drill did not overload; tighten the queue";
+  EXPECT_EQ(other, 0u);
+}
+
+TEST_F(ServerTest, DeadlineCancelsCooperativelyWithPartialTrace) {
+  // The simulated disk delay makes the query take many milliseconds; a
+  // 2 ms deadline must cancel it mid-run — CANCELLED status, and the
+  // requested trace still shows the phases that did run (partial work
+  // stays accounted).
+  setenv("DSKS_IO_DELAY_US", "500", /*overwrite=*/1);
+  ScopedIoDelay delay(db_, /*yielding=*/true);
+  ServiceConfig config;
+  config.threads = 1;
+  config.metrics = nullptr;
+  QueryService service(db_, config);
+
+  // Cold cache so the search actually pays the slow reads.
+  db_->PrepareForQueries();
+  Collector col;
+  service.Submit(RequestLine(workload_->queries[0], "q1", /*deadline_ms=*/2.0,
+                             /*trace=*/true),
+                 "t", col.Make());
+  col.Await(1);
+  service.Stop();
+  unsetenv("DSKS_IO_DELAY_US");
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(col.responses[0], &doc).ok())
+      << col.responses[0];
+  EXPECT_EQ(doc.Find("status")->string_value(), "CANCELLED")
+      << col.responses[0];
+  ASSERT_NE(doc.Find("trace"), nullptr) << col.responses[0];
+  EXPECT_TRUE(doc.Find("trace")->is_object());
+  EXPECT_EQ(service.counters().cancelled, 1u);
+  // The id travels through the cancellation path too.
+  EXPECT_EQ(doc.Find("id")->string_value(), "q1");
+}
+
+TEST_F(ServerTest, QuotaDeniesBeyondBurst) {
+  ServiceConfig config;
+  config.threads = 1;
+  config.metrics = nullptr;
+  config.quota.rate_qps = 1e-6;  // effectively no refill during the test
+  config.quota.burst = 2.0;
+  QueryService service(db_, config);
+
+  Collector col;
+  for (int i = 0; i < 4; ++i) {
+    service.Submit(RequestLine(workload_->queries[0], ""), "tenant-a",
+                   col.Make());
+  }
+  // A different tenant has its own bucket and is not affected.
+  service.Submit(RequestLine(workload_->queries[0], ""), "tenant-b",
+                 col.Make());
+  col.Await(5);
+  service.Stop();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.quota_denied, 2u);  // 4 requests against burst 2
+  EXPECT_EQ(c.admitted, 3u);      // 2 from tenant-a + 1 from tenant-b
+  EXPECT_EQ(c.admitted, c.completed);
+}
+
+TEST_F(ServerTest, BatchedExecutionIsBitIdenticalToUnbatched) {
+  // Reference: no batching.
+  std::vector<std::string> want(3);
+  {
+    ServiceConfig config;
+    config.threads = 1;
+    config.metrics = nullptr;
+    QueryService service(db_, config);
+    Collector col;
+    for (int i = 0; i < 3; ++i) {
+      service.Submit(RequestLine(workload_->queries[i], ""), "t", col.Make());
+    }
+    col.Await(3);
+    service.Stop();
+    want = col.responses;
+  }
+
+  // Same three queries, submitted twice each within one batching window.
+  ServiceConfig config;
+  config.threads = 2;
+  config.batch_window_ms = 50.0;
+  config.metrics = nullptr;
+  QueryService service(db_, config);
+  Collector col;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      service.Submit(RequestLine(workload_->queries[i], ""), "t", col.Make());
+    }
+  }
+  col.Await(6);
+  service.Stop();
+
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.admitted, 6u);
+  EXPECT_EQ(c.admitted, c.completed);
+  EXPECT_GT(c.batches, 0u);
+  EXPECT_GE(c.batched_queries, 2u);
+
+  // Compare the query-result payload bit for bit: status, count and the
+  // full results array (%.17g doubles), ignoring the volatile fields
+  // (ms, io, batched).
+  const auto payload = [](const std::string& response) {
+    JsonValue doc;
+    EXPECT_TRUE(JsonValue::Parse(response, &doc).ok()) << response;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("status").Value(doc.Find("status")->string_value());
+    w.Key("count").Value(doc.Find("count")->number());
+    w.Key("results").BeginArray();
+    for (const JsonValue& r : doc.Find("results")->array()) {
+      w.BeginObject()
+          .Key("object")
+          .Value(r.Find("object")->number())
+          .Key("dist")
+          .Value(r.Find("dist")->number())
+          .EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.Take();
+  };
+  std::multiset<std::string> expected, actual;
+  for (const std::string& r : want) {
+    expected.insert(payload(r));
+    expected.insert(payload(r));  // each reference runs twice in the batch
+  }
+  for (const std::string& r : col.responses) {
+    actual.insert(payload(r));
+  }
+  EXPECT_EQ(expected, actual);
+}
+
+// ---------------------------------------------------------------------------
+// Over the wire
+
+TEST_F(ServerTest, ConcurrentClientsGetTheirOwnAnswers) {
+  ServerConfig sc;
+  sc.service.threads = 4;
+  sc.service.metrics = nullptr;
+  QueryServer server(db_, sc);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueries = 16;
+  std::vector<std::map<std::string, std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryClient client;
+      ASSERT_TRUE(client.Connect(server.port()).ok());
+      for (size_t i = 0; i < kQueries; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        ASSERT_TRUE(client
+                        .SendLine(RequestLine(
+                            workload_->queries[i % workload_->queries.size()],
+                            id))
+                        .ok());
+      }
+      for (size_t i = 0; i < kQueries; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.ReadLine(&line).ok());
+        JsonValue doc;
+        ASSERT_TRUE(JsonValue::Parse(line, &doc).ok()) << line;
+        ASSERT_NE(doc.Find("id"), nullptr) << line;
+        responses[c][doc.Find("id")->string_value()] = line;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  // Every client got exactly its own ids back, every answer OK.
+  for (size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), kQueries);
+    for (size_t i = 0; i < kQueries; ++i) {
+      const std::string id = "c" + std::to_string(c) + "-" + std::to_string(i);
+      ASSERT_TRUE(responses[c].count(id)) << "client " << c << " missing "
+                                          << id;
+      EXPECT_EQ(StatusOf(responses[c][id]), "OK") << responses[c][id];
+    }
+  }
+  const ServiceCounters counters = server.counters();
+  EXPECT_EQ(counters.requests, kClients * kQueries);
+  EXPECT_EQ(counters.admitted, counters.completed);
+  server.Stop();
+}
+
+TEST_F(ServerTest, MalformedLinesAnswerInvalidArgumentAndConnectionSurvives) {
+  ServerConfig sc;
+  sc.service.threads = 1;
+  sc.service.metrics = nullptr;
+  QueryServer server(db_, sc);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  std::string response;
+
+  ASSERT_TRUE(client.Request("this is not json", &response).ok());
+  EXPECT_EQ(StatusOf(response), "INVALID_ARGUMENT") << response;
+
+  ASSERT_TRUE(client.Request("{\"op\":\"sk\",\"terms\":[1],\"edge\":0,"
+                             "\"offset\":0,\"delta\":\"wat\"}",
+                             &response)
+                  .ok());
+  EXPECT_EQ(StatusOf(response), "INVALID_ARGUMENT") << response;
+
+  // The connection is still perfectly usable for a valid query.
+  ASSERT_TRUE(
+      client.Request(RequestLine(workload_->queries[0], "ok-1"), &response)
+          .ok());
+  EXPECT_EQ(StatusOf(response), "OK") << response;
+
+  const ServiceCounters c = server.counters();
+  EXPECT_EQ(c.requests, 3u);
+  EXPECT_EQ(c.invalid, 2u);
+  EXPECT_EQ(c.admitted, 1u);
+  server.Stop();
+}
+
+TEST_F(ServerTest, ObsRoutesShareTheQueryListener) {
+  obs::MetricsRegistry registry;
+  ServerConfig sc;
+  sc.service.threads = 1;
+  sc.service.metrics = &registry;
+  QueryServer server(db_, sc);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Run one query so the counters are live.
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  std::string response;
+  ASSERT_TRUE(
+      client.Request(RequestLine(workload_->queries[0], "m"), &response).ok());
+  EXPECT_EQ(StatusOf(response), "OK");
+
+  // Plain HTTP GETs on the same port.
+  const auto get = [&](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string request = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(request.size()));
+    std::string out;
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  const std::string metrics = get("/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("dsks_server_requests"), std::string::npos)
+      << metrics;
+  EXPECT_NE(get("/healthz").find("200 OK"), std::string::npos);
+  EXPECT_NE(get("/varz").find("dsks.server.admitted"), std::string::npos);
+
+  const std::string statusz = get("/statusz");
+  EXPECT_NE(statusz.find("200 OK"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("\"admitted\":1"), std::string::npos) << statusz;
+
+  EXPECT_NE(get("/nope").find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST_F(ServerTest, SocketOverloadShedsExactlyAndMetricsStayUp) {
+  obs::MetricsRegistry registry;
+  setenv("DSKS_IO_DELAY_US", "200", /*overwrite=*/1);
+  ScopedIoDelay delay(db_, /*yielding=*/true);
+  ServerConfig sc;
+  sc.service.threads = 1;
+  sc.service.queue_capacity = 2;
+  sc.service.metrics = &registry;
+  QueryServer server(db_, sc);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kQueries = 16;
+  std::atomic<uint64_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryClient client;
+      ASSERT_TRUE(client.Connect(server.port()).ok());
+      for (size_t i = 0; i < kQueries; ++i) {
+        ASSERT_TRUE(
+            client
+                .SendLine(RequestLine(
+                    workload_->queries[(c + i) % workload_->queries.size()],
+                    ""))
+                .ok());
+      }
+      for (size_t i = 0; i < kQueries; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.ReadLine(&line, /*timeout_ms=*/60000).ok());
+        const std::string status = StatusOf(line);
+        if (status == "OK") {
+          ++ok;
+        } else if (status == "RESOURCE_EXHAUSTED") {
+          ++shed;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  // Observability must stay reachable while the drill hammers the server.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      QueryClient raw;
+      if (raw.Connect(server.port()).ok()) {
+        const std::string request =
+            "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        if (::send(raw.fd(), request.data(), request.size(), MSG_NOSIGNAL) ==
+            static_cast<ssize_t>(request.size())) {
+          char buf[512];
+          if (::recv(raw.fd(), buf, sizeof(buf), 0) > 0) {
+            scrapes.fetch_add(1);
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  done.store(true);
+  scraper.join();
+  unsetenv("DSKS_IO_DELAY_US");
+
+  const ServiceCounters c = server.counters();
+  server.Stop();
+  EXPECT_EQ(c.requests, kClients * kQueries);
+  EXPECT_EQ(c.requests, c.admitted + c.shed + c.invalid + c.quota_denied);
+  EXPECT_EQ(c.admitted, c.completed);
+  EXPECT_EQ(shed.load(), c.shed);
+  EXPECT_EQ(ok.load(), c.admitted);
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_GT(c.shed, 0u) << "no overload reached the server";
+  EXPECT_GT(scrapes.load(), 0u) << "/healthz unreachable during overload";
+}
+
+TEST_F(ServerTest, StopIsCleanAndIdempotent) {
+  ServerConfig sc;
+  sc.service.threads = 1;
+  sc.service.metrics = nullptr;
+  QueryServer server(db_, sc);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  QueryClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  std::string response;
+  ASSERT_TRUE(
+      client.Request(RequestLine(workload_->queries[0], "x"), &response).ok());
+  EXPECT_EQ(StatusOf(response), "OK");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+  // A second server can bind and serve right away.
+  QueryServer again(db_, sc);
+  ASSERT_TRUE(again.Start(0).ok());
+  again.Stop();
+}
+
+}  // namespace
+}  // namespace dsks

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 
 #include "gtest/gtest.h"
@@ -114,6 +115,55 @@ TEST(StatsServerTest, NullSourcesServe404ButStayHealthy) {
   EXPECT_NE(Get(server.port(), "/healthz").find("200 OK"), std::string::npos);
   EXPECT_NE(Get(server.port(), "/metrics").find("404"), std::string::npos);
   EXPECT_NE(Get(server.port(), "/tracez").find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServerTest, SlowClientCannotWedgeTheAcceptLoop) {
+  // Regression for the single-accept-loop wedge: a client that connects,
+  // sends a request, and then never reads the response used to stall the
+  // loop for as long as the kernel socket buffer stayed full — SO_SNDTIMEO
+  // only bounded each send() call, and a trickle-reading client resets
+  // that clock forever. The fix is an overall per-connection budget.
+  obs::MetricsRegistry reg;
+  // Make the response body large enough (hundreds of KB) that it cannot
+  // fit in the socket buffers of a non-reading client.
+  for (int i = 0; i < 4000; ++i) {
+    reg.counter("padding.counter." + std::to_string(i)).Add(1);
+  }
+  obs::StatsServer server(&reg, nullptr);
+  server.set_io_timeout_ms(300);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // The stalled client: request /varz, never read a byte of the answer.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // Shrink the receive window so the server hits EAGAIN quickly.
+  const int tiny = 4096;
+  ::setsockopt(stalled, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  ASSERT_EQ(
+      ::connect(stalled, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request =
+      "GET /varz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(stalled, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+
+  // A well-behaved client must still be served promptly: the stalled one
+  // is dropped after the budget, not waited on forever. Allow for the
+  // budget itself plus scheduling noise, nothing more.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string health = Get(server.port(), "/healthz");
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_LT(waited_ms, 5000.0);
+
+  ::close(stalled);
   server.Stop();
 }
 

@@ -50,6 +50,12 @@ for san in "${sanitizers[@]}"; do
     (cd "$dir" && DSKS_TEST_BACKEND=file TSAN_OPTIONS="die_after_fork=0" \
         "./tests/$t" --gtest_brief=1)
   done
+  # The query-service suite on its own too: the TCP front end is where
+  # worker threads, the batcher, the poll loop and client threads all
+  # meet, so a data race there should be attributed loudly, like chaos.
+  echo "=== $san sanitizer: query service (server_test under $san) ==="
+  (cd "$dir" && TSAN_OPTIONS="die_after_fork=0" ./tests/server_test \
+      --gtest_brief=1)
   # Same suites once more with DSKS_TEST_IO=async, on both backends:
   # fire-and-forget prefetches now complete on engine threads (worker pool
   # on sim, io_uring or worker pool on file), so this is where the
@@ -161,6 +167,87 @@ EOF
   ./build-perf/tools/dsks_cli chaos --queries 128 --threads 8 \
     --read-fault-p 0.002 --retries 2 --seed 42
   echo "=== chaos smoke: OK ==="
+
+  # Server smoke: start the query server, run one valid and one malformed
+  # query over the socket, scrape the shared-listener observability
+  # routes, then stop it with SIGTERM and expect a clean summary. Then an
+  # overload drill at ~4x capacity whose JSON record must pass the schema
+  # + exact-admission gate with real shedding, and the end-to-end chaos
+  # drill over a socket. Note: no DSKS_IO_DELAY_US=0 here — the sim
+  # disk's default per-read delay is what makes the drill actually
+  # saturate its tiny queue.
+  echo "=== server smoke: serve, query, scrape, overload drill, shutdown ==="
+  rm -f build-perf/serve_smoke.out
+  ./build-perf/tools/dsks_cli serve --port 0 --duration-ms 120000 \
+      > build-perf/serve_smoke.out &
+  serve_pid=$!
+  serve_port=""
+  for _ in $(seq 1 300); do
+    serve_port="$(sed -n \
+      's/^serving queries on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      build-perf/serve_smoke.out 2>/dev/null | head -1)"
+    [ -n "$serve_port" ] && break
+    sleep 0.2
+  done
+  if [ -z "$serve_port" ]; then
+    echo "server smoke: serve never printed its port" >&2
+    cat build-perf/serve_smoke.out >&2
+    exit 1
+  fi
+  python3 - "$serve_port" <<'EOF'
+import json, socket, sys
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+f = s.makefile("r")
+# A valid query answers OK with its id echoed...
+s.sendall(b'{"op":"sk","terms":[1,2],"edge":0,"offset":0,'
+          b'"delta":1000,"id":"smoke"}\n')
+resp = json.loads(f.readline())
+if resp.get("status") != "OK" or resp.get("id") != "smoke":
+    sys.exit(f"server smoke: unexpected response {resp}")
+# ...and a malformed line answers INVALID_ARGUMENT on the same connection.
+s.sendall(b"this is not json\n")
+resp = json.loads(f.readline())
+if resp.get("status") != "INVALID_ARGUMENT":
+    sys.exit(f"server smoke: malformed line answered {resp}")
+print("server smoke: query OK, malformed line rejected in-band")
+EOF
+  curl -fsS "http://127.0.0.1:$serve_port/metrics" | grep -q '^# TYPE ' || {
+    echo "server smoke: /metrics has no Prometheus TYPE lines" >&2
+    exit 1
+  }
+  curl -fsS "http://127.0.0.1:$serve_port/statusz" |
+    grep -q '"admitted":1' || {
+    echo "server smoke: /statusz does not show the admitted query" >&2
+    exit 1
+  }
+  curl -fsS "http://127.0.0.1:$serve_port/healthz" > /dev/null
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "server smoke: serve did not exit cleanly on SIGTERM" >&2
+    exit 1
+  }
+  grep -q '^served ' build-perf/serve_smoke.out || {
+    echo "server smoke: serve printed no shutdown summary" >&2
+    exit 1
+  }
+  ./build-perf/tools/dsks_cli drill --clients 8 --queries 32 --threads 2 \
+      --queue 8 --invalid-p 0.05 > build-perf/drill_smoke.out
+  grep '"bench":"server_drill"' build-perf/drill_smoke.out |
+    head -1 > build-perf/drill_smoke.json
+  python3 tools/perf_gate.py validate-server build-perf/drill_smoke.json
+  python3 - build-perf/drill_smoke.json <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+if rec["server_shed"] == 0:
+    sys.exit("server smoke: drill at 4x capacity shed nothing — the "
+             "overload probe is not probing overload")
+print(f"server smoke: drill shed {rec['server_shed']} of "
+      f"{rec['server_offered']} offered, exactly accounted")
+EOF
+  ./build-perf/tools/dsks_cli chaos --socket --queries 128 --threads 8 \
+      --read-fault-p 0.002 --retries 2 --seed 42
+  echo "=== server smoke: OK ==="
 
   # File-backend smoke: a small bench run with pages on a real file must
   # produce a schema-valid artifact stamped "backend":"file" (kept in a

@@ -30,13 +30,36 @@
 //       --duration-ms 0 serves until killed.
 //   dsks_cli chaos [--scale F] [--index sif] [--queries N] [--threads N]
 //             [--read-fault-p P] [--write-fault-p P] [--corrupt-p P]
-//             [--seed S] [--retries R]
+//             [--seed S] [--retries R] [--socket]
 //       Run a concurrent workload with storage fault injection armed and
 //       prove the process survives: failed queries are counted per Status
 //       code (never aborting), transient read faults optionally retried.
+//       With --socket the same drill runs end-to-end through the TCP query
+//       server: requests go over loopback as JSON lines and every failure
+//       comes back as a Status-coded response.
+//   dsks_cli serve [--port P] [--scale F] [--index sif] [--threads N]
+//             [--queue N] [--deadline-ms D] [--batch-window-ms W]
+//             [--quota-qps Q] [--quota-burst B] [--submit-wait-ms S]
+//             [--duration-ms N]
+//       Build a synthetic database and serve the NDJSON query protocol
+//       plus the observability routes (/metrics /varz /tracez /healthz
+//       /statusz) on one loopback listener until SIGINT/SIGTERM (or
+//       --duration-ms). --port 0 picks an ephemeral port (printed).
+//   dsks_cli drill [--scale F] [--index sif] [--threads N] [--queue N]
+//             [--clients N] [--queries N] [--deadline-ms D] [--invalid-p P]
+//             [--batch-window-ms W] [--quota-qps Q]
+//       Overload drill: an in-process query server hammered over real
+//       sockets by N pipelining clients at a multiple of its capacity,
+//       with /metrics scraped throughout. Verifies the admission
+//       invariants (offered == admitted + shed + invalid + quota_denied,
+//       admitted == completed, sheds exactly match rejected submissions)
+//       and prints one "bench":"server_drill" JSON line.
+#include <csignal>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -49,6 +72,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "common/timer.h"
 #include "datagen/presets.h"
 #include "datagen/workload.h"
@@ -74,6 +98,9 @@
 #include "obs/sampler.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/query_server.h"
 
 namespace dsks {
 namespace {
@@ -183,7 +210,16 @@ int Usage() {
                "  dsks_cli chaos [--scale 0.03] [--index sif] [--queries 256]\n"
                "           [--threads 8] [--read-fault-p 0.001]\n"
                "           [--write-fault-p 0] [--corrupt-p 0] [--seed 42]\n"
-               "           [--retries 0]\n"
+               "           [--retries 0] [--socket]\n"
+               "  dsks_cli serve [--port 0] [--scale 0.03] [--index sif]\n"
+               "           [--threads 4] [--queue 64] [--deadline-ms 0]\n"
+               "           [--batch-window-ms 0] [--quota-qps 0]\n"
+               "           [--quota-burst 8] [--submit-wait-ms 0]\n"
+               "           [--duration-ms 0]\n"
+               "  dsks_cli drill [--scale 0.03] [--index sif] [--threads 4]\n"
+               "           [--queue 16] [--clients 8] [--queries 64]\n"
+               "           [--deadline-ms 0] [--invalid-p 0]\n"
+               "           [--batch-window-ms 0] [--quota-qps 0]\n"
                "query/metrics/serve-stats/chaos also accept storage-backend "
                "flags:\n"
                "           [--backend sim|file] [--backend-path PATH]\n"
@@ -730,6 +766,338 @@ int CmdServeStats(const Args& args) {
   return 0;
 }
 
+/// Renders one workload query as a protocol request line for the socket
+/// drills. `invalid` deliberately malforms it (negative delta) to exercise
+/// the INVALID_ARGUMENT path end-to-end.
+std::string MakeRequestLine(const WorkloadQuery& wq, const std::string& id,
+                            double deadline_ms, bool invalid) {
+  server::JsonWriter w;
+  w.BeginObject();
+  w.Key("op").Value("sk");
+  w.Key("id").Value(id);
+  w.Key("terms").BeginArray();
+  for (const TermId t : wq.sk.terms) {
+    w.Value(static_cast<uint64_t>(t));
+  }
+  w.EndArray();
+  w.Key("edge").Value(static_cast<uint64_t>(wq.sk.loc.edge));
+  w.Key("offset").Value(wq.sk.loc.offset);
+  w.Key("delta").Value(invalid ? -1.0 : wq.sk.delta_max);
+  if (deadline_ms > 0.0) {
+    w.Key("deadline_ms").Value(deadline_ms);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+/// One-shot HTTP GET against the query server's obs routes; returns true
+/// when a "200 OK" came back within the timeout.
+bool HttpGetOk(uint16_t port, const std::string& path, std::string* body) {
+  server::QueryClient raw;
+  if (!raw.Connect(port).ok()) {
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(raw.fd(), request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // The server answers Connection: close, so read to EOF.
+  std::string response;
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(raw.fd(), chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  if (response.compare(0, 15, "HTTP/1.1 200 OK") != 0) {
+    return false;
+  }
+  if (body != nullptr) {
+    const size_t head_end = response.find("\r\n\r\n");
+    *body = head_end == std::string::npos ? "" : response.substr(head_end + 4);
+  }
+  return true;
+}
+
+/// Per-client outcome tally of a socket drill.
+struct ClientTally {
+  std::map<std::string, uint64_t> by_status;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t transport_errors = 0;
+};
+
+/// Sends every line pipelined on one connection, then reads one response
+/// per request and tallies the Status codes.
+void RunSocketClient(uint16_t port, const std::vector<std::string>& lines,
+                     int read_timeout_ms, ClientTally* tally) {
+  server::QueryClient client;
+  if (!client.Connect(port).ok()) {
+    tally->transport_errors += lines.size();
+    return;
+  }
+  for (const std::string& line : lines) {
+    if (!client.SendLine(line).ok()) {
+      tally->transport_errors += lines.size() - tally->sent;
+      return;
+    }
+    ++tally->sent;
+  }
+  for (uint64_t i = 0; i < tally->sent; ++i) {
+    std::string response;
+    if (!client.ReadLine(&response, read_timeout_ms).ok()) {
+      ++tally->transport_errors;
+      continue;
+    }
+    ++tally->received;
+    server::JsonValue doc;
+    const server::JsonValue* status = nullptr;
+    if (server::JsonValue::Parse(response, &doc).ok()) {
+      status = doc.Find("status");
+    }
+    if (status != nullptr && status->is_string()) {
+      ++tally->by_status[status->string_value()];
+    } else {
+      ++tally->by_status["<unparseable>"];
+    }
+  }
+}
+
+volatile std::sig_atomic_t g_stop_serve = 0;
+void OnStopSignal(int) { g_stop_serve = 1; }
+
+int CmdServe(const Args& args) {
+  const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
+  const auto port = static_cast<uint16_t>(args.GetSize("port", 0, 0, 65535));
+  const size_t duration_ms = args.GetSize("duration-ms", 0, 0, SIZE_MAX);
+
+  CliBackend backend(args);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale),
+              backend.options());
+  db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
+  db.PrepareForQueries();
+
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  db.BindMetrics(&registry, "db");
+  obs::FlightRecorder recorder;
+  recorder.set_occupancy_gauge(&registry.gauge("dsks.flight_recorder.entries"));
+
+  server::ServerConfig sc;
+  sc.service.threads = args.GetSize("threads", 4, 1, 1024);
+  sc.service.queue_capacity = args.GetSize("queue", 64, 1, 1u << 20);
+  sc.service.default_deadline_ms =
+      args.GetDouble("deadline-ms", 0.0, 0.0, 1e9);
+  sc.service.batch_window_ms =
+      args.GetDouble("batch-window-ms", 0.0, 0.0, 1e6);
+  sc.service.submit_wait_ms = args.GetDouble("submit-wait-ms", 0.0, 0.0, 1e6);
+  sc.service.quota.rate_qps = args.GetDouble("quota-qps", 0.0, 0.0, 1e9);
+  sc.service.quota.burst = args.GetDouble("quota-burst", 8.0, 1.0, 1e9);
+  sc.service.metrics = &registry;
+  sc.service.flight_recorder = &recorder;
+  sc.service.sampling.sample_every =
+      static_cast<uint32_t>(args.GetSize("sample", 0, 0, 1u << 20));
+
+  server::QueryServer server(&db, sc);
+  if (const Status s = server.Start(port); !s.ok()) {
+    std::fprintf(stderr, "query server failed to start: %s\n",
+                 s.ToString().c_str());
+    db.UnbindMetrics(&registry, "db");
+    return 1;
+  }
+  std::printf("serving queries on 127.0.0.1:%u (NDJSON; GET /metrics /varz "
+              "/tracez /healthz /statusz)\n",
+              server.port());
+  std::printf("example: {\"op\":\"sk\",\"terms\":[1,2],\"edge\":0,"
+              "\"offset\":0,\"delta\":1000}\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  Timer total;
+  while (g_stop_serve == 0 &&
+         (duration_ms == 0 ||
+          total.ElapsedMillis() < static_cast<double>(duration_ms))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const server::ServiceCounters c = server.counters();
+  server.Stop();
+  std::printf("served %.1f s: %llu requests (%llu admitted, %llu shed, "
+              "%llu invalid, %llu quota-denied, %llu cancelled)\n",
+              total.ElapsedMillis() / 1000.0,
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.admitted),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.invalid),
+              static_cast<unsigned long long>(c.quota_denied),
+              static_cast<unsigned long long>(c.cancelled));
+  db.UnbindMetrics(&registry, "db");
+  return 0;
+}
+
+int CmdDrill(const Args& args) {
+  // Overload acceptance drill: hammer an in-process server over real
+  // sockets at a multiple of its capacity and verify the admission
+  // arithmetic is exact — no aborts, no lost requests, no double counts.
+  const double scale = args.GetDouble("scale", 0.03, 1e-6, 1e3);
+  const size_t threads = args.GetSize("threads", 4, 1, 1024);
+  const size_t queue = args.GetSize("queue", 16, 1, 1u << 20);
+  const size_t clients = args.GetSize("clients", 8, 1, 256);
+  const size_t queries_per_client = args.GetSize("queries", 64, 1, 1u << 20);
+  const double deadline_ms = args.GetDouble("deadline-ms", 0.0, 0.0, 1e9);
+  const double invalid_p = args.GetDouble("invalid-p", 0.0, 0.0, 1.0);
+  const double batch_window_ms =
+      args.GetDouble("batch-window-ms", 0.0, 0.0, 1e6);
+  const double quota_qps = args.GetDouble("quota-qps", 0.0, 0.0, 1e9);
+
+  CliBackend backend(args);
+  Database db(ScalePreset(PresetByName(args.Get("preset", "SYN")), scale),
+              backend.options());
+  db.BuildIndex(IndexOptionsByName(args.Get("index", "sif")));
+  db.PrepareForQueries();
+
+  obs::MetricsRegistry registry;
+  server::ServerConfig sc;
+  sc.service.threads = threads;
+  sc.service.queue_capacity = queue;
+  sc.service.default_deadline_ms = deadline_ms;
+  sc.service.batch_window_ms = batch_window_ms;
+  sc.service.quota.rate_qps = quota_qps;
+  sc.service.metrics = &registry;
+  server::QueryServer server(&db, sc);
+  if (const Status s = server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "drill server failed to start: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  WorkloadConfig wc;
+  wc.num_queries = queries_per_client;
+  wc.num_keywords = 2;
+  wc.seed = 7;
+  const Workload wl = GenerateWorkload(db.objects(), db.term_stats(), wc);
+  Random rng(13);
+  std::vector<std::vector<std::string>> lines(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    for (size_t i = 0; i < queries_per_client; ++i) {
+      const bool invalid = rng.NextDouble() < invalid_p;
+      lines[c].push_back(MakeRequestLine(
+          wl.queries[i], "c" + std::to_string(c) + "-" + std::to_string(i),
+          deadline_ms, invalid));
+    }
+  }
+
+  // Scrape /metrics continuously while the drill runs: the acceptance bar
+  // is that observability stays up under overload.
+  std::atomic<bool> drill_done{false};
+  std::atomic<uint64_t> scrapes_ok{0}, scrapes_failed{0};
+  std::thread scraper([&] {
+    while (!drill_done.load(std::memory_order_acquire)) {
+      if (HttpGetOk(server.port(), "/metrics", nullptr)) {
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        scrapes_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  Timer wall;
+  std::vector<ClientTally> tallies(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      RunSocketClient(server.port(), lines[c], /*read_timeout_ms=*/60000,
+                      &tallies[c]);
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const double wall_ms = wall.ElapsedMillis();
+  drill_done.store(true, std::memory_order_release);
+  scraper.join();
+
+  const server::ServiceCounters sv = server.counters();
+  server.Stop();
+
+  ClientTally total;
+  for (const ClientTally& t : tallies) {
+    total.sent += t.sent;
+    total.received += t.received;
+    total.transport_errors += t.transport_errors;
+    for (const auto& [status, n] : t.by_status) {
+      total.by_status[status] += n;
+    }
+  }
+  const uint64_t client_ok = total.by_status["OK"];
+  const uint64_t client_cancelled = total.by_status["CANCELLED"];
+  const uint64_t client_rejected = total.by_status["RESOURCE_EXHAUSTED"];
+  const uint64_t client_invalid = total.by_status["INVALID_ARGUMENT"];
+
+  // The admission invariants this drill exists to enforce.
+  bool ok = true;
+  const auto check = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "drill INVARIANT VIOLATED: %s\n", what);
+      ok = false;
+    }
+  };
+  check(sv.requests == sv.invalid + sv.quota_denied + sv.shed + sv.admitted,
+        "requests == invalid + quota_denied + shed + admitted");
+  check(sv.admitted == sv.completed, "admitted == completed after drain");
+  check(sv.requests == total.sent - total.transport_errors ||
+            total.transport_errors > 0,
+        "server saw every sent request");
+  check(client_rejected == sv.shed + sv.quota_denied,
+        "client RESOURCE_EXHAUSTED == server shed + quota_denied");
+  check(client_invalid == sv.invalid,
+        "client INVALID_ARGUMENT == server invalid");
+  check(total.received == total.sent - total.transport_errors,
+        "one response per request");
+  check(scrapes_ok.load() > 0 && scrapes_failed.load() == 0,
+        "/metrics scrapeable throughout");
+
+  server::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Value("server_drill");
+  w.Key("server_clients").Value(static_cast<uint64_t>(clients));
+  w.Key("server_threads").Value(static_cast<uint64_t>(threads));
+  w.Key("server_queue").Value(static_cast<uint64_t>(queue));
+  w.Key("server_offered").Value(sv.requests);
+  w.Key("server_admitted").Value(sv.admitted);
+  w.Key("server_completed").Value(sv.completed);
+  w.Key("server_shed").Value(sv.shed);
+  w.Key("server_invalid").Value(sv.invalid);
+  w.Key("server_quota_denied").Value(sv.quota_denied);
+  w.Key("server_cancelled").Value(sv.cancelled);
+  w.Key("server_batches").Value(sv.batches);
+  w.Key("server_batched_queries").Value(sv.batched_queries);
+  w.Key("server_client_ok").Value(client_ok);
+  w.Key("server_client_cancelled").Value(client_cancelled);
+  w.Key("server_client_rejected").Value(client_rejected);
+  w.Key("server_transport_errors").Value(total.transport_errors);
+  w.Key("server_scrapes_ok").Value(scrapes_ok.load());
+  w.Key("server_scrapes_failed").Value(scrapes_failed.load());
+  w.Key("server_wall_ms").Value(wall_ms);
+  w.Key("server_qps").Value(
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(sv.completed) / wall_ms
+                    : 0.0);
+  w.Key("server_invariants_ok").Value(ok);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+  return ok ? 0 : 1;
+}
+
 int CmdChaos(const Args& args) {
   // Survival demonstration: run a concurrent workload with the storage
   // fault injector armed and show that every failure surfaces as a counted
@@ -765,6 +1133,80 @@ int CmdChaos(const Args& args) {
   fc.corrupt_read_p = corrupt_p;
   fc.seed = seed;
   db.disk()->fault_injector()->Configure(fc);
+
+  if (args.Has("socket")) {
+    // End-to-end drill: the same fault-injected workload, but every query
+    // travels over a real TCP connection through the query server. The
+    // survival property becomes visible at the protocol level — each
+    // injected fault answers as a Status-coded JSON response and the
+    // server keeps serving.
+    obs::MetricsRegistry registry;
+    server::ServerConfig sc;
+    sc.service.threads = threads;
+    sc.service.queue_capacity = num_queries;  // chaos probes faults, not sheds
+    sc.service.max_retries = retries;
+    sc.service.metrics = &registry;
+    server::QueryServer server(&db, sc);
+    if (const Status s = server.Start(0); !s.ok()) {
+      std::fprintf(stderr, "chaos server failed to start: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    const size_t num_clients = std::min<size_t>(threads, 8);
+    std::vector<std::vector<std::string>> lines(num_clients);
+    for (size_t i = 0; i < wl.queries.size(); ++i) {
+      lines[i % num_clients].push_back(MakeRequestLine(
+          wl.queries[i], "q" + std::to_string(i), /*deadline_ms=*/0.0,
+          /*invalid=*/false));
+    }
+    std::vector<ClientTally> tallies(num_clients);
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < num_clients; ++c) {
+      workers.emplace_back([&, c] {
+        RunSocketClient(server.port(), lines[c], /*read_timeout_ms=*/120000,
+                        &tallies[c]);
+      });
+    }
+    for (std::thread& t : workers) {
+      t.join();
+    }
+    const server::ServiceCounters sv = server.counters();
+    server.Stop();
+    db.disk()->fault_injector()->Disarm();
+
+    ClientTally total;
+    for (const ClientTally& t : tallies) {
+      total.sent += t.sent;
+      total.received += t.received;
+      total.transport_errors += t.transport_errors;
+      for (const auto& [status, n] : t.by_status) {
+        total.by_status[status] += n;
+      }
+    }
+    std::printf(
+        "chaos --socket: %llu requests over %zu connections, %zu server "
+        "threads, read-fault-p=%g corrupt-p=%g (seed %llu, backend %s)\n",
+        static_cast<unsigned long long>(total.sent), num_clients, threads,
+        read_fault_p, corrupt_p, static_cast<unsigned long long>(seed),
+        backend.name());
+    for (const auto& [status, n] : total.by_status) {
+      std::printf("    %-17s %llu\n", status.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf("  server: %llu admitted, %llu completed, %llu shed; "
+                "transport errors %llu\n",
+                static_cast<unsigned long long>(sv.admitted),
+                static_cast<unsigned long long>(sv.completed),
+                static_cast<unsigned long long>(sv.shed),
+                static_cast<unsigned long long>(total.transport_errors));
+    const bool survived =
+        total.received == total.sent && sv.admitted == sv.completed;
+    std::printf("%s\n", survived
+                            ? "survived: every failure above is a Status "
+                              "response, not a crash"
+                            : "FAILED: lost responses or admission leak");
+    return survived ? 0 : 1;
+  }
 
   ExecutorConfig config;
   config.num_threads = threads;
@@ -844,6 +1286,12 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "chaos") {
     return CmdChaos(args);
+  }
+  if (cmd == "serve") {
+    return CmdServe(args);
+  }
+  if (cmd == "drill") {
+    return CmdDrill(args);
   }
   return Usage();
 }

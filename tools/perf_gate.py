@@ -20,6 +20,13 @@ Usage:
       executor's pooled latency histogram, and live db.pool.* / db.disk.*
       sources must be present.
 
+  perf_gate.py validate-server <drill.json>
+      Validate a `dsks_cli drill` "server_drill" record: every server_*
+      field present with the right type, and the admission arithmetic
+      exact — offered == admitted + shed + invalid + quota_denied,
+      admitted == completed, /metrics scrapeable throughout, and the
+      drill's own invariant verdict true.
+
   perf_gate.py overhead <off.jsonl> <on.jsonl>
       Tracing-overhead gate: compare single-thread qps of a sampled run
       (sample_rate > 0 on every warm record) against an unsampled run of
@@ -177,6 +184,36 @@ METRICS_SCHEMA = {
 }
 
 
+INT = {"type": "integer", "min": 0}
+
+SERVER_DRILL_SCHEMA = {
+    "type": "object",
+    "required": {
+        "bench": {"type": "string"},
+        "server_clients": {"type": "integer", "min": 1},
+        "server_threads": {"type": "integer", "min": 1},
+        "server_queue": {"type": "integer", "min": 1},
+        "server_offered": INT,
+        "server_admitted": INT,
+        "server_completed": INT,
+        "server_shed": INT,
+        "server_invalid": INT,
+        "server_quota_denied": INT,
+        "server_cancelled": INT,
+        "server_batches": INT,
+        "server_batched_queries": INT,
+        "server_client_ok": INT,
+        "server_client_cancelled": INT,
+        "server_client_rejected": INT,
+        "server_transport_errors": INT,
+        "server_scrapes_ok": INT,
+        "server_scrapes_failed": INT,
+        "server_wall_ms": NUM,
+        "server_qps": NUM,
+    },
+}
+
+
 def report(label, errors):
     if errors:
         for e in errors:
@@ -251,6 +288,51 @@ def validate_metrics(path) -> int:
         if "executor.queries" not in metrics["counters"]:
             errors.append("$.counters: missing 'executor.queries'")
     return report(f"validate-metrics {path}", errors)
+
+
+def validate_server(path) -> int:
+    with open(path, encoding="utf-8") as f:
+        rec = json.load(f)
+    errors = validate(rec, SERVER_DRILL_SCHEMA, "$")
+    if not errors:
+        if rec["bench"] != "server_drill":
+            errors.append(f"$.bench: expected 'server_drill', got {rec['bench']!r}")
+        # The admission arithmetic must be exact, not approximate: every
+        # offered request is accounted exactly once, and every admitted
+        # query produced a completion.
+        offered = rec["server_offered"]
+        accounted = (
+            rec["server_admitted"]
+            + rec["server_shed"]
+            + rec["server_invalid"]
+            + rec["server_quota_denied"]
+        )
+        if offered != accounted:
+            errors.append(
+                f"$: offered {offered} != admitted + shed + invalid + "
+                f"quota_denied = {accounted}"
+            )
+        if rec["server_admitted"] != rec["server_completed"]:
+            errors.append(
+                f"$: admitted {rec['server_admitted']} != completed "
+                f"{rec['server_completed']} — queries were lost"
+            )
+        if rec["server_client_rejected"] != (
+            rec["server_shed"] + rec["server_quota_denied"]
+        ):
+            errors.append(
+                f"$: client RESOURCE_EXHAUSTED {rec['server_client_rejected']} "
+                f"!= shed + quota_denied"
+            )
+        if rec["server_scrapes_ok"] < 1 or rec["server_scrapes_failed"] != 0:
+            errors.append(
+                f"$: /metrics not scrapeable throughout "
+                f"(ok {rec['server_scrapes_ok']}, "
+                f"failed {rec['server_scrapes_failed']})"
+            )
+        if rec.get("server_invariants_ok") is not True:
+            errors.append("$: server_invariants_ok is not true")
+    return report(f"validate-server {path}", errors)
 
 
 def perf_gate(baseline_path, smoke_path) -> int:
@@ -396,6 +478,8 @@ def main() -> int:
         return validate_bench(sys.argv[2])
     if len(sys.argv) == 3 and sys.argv[1] == "validate-metrics":
         return validate_metrics(sys.argv[2])
+    if len(sys.argv) == 3 and sys.argv[1] == "validate-server":
+        return validate_server(sys.argv[2])
     if len(sys.argv) == 4 and sys.argv[1] == "overhead":
         return overhead_gate(sys.argv[2], sys.argv[3])
     if len(sys.argv) == 3:
